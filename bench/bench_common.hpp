@@ -1,0 +1,69 @@
+// Shared command-line handling for the table/figure benchmark binaries.
+//
+// Every bench accepts:
+//   --scale <f>    volume scale factor (default 0.5; 1.0 = paper-size 256^3)
+//   --image <n>    override the image size
+//   --ranks <csv>  processor counts (default 2,4,8,16,32,64)
+//   --full         shorthand for --scale 1.0
+// The defaults keep the whole harness runnable in minutes on one core while
+// preserving the paper's image sizes (which drive the compositing metrics).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace slspvr::bench {
+
+struct Options {
+  double scale = 0.5;
+  int image_size = 0;  ///< 0 = bench default
+  std::vector<int> ranks = {2, 4, 8, 16, 32, 64};
+  std::string csv;     ///< when non-empty, also write machine-readable rows
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      options.scale = std::atof(next());
+    } else if (arg == "--image") {
+      options.image_size = std::atoi(next());
+    } else if (arg == "--full") {
+      options.scale = 1.0;
+    } else if (arg == "--csv") {
+      options.csv = next();
+    } else if (arg == "--ranks") {
+      options.ranks.clear();
+      std::string csv = next();
+      std::size_t pos = 0;
+      while (pos < csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok = csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                                           : comma - pos);
+        options.ranks.push_back(std::atoi(tok.c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scale <f> | --full | --image <n> | --ranks <list> | --csv <path>\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << arg << " (see --help)\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace slspvr::bench

@@ -1,0 +1,57 @@
+// Regenerates the Section 4 M_max analysis (Eq. 9): the maximum received
+// message size per method, dataset and processor count, and checks the
+// paper's ordering M_BS >= M_BSBR >= M_BSBRC >= M_BSLC, reporting where it
+// holds and where the known small-P inversions appear.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/report.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+
+int main(int argc, char** argv) {
+  const auto options = slspvr::bench::parse_options(argc, argv);
+  const int image = options.image_size > 0 ? options.image_size : 384;
+  const auto methods = pvr::MethodSet::paper_methods();  // BS, BSBR, BSLC, BSBRC
+
+  std::cout << "Eq. (9) — maximum received message size M_max (bytes), " << image << "x"
+            << image << "\n\n";
+
+  int ordering_holds = 0, ordering_checked = 0;
+
+  for (const auto kind : vol::kAllDatasets) {
+    std::cout << "== " << vol::dataset_name(kind) << " ==\n";
+    pvr::TextTable table({"P", "M_BS", "M_BSBR", "M_BSLC", "M_BSBRC", "Eq9"});
+
+    for (const int ranks : options.ranks) {
+      pvr::ExperimentConfig config;
+      config.dataset = kind;
+      config.volume_scale = options.scale;
+      config.image_size = image;
+      config.ranks = ranks;
+      const pvr::Experiment experiment(config);
+
+      std::uint64_t m[4] = {0, 0, 0, 0};
+      for (std::size_t i = 0; i < methods.size(); ++i) {
+        m[i] = experiment.run(*methods[i]).m_max;
+      }
+      const std::uint64_t m_bs = m[0], m_bsbr = m[1], m_bslc = m[2], m_bsbrc = m[3];
+      const bool holds = m_bs >= m_bsbr && m_bsbr >= m_bsbrc && m_bsbrc >= m_bslc;
+      ++ordering_checked;
+      if (holds) ++ordering_holds;
+
+      table.add_row({std::to_string(ranks), pvr::fmt_bytes(m_bs), pvr::fmt_bytes(m_bsbr),
+                     pvr::fmt_bytes(m_bslc), pvr::fmt_bytes(m_bsbrc),
+                     holds ? "holds" : "inverted"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Eq. (9) ordering held in " << ordering_holds << "/" << ordering_checked
+            << " configurations (the paper notes small-P inversions where BSLC's\n"
+            << "run-length codes outweigh BSBRC's, e.g. Table 1 at P=2).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates Figures 8-11: total compositing time versus processor count
+// for the three proposed methods on each test sample at 384x384.
+//   Figure 8:  Engine_low    Figure 9:  Head
+//   Figure 10: Engine_high   Figure 11: Cube
+// Prints one series block per figure (CSV-style rows, easy to plot).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/csv.hpp"
+#include "pvr/report.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+
+namespace {
+
+const char* figure_id(vol::DatasetKind kind) {
+  switch (kind) {
+    case vol::DatasetKind::EngineLow: return "Figure 8";
+    case vol::DatasetKind::Head: return "Figure 9";
+    case vol::DatasetKind::EngineHigh: return "Figure 10";
+    case vol::DatasetKind::Cube: return "Figure 11";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = slspvr::bench::parse_options(argc, argv);
+  const int image = options.image_size > 0 ? options.image_size : 384;
+  const auto methods = pvr::MethodSet::proposed_methods();
+  pvr::CsvWriter csv;
+
+  // Figure order in the paper: 8 (engine_low), 9 (head), 10 (engine_high),
+  // 11 (cube).
+  const vol::DatasetKind figures[] = {vol::DatasetKind::EngineLow, vol::DatasetKind::Head,
+                                      vol::DatasetKind::EngineHigh, vol::DatasetKind::Cube};
+
+  for (const auto kind : figures) {
+    std::cout << figure_id(kind) << " — T_total vs P, " << vol::dataset_name(kind) << ", "
+              << image << "x" << image << "\n";
+    std::cout << "P";
+    for (const auto& m : methods) std::cout << "," << m->name();
+    std::cout << "\n";
+
+    for (const int ranks : options.ranks) {
+      pvr::ExperimentConfig config;
+      config.dataset = kind;
+      config.volume_scale = options.scale;
+      config.image_size = image;
+      config.ranks = ranks;
+      const pvr::Experiment experiment(config);
+
+      std::cout << ranks;
+      for (const auto& m : methods) {
+        const auto result = experiment.run(*m);
+        csv.add(vol::dataset_name(kind), image, ranks, result);
+        std::cout << "," << pvr::fmt_ms(result.times.total_ms());
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+  if (!options.csv.empty()) {
+    csv.write(options.csv);
+    std::cout << "wrote " << csv.rows() << " rows to " << options.csv << "\n";
+  }
+  return 0;
+}

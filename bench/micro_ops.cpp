@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks for the primitive operations behind the
+// cost model's constants: the over operator (T_o), bounding-rectangle scans
+// (T_bound), run-length encoding (T_encode), compressed-domain compositing,
+// buffer packing and the message-passing runtime itself.
+#include <benchmark/benchmark.h>
+
+#include "core/bsbrc.hpp"
+#include "core/order.hpp"
+#include "core/wire.hpp"
+#include "image/value_rle.hpp"
+#include "mp/runtime.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/synthetic.hpp"
+
+namespace img = slspvr::img;
+namespace core = slspvr::core;
+namespace mp = slspvr::mp;
+namespace pvr = slspvr::pvr;
+
+namespace {
+
+img::Image test_image(int size, double density) {
+  return pvr::random_subimage(size, size, density, 42);
+}
+
+void BM_OverOperator(benchmark::State& state) {
+  const img::Image a = test_image(256, 0.5);
+  const img::Image b = test_image(256, 0.5);
+  for (auto _ : state) {
+    img::Pixel acc{};
+    for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+      acc = img::over(a.at_index(i), b.at_index(i));
+      benchmark::DoNotOptimize(acc);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * test_image(256, 0.5).pixel_count());
+}
+BENCHMARK(BM_OverOperator);
+
+void BM_CompositeRegion(benchmark::State& state) {
+  const img::Image incoming = test_image(256, 0.5);
+  img::Image local = test_image(256, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        img::composite_region(local, incoming, local.bounds(), true));
+  }
+  state.SetItemsProcessed(state.iterations() * local.pixel_count());
+}
+BENCHMARK(BM_CompositeRegion);
+
+void BM_BoundingRectScan(benchmark::State& state) {
+  const img::Image image = test_image(static_cast<int>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::bounding_rect_of(image, image.bounds()));
+  }
+  state.SetItemsProcessed(state.iterations() * image.pixel_count());
+}
+BENCHMARK(BM_BoundingRectScan)->Arg(128)->Arg(384)->Arg(768);
+
+void BM_RleEncodeRect(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const img::Image image = test_image(384, density);
+  const img::Rect rect = img::bounding_rect_of(image, image.bounds());
+  for (auto _ : state) {
+    core::Counters counters;
+    benchmark::DoNotOptimize(core::wire::encode_rect(image, rect, counters));
+  }
+  state.SetItemsProcessed(state.iterations() * std::max<std::int64_t>(1, rect.area()));
+}
+BENCHMARK(BM_RleEncodeRect)->Arg(5)->Arg(30)->Arg(70);
+
+void BM_RleEncodeStrided(benchmark::State& state) {
+  const img::Image image = test_image(384, 0.3);
+  const img::InterleavedRange range{0, 4, image.pixel_count() / 4};
+  for (auto _ : state) {
+    core::Counters counters;
+    benchmark::DoNotOptimize(core::wire::encode_strided(image, range, counters));
+  }
+  state.SetItemsProcessed(state.iterations() * range.count);
+}
+BENCHMARK(BM_RleEncodeStrided);
+
+void BM_ValueRleEncode(benchmark::State& state) {
+  const img::Image image = test_image(384, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::value_rle_encode(image.pixels()));
+  }
+  state.SetItemsProcessed(state.iterations() * image.pixel_count());
+}
+BENCHMARK(BM_ValueRleEncode);
+
+void BM_ValueRleComposite(benchmark::State& state) {
+  const auto front = img::value_rle_encode(test_image(256, 0.4).pixels());
+  const auto back = img::value_rle_encode(test_image(256, 0.4).pixels());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::value_rle_composite(front, back));
+  }
+}
+BENCHMARK(BM_ValueRleComposite);
+
+void BM_PackRectPixels(benchmark::State& state) {
+  const img::Image image = test_image(384, 0.5);
+  const img::Rect rect{32, 32, 352, 352};
+  for (auto _ : state) {
+    img::PackBuffer buf;
+    buf.reserve(static_cast<std::size_t>(rect.area()) * 16);
+    core::wire::pack_rect_pixels(image, rect, buf);
+    benchmark::DoNotOptimize(buf.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * rect.area() * 16);
+}
+BENCHMARK(BM_PackRectPixels);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> payload(bytes);
+  for (auto _ : state) {
+    (void)mp::Runtime::run(2, [&](mp::Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 1, payload);
+        benchmark::DoNotOptimize(comm.recv(1, 2));
+      } else {
+        benchmark::DoNotOptimize(comm.recv(0, 1));
+        comm.send(0, 2, payload);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes * 2));
+}
+BENCHMARK(BM_MessageRoundTrip)->Arg(1024)->Arg(1 << 20);
+
+void BM_BinarySwapSpmd(benchmark::State& state) {
+  // Whole-method wall time at P=8, 256x256 synthetic images — a sanity
+  // check that methods run in microsecond-to-millisecond range in-process.
+  const auto subimages = pvr::make_subimages(8, 256, 256, 0.3);
+  const auto order = core::make_uniform_order(3);
+  const core::BsbrcCompositor bsbrc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pvr::run_compositing(bsbrc, subimages, order));
+  }
+}
+BENCHMARK(BM_BinarySwapSpmd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Regenerates Table 1: compositing time (T_comp / T_comm / T_total, SP2
+// cost model) of BS, BSBR, BSLC and BSBRC for the four test samples at
+// 384x384 pixels on 2..64 processors.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/csv.hpp"
+#include "pvr/report.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+
+int main(int argc, char** argv) {
+  const auto options = slspvr::bench::parse_options(argc, argv);
+  const int image = options.image_size > 0 ? options.image_size : 384;
+
+  std::cout << "Table 1 — compositing time of the proposed methods, " << image << "x"
+            << image << " images (volume scale " << options.scale << ")\n"
+            << "Modelled on the SP2 cost model; time unit: ms\n\n";
+
+  pvr::CsvWriter csv;
+  const auto methods = pvr::MethodSet::paper_methods();
+
+  for (const auto kind : vol::kAllDatasets) {
+    std::cout << "== " << vol::dataset_name(kind) << " ==\n";
+    std::vector<std::string> header{"P"};
+    for (const auto& m : methods) {
+      const std::string name(m->name());
+      header.push_back(name + " Tcomp");
+      header.push_back(name + " Tcomm");
+      header.push_back(name + " Ttotal");
+    }
+    pvr::TextTable table(std::move(header));
+
+    for (const int ranks : options.ranks) {
+      pvr::ExperimentConfig config;
+      config.dataset = kind;
+      config.volume_scale = options.scale;
+      config.image_size = image;
+      config.ranks = ranks;
+      const pvr::Experiment experiment(config);
+
+      std::vector<std::string> row{std::to_string(ranks)};
+      for (const auto& m : methods) {
+        const auto result = experiment.run(*m);
+        csv.add(vol::dataset_name(kind), image, ranks, result);
+        row.push_back(pvr::fmt_ms(result.times.comp_ms));
+        row.push_back(pvr::fmt_ms(result.times.comm_ms));
+        row.push_back(pvr::fmt_ms(result.times.total_ms()));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!options.csv.empty()) {
+    csv.write(options.csv);
+    std::cout << "wrote " << csv.rows() << " rows to " << options.csv << "\n";
+  }
+  return 0;
+}

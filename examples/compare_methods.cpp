@@ -1,0 +1,64 @@
+// Compare every compositing method in the library — the four from the paper
+// plus the related-work baselines (Ahrens-Painter binary tree, direct send
+// full/sparse, Lee's parallel pipeline) — on one dataset and processor
+// count, reporting modelled times, M_max and in-process wall clock.
+//
+// usage: compare_methods [dataset] [ranks] [scale]
+//   dataset: engine_low | engine_high | head | cube   (default engine_high)
+#include <cstring>
+#include <iostream>
+
+#include "pvr/experiment.hpp"
+#include "pvr/report.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+
+namespace {
+
+vol::DatasetKind parse_dataset(const char* name) {
+  for (const auto kind : vol::kAllDatasets) {
+    if (std::strcmp(name, vol::dataset_name(kind)) == 0) return kind;
+  }
+  std::cerr << "unknown dataset '" << name << "', using engine_high\n";
+  return vol::DatasetKind::EngineHigh;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pvr::ExperimentConfig config;
+  config.dataset = argc > 1 ? parse_dataset(argv[1]) : vol::DatasetKind::EngineHigh;
+  config.ranks = argc > 2 ? std::atoi(argv[2]) : 8;
+  config.volume_scale = argc > 3 ? std::atof(argv[3]) : 0.5;
+  config.image_size = 384;
+
+  std::cout << "Compositing-method comparison — " << vol::dataset_name(config.dataset)
+            << ", P=" << config.ranks << ", " << config.image_size << "x"
+            << config.image_size << ", volume scale " << config.volume_scale << "\n\n";
+
+  const pvr::Experiment experiment(config);
+  const auto reference = experiment.reference();
+
+  pvr::TextTable table(
+      {"method", "T_comp(ms)", "T_comm(ms)", "T_total(ms)", "M_max(bytes)", "wall(ms)",
+       "correct"});
+
+  for (const auto& method : pvr::MethodSet::all_methods()) {
+    const auto result = experiment.run(*method);
+    bool correct = true;
+    for (std::int64_t i = 0; i < reference.pixel_count() && correct; ++i) {
+      if (std::abs(result.final_image.at_index(i).a - reference.at_index(i).a) > 1e-4f) {
+        correct = false;
+      }
+    }
+    table.add_row({result.method, pvr::fmt_ms(result.times.comp_ms),
+                   pvr::fmt_ms(result.times.comm_ms), pvr::fmt_ms(result.times.total_ms()),
+                   pvr::fmt_bytes(result.m_max), pvr::fmt_ms(result.wall_ms),
+                   correct ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(all methods must agree with the sequential reference; times are the\n"
+               " SP2 cost model's critical-path estimate, wall is this machine's clock)\n";
+  return 0;
+}

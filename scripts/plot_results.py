@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plot the CSV output of the table/figure benches.
+
+Usage:
+    build/bench/table1_compositing_384 --csv results.csv
+    scripts/plot_results.py results.csv out_prefix
+
+Produces one SVG per dataset with T_total vs P for every method (the shape
+of the paper's Figures 8-11). Pure-stdlib SVG output — no matplotlib needed.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    by_dataset = defaultdict(lambda: defaultdict(dict))  # dataset -> method -> P -> total
+    with open(path) as fh:
+        for row in csv.DictReader(fh):
+            by_dataset[row["dataset"]][row["method"]][int(row["ranks"])] = float(
+                row["total_ms"]
+            )
+    return by_dataset
+
+
+PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"]
+
+
+def svg_plot(dataset, methods, out_path):
+    width, height, margin = 640, 420, 60
+    all_ps = sorted({p for series in methods.values() for p in series})
+    max_t = max(t for series in methods.values() for t in series.values()) * 1.1
+    if not all_ps or max_t <= 0:
+        return
+
+    def x(p):
+        i = all_ps.index(p)
+        return margin + i * (width - 2 * margin) / max(1, len(all_ps) - 1)
+
+    def y(t):
+        return height - margin - t / max_t * (height - 2 * margin)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<text x="{width/2}" y="20" text-anchor="middle" font-size="15">'
+        f"T_total vs P — {dataset}</text>",
+        f'<line x1="{margin}" y1="{height-margin}" x2="{width-margin}" '
+        f'y2="{height-margin}" stroke="#333"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" y2="{height-margin}" '
+        f'stroke="#333"/>',
+    ]
+    for p in all_ps:
+        parts.append(
+            f'<text x="{x(p)}" y="{height-margin+18}" text-anchor="middle">{p}</text>'
+        )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = max_t * frac
+        parts.append(
+            f'<text x="{margin-8}" y="{y(t)+4}" text-anchor="end">{t:.0f}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin}" y1="{y(t)}" x2="{width-margin}" y2="{y(t)}" '
+            f'stroke="#ddd"/>'
+        )
+    for idx, (method, series) in enumerate(sorted(methods.items())):
+        color = PALETTE[idx % len(PALETTE)]
+        pts = " ".join(f"{x(p):.1f},{y(series[p]):.1f}" for p in sorted(series))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for p in sorted(series):
+            parts.append(
+                f'<circle cx="{x(p):.1f}" cy="{y(series[p]):.1f}" r="3" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{width-margin+6}" y="{margin + 16*idx}" fill="{color}">'
+            f"{method}</text>"
+        )
+    parts.append("</svg>")
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(parts))
+    print(f"wrote {out_path}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    data = load(sys.argv[1])
+    for dataset, methods in data.items():
+        svg_plot(dataset, methods, f"{sys.argv[2]}_{dataset}.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+// BS: the plain binary-swap compositing method (Ma et al. 1994, Sec. 3.1).
+//
+// At stage k each PE pairs with the rank differing in bit (k-1), ships the
+// half of its current region it gives up — every pixel, blank or not — and
+// composites the half it keeps with the received half. log P stages; total
+// pixels shipped per PE: sum_k A/2^k (Eq. 1/2). This is the baseline the
+// three proposed methods improve on.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class BinarySwapCompositor final : public Compositor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BS"; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+};
+
+}  // namespace slspvr::core

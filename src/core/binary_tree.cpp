@@ -1,0 +1,47 @@
+#include "core/binary_tree.hpp"
+
+#include "image/pack.hpp"
+#include "image/value_rle.hpp"
+
+namespace slspvr::core {
+
+Ownership BinaryTreeCompositor::composite(mp::Comm& comm, img::Image& image,
+                                          const SwapOrder& order,
+                                          Counters& counters) const {
+  // Initial compression of the whole subimage (counted as encode work).
+  std::vector<img::ValueRun> runs = img::value_rle_encode(image.pixels());
+  counters.encoded_pixels += image.pixel_count();
+  counters.codes_emitted += static_cast<std::int64_t>(runs.size());
+
+  for (int k = 1; k <= order.levels; ++k) {
+    comm.set_stage(k);
+    const int bit = k - 1;
+    const int low_mask = (1 << k) - 1;
+    const int low = comm.rank() & low_mask;
+    if (low == 0) {
+      // Receiver: partner is rank + 2^(k-1); merge in the compressed domain.
+      const int partner = comm.rank() | (1 << bit);
+      const auto incoming = comm.recv_vector<img::ValueRun>(partner, k);
+      counters.pixels_received += img::value_rle_length(incoming);
+      const bool incoming_front = order.incoming_in_front(comm.rank(), bit);
+      runs = incoming_front ? img::value_rle_composite(incoming, runs, &counters.over_ops)
+                            : img::value_rle_composite(runs, incoming, &counters.over_ops);
+    } else if (low == (1 << bit)) {
+      // Sender: ship the compressed image and retire.
+      const int partner = comm.rank() ^ (1 << bit);
+      counters.pixels_sent += img::value_rle_length(runs);
+      comm.send_vector<img::ValueRun>(partner, k, runs);
+      runs.clear();
+    }
+    // Ranks already retired (low has bits below `bit` set) do nothing.
+    counters.mark_stage();
+  }
+  comm.set_stage(0);
+
+  if (comm.rank() == 0 && !runs.empty()) {
+    img::value_rle_decode(runs, image.pixels());
+  }
+  return Ownership::full_at_root();
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,25 @@
+// Binary-tree compositing with value-based run-length compression
+// (Ahrens & Painter 1998, described in Sec. 2).
+//
+// Tree reduction: at stage k the rank whose low k bits are 2^(k-1) sends its
+// whole current image — value-RLE compressed — to the rank whose low k bits
+// are zero, then retires. Compositing happens directly in the compressed
+// domain (run-vs-run, the O(1)-best-case merge the paper describes). After
+// log P stages rank 0 holds the full image. Parallelism halves every stage,
+// which is exactly why Ma et al. proposed binary swap; this serves as a
+// related-work baseline and as the home of the value-RLE ablation.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class BinaryTreeCompositor final : public Compositor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BinaryTree-AP"; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+};
+
+}  // namespace slspvr::core

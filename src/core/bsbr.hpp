@@ -1,0 +1,23 @@
+// BSBR: binary-swap with bounding rectangle (Sec. 3.2).
+//
+// Each PE tracks the bounding rectangle of its non-blank pixels (one O(A)
+// scan before the first stage — the T_bound term). At each stage the send
+// half ships only the portion of the bounding rectangle falling in it (plus
+// an 8-byte rectangle header), and the local rectangle is updated by
+// combining the kept portion with the received rectangle — O(1) per stage.
+// The known weakness: every pixel inside the rectangle ships, blank or not.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class BsbrCompositor final : public Compositor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BSBR"; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+};
+
+}  // namespace slspvr::core

@@ -1,0 +1,26 @@
+// BSBRS: binary-swap with bounding rectangle and scanline-SPAN encoding —
+// this repository's contribution to the paper's future-work direction
+// "study more efficient encoding schemes".
+//
+// Identical exchange structure to BSBRC (Sec. 3.4), but the sending
+// rectangle's non-blank pixels are described by per-row span lists
+// (image/spans.hpp) instead of background/foreground run-length codes.
+// Trade-off measured by bench/ablation_encoding: spans pay 2 bytes per row
+// even when blank, but cost 4 bytes per *contiguous non-blank run* versus
+// RLE's 2 bytes per run *boundary* (blank runs included), and the receiver
+// composites with pure pointer arithmetic.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class BsbrsCompositor final : public Compositor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BSBRS"; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+};
+
+}  // namespace slspvr::core

@@ -1,0 +1,34 @@
+// BSLC: binary-swap with run-length encoding and static load balancing
+// (Sec. 3.3).
+//
+// The exchange rule is binary swap, but the half a PE gives up is an
+// *interleaved* pixel set (Figure 6) rather than a contiguous block, so
+// non-blank pixels spread evenly across PEs. The sent half is run-length
+// encoded on the blank/non-blank pattern (Figure 5): only the 2-byte codes
+// and the non-blank pixel values travel. The cost: the encoder must iterate
+// the entire A/2^k sent half each stage (the dominant T_encode term that
+// makes BSLC's T_comp the largest of the four methods).
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class BslcCompositor final : public Compositor {
+ public:
+  /// `interleaved` = false degrades BSLC to contiguous halves (RLE without
+  /// the static load balancing) — used by the interleave ablation bench.
+  explicit BslcCompositor(bool interleaved = true) : interleaved_(interleaved) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return interleaved_ ? "BSLC" : "BSLC-noninterleaved";
+  }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+
+ private:
+  bool interleaved_;
+};
+
+}  // namespace slspvr::core

@@ -1,0 +1,64 @@
+// Compositor interface: the contract every compositing method implements.
+#pragma once
+
+#include <string_view>
+
+#include "core/counters.hpp"
+#include "core/order.hpp"
+#include "image/image.hpp"
+#include "image/interleave.hpp"
+#include "mp/communicator.hpp"
+
+namespace slspvr::core {
+
+/// What a rank owns when its compositing phase finishes.
+struct Ownership {
+  enum class Kind {
+    kRect,         ///< a contiguous screen rectangle (BS/BSBR/BSBRC/pipeline)
+    kInterleaved,  ///< an interleaved pixel progression (BSLC)
+    kFullAtRoot,   ///< rank 0 holds the entire image, others nothing (tree)
+  };
+
+  Kind kind = Kind::kRect;
+  img::Rect rect;                ///< valid when kind == kRect
+  img::InterleavedRange range;   ///< valid when kind == kInterleaved
+
+  [[nodiscard]] static Ownership full_rect(const img::Rect& r) {
+    return Ownership{Kind::kRect, r, {}};
+  }
+  [[nodiscard]] static Ownership interleaved(const img::InterleavedRange& r) {
+    return Ownership{Kind::kInterleaved, {}, r};
+  }
+  [[nodiscard]] static Ownership full_at_root() {
+    return Ownership{Kind::kFullAtRoot, {}, {}};
+  }
+};
+
+/// A compositing method. `composite` runs SPMD on every rank: `image` enters
+/// as the rank's rendered full-frame subimage and leaves holding the rank's
+/// share of the fully composited image, described by the returned Ownership.
+///
+/// Implementations must:
+///  * call comm.set_stage(k) with k = 1..#stages before each exchange so the
+///    traffic trace attributes bytes to compositing stages (stage 0 is
+///    reserved for out-of-phase traffic, e.g. the final gather);
+///  * respect the front/back decisions in `order`;
+///  * account every over/encode/scan operation in `counters`.
+class Compositor {
+ public:
+  virtual ~Compositor() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  virtual Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                              Counters& counters) const = 0;
+};
+
+/// Assemble the final image at `root` from each rank's owned piece. Traffic
+/// is tagged stage 0 (outside the measured compositing phase, matching the
+/// paper, which times compositing up to the point the full image exists
+/// distributed across PEs).
+[[nodiscard]] img::Image gather_final(mp::Comm& comm, const img::Image& local,
+                                      const Ownership& ownership, int root = 0);
+
+}  // namespace slspvr::core

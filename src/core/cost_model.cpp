@@ -1,0 +1,50 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+
+namespace slspvr::core {
+
+namespace {
+bool in_phase(const mp::MessageRecord& r) { return r.stage >= 1 && r.tag >= 0; }
+}  // namespace
+
+ModelTimes CostModel::rank_times(const Counters& counters, const mp::TrafficTrace& trace,
+                                 int rank) const {
+  ModelTimes t;
+  t.comp_ms = to_ms_per_pixel * static_cast<double>(counters.over_ops) +
+              tencode_ms_per_pixel * static_cast<double>(counters.encoded_pixels) +
+              tbound_ms_per_pixel * static_cast<double>(counters.rect_scanned);
+  for (const auto& r : trace.received(rank)) {
+    if (!in_phase(r)) continue;
+    t.comm_ms += ts_ms + tc_ms_per_byte * static_cast<double>(r.bytes);
+  }
+  return t;
+}
+
+ModelTimes CostModel::critical_path(const std::vector<Counters>& per_rank,
+                                    const mp::TrafficTrace& trace) const {
+  ModelTimes best;
+  for (int rank = 0; rank < static_cast<int>(per_rank.size()); ++rank) {
+    const ModelTimes t = rank_times(per_rank[static_cast<std::size_t>(rank)], trace, rank);
+    if (t.total_ms() > best.total_ms()) best = t;
+  }
+  return best;
+}
+
+std::uint64_t received_message_bytes(const mp::TrafficTrace& trace, int rank) {
+  std::uint64_t total = 0;
+  for (const auto& r : trace.received(rank)) {
+    if (in_phase(r)) total += r.bytes;
+  }
+  return total;
+}
+
+std::uint64_t max_received_message_bytes(const mp::TrafficTrace& trace) {
+  std::uint64_t best = 0;
+  for (int rank = 0; rank < trace.ranks(); ++rank) {
+    best = std::max(best, received_message_bytes(trace, rank));
+  }
+  return best;
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,71 @@
+// Per-rank computation counters.
+//
+// The paper's T_comp terms (Eqs. 1/3/5/7) are linear in four quantities:
+// over operations, pixels run-length scanned, pixels scanned for bounding
+// rectangles, and emitted run-length codes. Every compositor counts them
+// exactly while executing; the cost model converts them to modelled ms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace slspvr::core {
+
+/// The six operation totals the cost model consumes.
+struct OpTotals {
+  std::int64_t over_ops = 0;        ///< pixel over operations (T_o term)
+  std::int64_t encoded_pixels = 0;  ///< pixels iterated by the RLE encoder (T_encode term)
+  std::int64_t rect_scanned = 0;    ///< pixels scanned to find bounding rects (T_bound term)
+  std::int64_t codes_emitted = 0;   ///< run-length codes generated (R_code count)
+  std::int64_t pixels_sent = 0;     ///< pixel payloads shipped (diagnostics)
+  std::int64_t pixels_received = 0; ///< pixel payloads received (diagnostics)
+
+  friend bool operator==(const OpTotals&, const OpTotals&) = default;
+
+  [[nodiscard]] OpTotals operator-(const OpTotals& o) const noexcept {
+    return OpTotals{over_ops - o.over_ops,
+                    encoded_pixels - o.encoded_pixels,
+                    rect_scanned - o.rect_scanned,
+                    codes_emitted - o.codes_emitted,
+                    pixels_sent - o.pixels_sent,
+                    pixels_received - o.pixels_received};
+  }
+};
+
+/// Per-rank computation counters, with optional per-stage snapshots:
+/// compositors call mark_stage() after finishing each stage's work, so the
+/// timeline model can recover stage-local deltas (stage_delta).
+struct Counters : OpTotals {
+  /// Cumulative totals at the end of each completed stage.
+  std::vector<OpTotals> stage_marks;
+
+  [[nodiscard]] const OpTotals& totals() const noexcept { return *this; }
+
+  /// Record the end of the current stage.
+  void mark_stage() { stage_marks.push_back(totals()); }
+
+  /// Operation counts attributable to stage k (1-based). Stages beyond the
+  /// recorded marks (e.g. retired binary-tree ranks) report zeros.
+  [[nodiscard]] OpTotals stage_delta(int stage) const noexcept {
+    const std::size_t idx = static_cast<std::size_t>(stage - 1);
+    if (stage < 1 || idx >= stage_marks.size()) return OpTotals{};
+    if (idx == 0) return stage_marks[0];
+    return stage_marks[idx] - stage_marks[idx - 1];
+  }
+
+  [[nodiscard]] int marked_stages() const noexcept {
+    return static_cast<int>(stage_marks.size());
+  }
+
+  Counters& operator+=(const Counters& o) noexcept {
+    over_ops += o.over_ops;
+    encoded_pixels += o.encoded_pixels;
+    rect_scanned += o.rect_scanned;
+    codes_emitted += o.codes_emitted;
+    pixels_sent += o.pixels_sent;
+    pixels_received += o.pixels_received;
+    return *this;
+  }
+};
+
+}  // namespace slspvr::core

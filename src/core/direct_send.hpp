@@ -1,0 +1,35 @@
+// Direct-send / buffered compositing (Hsu 1993, Neumann 1993 — the
+// "buffered case" of Sec. 2).
+//
+// The image is statically divided into P horizontal bands, band r owned by
+// rank r. Every rank sends, to each other rank, its pixels of that rank's
+// band — n-1 messages in and out at once. The receiver buffers all n-1
+// contributions, then composites them (plus its own) in depth order. The
+// full-frame variant ships whole bands; the sparse variant clips each
+// contribution to the sender's bounding rectangle (8-byte header + pixels),
+// giving a buffered-case counterpart to BSBR.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class DirectSendCompositor final : public Compositor {
+ public:
+  explicit DirectSendCompositor(bool sparse = false) : sparse_(sparse) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return sparse_ ? "DirectSend-sparse" : "DirectSend-full";
+  }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+
+  /// The horizontal band owned by `rank` out of `ranks` for `bounds`.
+  [[nodiscard]] static img::Rect band_of(const img::Rect& bounds, int rank, int ranks);
+
+ private:
+  bool sparse_;
+};
+
+}  // namespace slspvr::core

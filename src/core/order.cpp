@@ -1,0 +1,62 @@
+#include "core/order.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace slspvr::core {
+
+SwapOrder make_swap_order(const vol::KdPartition& partition, const float view_dir[3]) {
+  SwapOrder order;
+  order.levels = partition.levels;
+  order.lower_front_per_bit.resize(static_cast<std::size_t>(partition.levels));
+  for (int bit = 0; bit < partition.levels; ++bit) {
+    order.lower_front_per_bit[static_cast<std::size_t>(bit)] =
+        partition.lower_child_in_front(bit, view_dir);
+  }
+
+  // Near-first BSP traversal: at each level visit the half nearer the viewer
+  // first, yielding ranks front-to-back.
+  order.front_to_back.reserve(static_cast<std::size_t>(1) << partition.levels);
+  const std::function<void(int, int)> visit = [&](int level, int prefix) {
+    if (level == partition.levels) {
+      order.front_to_back.push_back(prefix);
+      return;
+    }
+    const int axis = partition.level_axis[static_cast<std::size_t>(level)];
+    const bool lower_first = view_dir[axis] >= 0.0f;
+    visit(level + 1, prefix * 2 + (lower_first ? 0 : 1));
+    visit(level + 1, prefix * 2 + (lower_first ? 1 : 0));
+  };
+  visit(0, 0);
+  return order;
+}
+
+SwapOrder make_uniform_order(int levels, bool lower_front) {
+  SwapOrder order;
+  order.levels = levels;
+  order.lower_front_per_bit.assign(static_cast<std::size_t>(levels), lower_front);
+  const int ranks = 1 << levels;
+  order.front_to_back.resize(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    order.front_to_back[static_cast<std::size_t>(i)] = lower_front ? i : ranks - 1 - i;
+  }
+  return order;
+}
+
+SwapOrder make_slab_order(int ranks, int axis, const float view_dir[3]) {
+  if (!vol::is_power_of_two(ranks)) {
+    throw std::invalid_argument("make_slab_order: ranks must be a power of two");
+  }
+  SwapOrder order;
+  order.levels = vol::log2_exact(ranks);
+  const bool ascending_front = view_dir[axis] >= 0.0f;
+  order.lower_front_per_bit.assign(static_cast<std::size_t>(order.levels),
+                                   ascending_front);
+  order.front_to_back.resize(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    order.front_to_back[static_cast<std::size_t>(i)] = ascending_front ? i : ranks - 1 - i;
+  }
+  return order;
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,60 @@
+// Depth ordering for compositing.
+//
+// `over` is associative but not commutative, so every compositing method
+// needs to know, for each exchange, which contribution is in front. For
+// binary swap the pair at stage k differs in rank bit (k-1), which the
+// kd partitioner ties to a single split axis; the front side is determined
+// by the sign of the view direction along that axis. Tree/pipeline/direct
+// methods additionally need the total front-to-back order of ranks, which
+// is the standard near-first BSP traversal.
+#pragma once
+
+#include <vector>
+
+#include "volume/partition.hpp"
+
+namespace slspvr::core {
+
+struct SwapOrder {
+  int levels = 0;
+  /// lower_front_per_bit[b]: the rank whose bit b is 0 (the lower-coordinate
+  /// side of that split) is in front.
+  std::vector<bool> lower_front_per_bit;
+  /// All ranks sorted front-to-back (BSP near-first traversal).
+  std::vector<int> front_to_back;
+
+  [[nodiscard]] int ranks() const noexcept { return 1 << levels; }
+
+  /// During the stage pairing on `bit`, is the *partner's* contribution in
+  /// front of `my_rank`'s?
+  [[nodiscard]] bool incoming_in_front(int my_rank, int bit) const {
+    const bool my_side_lower = ((my_rank >> bit) & 1) == 0;
+    const bool i_am_front = my_side_lower == static_cast<bool>(lower_front_per_bit[bit]);
+    return !i_am_front;
+  }
+
+  /// Depth position of a rank (0 = front-most).
+  [[nodiscard]] int depth_position(int rank) const {
+    for (std::size_t i = 0; i < front_to_back.size(); ++i) {
+      if (front_to_back[i] == rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Build the order from a kd partition and the camera view direction (rays
+/// travel along +view_dir).
+[[nodiscard]] SwapOrder make_swap_order(const vol::KdPartition& partition,
+                                        const float view_dir[3]);
+
+/// Order for a 1-D slab decomposition along `axis` with `ranks` slabs in
+/// ascending coordinate order (used by the non-power-of-two fold wrapper;
+/// `ranks` must be a power of two — it is the folded group count).
+[[nodiscard]] SwapOrder make_slab_order(int ranks, int axis, const float view_dir[3]);
+
+/// Uniform order with every bit's lower side in front (front_to_back is
+/// simply 0..2^levels-1). Handy for synthetic-workload tests and benches
+/// where no geometry backs the depth relation.
+[[nodiscard]] SwapOrder make_uniform_order(int levels, bool lower_front = true);
+
+}  // namespace slspvr::core

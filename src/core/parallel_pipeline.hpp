@@ -1,0 +1,33 @@
+// Parallel-pipeline compositing with direct pixel forwarding (Lee et al.
+// 1996, described in Sec. 2), adapted to volume-rendering `over`.
+//
+// The image is divided into P bands; every band circulates once around a
+// ring of the P processors, accumulating each processor's contribution, and
+// retires at its owner after P-1 message steps. Messages carry only
+// non-blank pixels with explicit x/y coordinates (20 bytes each) — the
+// "explicit coordinates" scheme the paper contrasts with run-length codes.
+//
+// Adaptation for non-commutative `over`: Lee's original targets polygon
+// rendering, where merging is a commutative depth test. Ring order visits
+// processors in a *rotation* of the depth order, which is not a valid over
+// order. We therefore arrange the ring in front-to-back order and carry two
+// partial composites per band — segment A (processors visited before the
+// wrap) and segment B (after the wrap). Both segments are depth-contiguous,
+// so each accumulates correctly, and the band owner finishes with
+// B over A (B is the front segment). This preserves Lee's traffic pattern
+// exactly while producing the correct volume-rendered image.
+#pragma once
+
+#include "core/compositor.hpp"
+
+namespace slspvr::core {
+
+class ParallelPipelineCompositor final : public Compositor {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Pipeline-DPF"; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+};
+
+}  // namespace slspvr::core

@@ -1,0 +1,21 @@
+#include "core/reference.hpp"
+
+#include <stdexcept>
+
+namespace slspvr::core {
+
+img::Image composite_reference(std::span<const img::Image> subimages,
+                               std::span<const int> front_to_back) {
+  if (subimages.empty()) throw std::invalid_argument("composite_reference: no images");
+  img::Image out(subimages[0].width(), subimages[0].height());
+  // Accumulate front-to-back: out stays in front of each new layer.
+  for (const int rank : front_to_back) {
+    const img::Image& layer = subimages[static_cast<std::size_t>(rank)];
+    for (std::int64_t i = 0; i < out.pixel_count(); ++i) {
+      out.at_index(i) = img::over(out.at_index(i), layer.at_index(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace slspvr::core

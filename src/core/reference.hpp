@@ -1,0 +1,16 @@
+// Sequential reference compositor: the ground truth every parallel method
+// must match bit-for-bit (over is evaluated in the same order and with the
+// same float arithmetic, so results are exactly equal, not approximately).
+#pragma once
+
+#include <span>
+
+#include "image/image.hpp"
+
+namespace slspvr::core {
+
+/// Composite `subimages` in the given front-to-back rank order.
+[[nodiscard]] img::Image composite_reference(std::span<const img::Image> subimages,
+                                             std::span<const int> front_to_back);
+
+}  // namespace slspvr::core

@@ -1,0 +1,80 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+
+namespace slspvr::core {
+
+namespace {
+
+/// Pre-exchange work of a stage: everything that happens before the send
+/// (bounding-rectangle scans and run-length encoding).
+double pre_ms(const OpTotals& d, const CostModel& m) {
+  return m.tencode_ms_per_pixel * static_cast<double>(d.encoded_pixels) +
+         m.tbound_ms_per_pixel * static_cast<double>(d.rect_scanned);
+}
+
+/// Post-exchange work: compositing the received pixels.
+double post_ms(const OpTotals& d, const CostModel& m) {
+  return m.to_ms_per_pixel * static_cast<double>(d.over_ops);
+}
+
+}  // namespace
+
+TimelineResult simulate_timeline(const std::vector<Counters>& per_rank,
+                                 const mp::TrafficTrace& trace, const CostModel& model) {
+  const int ranks = static_cast<int>(per_rank.size());
+  int stages = 0;
+  for (const auto& c : per_rank) stages = std::max(stages, c.marked_stages());
+
+  std::vector<double> ready(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> wait(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> busy(static_cast<std::size_t>(ranks), 0.0);  // work + wire only
+
+  for (int k = 1; k <= stages; ++k) {
+    // Send points first (they depend only on the previous stage).
+    std::vector<double> send_point(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      const double pre = pre_ms(per_rank[static_cast<std::size_t>(r)].stage_delta(k), model);
+      send_point[static_cast<std::size_t>(r)] = ready[static_cast<std::size_t>(r)] + pre;
+      busy[static_cast<std::size_t>(r)] += pre;
+    }
+    for (int r = 0; r < ranks; ++r) {
+      double arrival = send_point[static_cast<std::size_t>(r)];
+      double wire = 0.0;
+      for (const auto& rec : trace.received(r)) {
+        if (rec.stage != k || rec.tag < 0) continue;
+        const double msg_wire = model.ts_ms + model.tc_ms_per_byte * static_cast<double>(rec.bytes);
+        wire += msg_wire;
+        // Rendezvous: the transfer starts once BOTH sides reach the
+        // exchange; the wire time is then always paid by the receiver.
+        const double start = std::max(send_point[static_cast<std::size_t>(r)],
+                                      send_point[static_cast<std::size_t>(rec.peer)]);
+        arrival = std::max(arrival, start + msg_wire);
+      }
+      const double blocked = arrival - send_point[static_cast<std::size_t>(r)];
+      wait[static_cast<std::size_t>(r)] += std::max(0.0, blocked - wire);
+      busy[static_cast<std::size_t>(r)] += wire;
+      const double post =
+          post_ms(per_rank[static_cast<std::size_t>(r)].stage_delta(k), model);
+      busy[static_cast<std::size_t>(r)] += post;
+      ready[static_cast<std::size_t>(r)] = arrival + post;
+    }
+  }
+
+  TimelineResult result;
+  result.rank_finish_ms = ready;
+  result.rank_wait_ms = wait;
+  int critical = 0;
+  for (int r = 0; r < ranks; ++r) {
+    if (ready[static_cast<std::size_t>(r)] > result.makespan_ms) {
+      result.makespan_ms = ready[static_cast<std::size_t>(r)];
+      critical = r;
+    }
+    result.max_wait_ms = std::max(result.max_wait_ms, wait[static_cast<std::size_t>(r)]);
+  }
+  result.sync_overhead_ms =
+      result.makespan_ms - busy[static_cast<std::size_t>(critical)];
+  return result;
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,46 @@
+// Staged timeline model: a discrete simulation of the compositing phase
+// that captures SYNCHRONIZATION WAIT, which the additive per-rank model
+// (CostModel::rank_times) cannot.
+//
+// The paper's measured "communication time" on the SP2 includes the time a
+// PE spends blocked waiting for its partner — on unbalanced workloads that
+// dwarfs the pure T_s + bytes*T_c transfer cost. This model replays the
+// per-stage structure: at stage k a rank first performs its pre-exchange
+// work (encode/scan, from the stage counter deltas), its messages then
+// arrive no earlier than each sender's own send point plus the wire time,
+// and the post-exchange work (over ops) runs after the last arrival:
+//
+//   send_point[r][k]  = ready[r][k-1] + pre[r][k]
+//   arrival[r][k]     = max over received msgs (send_point[sender][k] + Ts + Tc*bytes)
+//   ready[r][k]       = max(send_point[r][k], arrival[r][k]) + post[r][k]
+//
+// Makespan = max_r ready[r][K]. Requires compositors to call
+// Counters::mark_stage() (all the methods in core/ do).
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/counters.hpp"
+#include "mp/trace.hpp"
+
+namespace slspvr::core {
+
+struct TimelineResult {
+  double makespan_ms = 0.0;               ///< finish time of the last rank
+  std::vector<double> rank_finish_ms;     ///< per-rank finish times
+  std::vector<double> rank_wait_ms;       ///< per-rank total blocked time
+  double max_wait_ms = 0.0;               ///< worst per-rank wait
+
+  /// Makespan minus the critical rank's pure work+wire time: the cost of
+  /// synchronization alone.
+  double sync_overhead_ms = 0.0;
+};
+
+/// Simulate the staged execution. `per_rank` must carry stage marks; the
+/// trace supplies per-stage received messages (user tags, stage >= 1).
+[[nodiscard]] TimelineResult simulate_timeline(const std::vector<Counters>& per_rank,
+                                               const mp::TrafficTrace& trace,
+                                               const CostModel& model);
+
+}  // namespace slspvr::core

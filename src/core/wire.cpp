@@ -1,0 +1,140 @@
+#include "core/wire.hpp"
+
+#include <stdexcept>
+
+namespace slspvr::core::wire {
+
+void pack_rect_pixels(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf) {
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    const img::Pixel* row = &image.at(rect.x0, y);
+    buf.put_span(std::span<const img::Pixel>(row, static_cast<std::size_t>(rect.width())));
+  }
+}
+
+void unpack_composite_rect(img::Image& image, const img::Rect& rect, img::UnpackBuffer& buf,
+                           bool incoming_in_front, Counters& counters) {
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    const auto row = buf.get_vector<img::Pixel>(static_cast<std::size_t>(rect.width()));
+    for (int i = 0; i < rect.width(); ++i) {
+      img::Pixel& local = image.at(rect.x0 + i, y);
+      const img::Pixel& in = row[static_cast<std::size_t>(i)];
+      local = incoming_in_front ? img::over(in, local) : img::over(local, in);
+    }
+  }
+  counters.over_ops += rect.area();
+  counters.pixels_received += rect.area();
+}
+
+img::Rle encode_rect(const img::Image& image, const img::Rect& rect, Counters& counters) {
+  const int w = rect.width();
+  img::Rle rle = img::rle_encode_sequence(rect.area(), [&](std::int64_t i) -> const img::Pixel& {
+    const int x = rect.x0 + static_cast<int>(i % w);
+    const int y = rect.y0 + static_cast<int>(i / w);
+    return image.at(x, y);
+  });
+  counters.encoded_pixels += rect.area();
+  counters.codes_emitted += static_cast<std::int64_t>(rle.codes.size());
+  return rle;
+}
+
+img::Rle encode_strided(const img::Image& image, const img::InterleavedRange& range,
+                        Counters& counters) {
+  img::Rle rle = img::rle_encode_sequence(range.count, [&](std::int64_t i) -> const img::Pixel& {
+    return image.at_index(range.index(i));
+  });
+  counters.encoded_pixels += range.count;
+  counters.codes_emitted += static_cast<std::int64_t>(rle.codes.size());
+  return rle;
+}
+
+void pack_rle(const img::Rle& rle, img::PackBuffer& buf) {
+  buf.put_span(std::span<const std::uint16_t>(rle.codes));
+  buf.put_span(std::span<const img::Pixel>(rle.pixels));
+}
+
+img::Rle parse_rle(img::UnpackBuffer& buf, std::int64_t expected_length) {
+  img::Rle rle;
+  rle.length = expected_length;
+  std::int64_t total = 0;
+  std::int64_t foreground = 0;
+  bool blank = true;
+  while (total < expected_length) {
+    const auto code = buf.get<std::uint16_t>();
+    rle.codes.push_back(code);
+    total += code;
+    if (!blank) foreground += code;
+    blank = !blank;
+  }
+  if (total != expected_length) {
+    throw std::runtime_error("parse_rle: codes overshoot the expected length");
+  }
+  rle.pixels = buf.get_vector<img::Pixel>(static_cast<std::size_t>(foreground));
+  return rle;
+}
+
+void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle& rle,
+                        bool incoming_in_front, Counters& counters) {
+  const int w = rect.width();
+  std::int64_t composited = 0;
+  img::rle_for_each_non_blank(rle, [&](std::int64_t i, const img::Pixel& in) {
+    const int x = rect.x0 + static_cast<int>(i % w);
+    const int y = rect.y0 + static_cast<int>(i / w);
+    img::Pixel& local = image.at(x, y);
+    local = incoming_in_front ? img::over(in, local) : img::over(local, in);
+    ++composited;
+  });
+  counters.over_ops += composited;
+  counters.pixels_received += composited;
+}
+
+void composite_rle_strided(img::Image& image, const img::InterleavedRange& range,
+                           const img::Rle& rle, bool incoming_in_front, Counters& counters) {
+  std::int64_t composited = 0;
+  img::rle_for_each_non_blank(rle, [&](std::int64_t i, const img::Pixel& in) {
+    img::Pixel& local = image.at_index(range.index(i));
+    local = incoming_in_front ? img::over(in, local) : img::over(local, in);
+    ++composited;
+  });
+  counters.over_ops += composited;
+  counters.pixels_received += composited;
+}
+
+img::SpanImage encode_spans(const img::Image& image, const img::Rect& rect,
+                            Counters& counters) {
+  std::int64_t scanned = 0;
+  img::SpanImage spans = img::span_encode_rect(image, rect, &scanned);
+  counters.encoded_pixels += scanned;
+  // 2-byte units: one per row count, two per span (offset + length).
+  counters.codes_emitted += static_cast<std::int64_t>(spans.row_counts.size()) +
+                            2 * static_cast<std::int64_t>(spans.spans.size());
+  return spans;
+}
+
+void pack_spans(const img::SpanImage& spans, img::PackBuffer& buf) {
+  buf.put_span(std::span<const std::uint16_t>(spans.row_counts));
+  buf.put_span(std::span<const img::Span>(spans.spans));
+  buf.put_span(std::span<const img::Pixel>(spans.pixels));
+}
+
+img::SpanImage parse_spans(img::UnpackBuffer& buf, const img::Rect& rect) {
+  img::SpanImage spans;
+  spans.rect = rect;
+  if (rect.empty()) return spans;
+  spans.row_counts = buf.get_vector<std::uint16_t>(static_cast<std::size_t>(rect.height()));
+  std::size_t total_spans = 0;
+  for (const auto c : spans.row_counts) total_spans += c;
+  spans.spans = buf.get_vector<img::Span>(total_spans);
+  std::size_t total_pixels = 0;
+  for (const auto& s : spans.spans) total_pixels += s.len;
+  spans.pixels = buf.get_vector<img::Pixel>(total_pixels);
+  return spans;
+}
+
+void composite_spans(img::Image& image, const img::SpanImage& spans,
+                     bool incoming_in_front, Counters& counters) {
+  const std::int64_t ops = img::span_composite(image, spans, incoming_in_front);
+  counters.over_ops += ops;
+  counters.pixels_received += ops;
+}
+
+}  // namespace slspvr::core::wire

@@ -1,0 +1,71 @@
+// Wire helpers shared by the binary-swap family: packing raw rectangles,
+// run-length encoded rectangles, and run-length encoded interleaved ranges
+// into send buffers, and compositing them back out of receive buffers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/counters.hpp"
+#include "image/image.hpp"
+#include "image/interleave.hpp"
+#include "image/pack.hpp"
+#include "image/rle.hpp"
+#include "image/spans.hpp"
+
+namespace slspvr::core::wire {
+
+/// Append the raw pixels of `rect` (row-major) to `buf`.
+void pack_rect_pixels(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf);
+
+/// Composite raw rect pixels from `buf` into `image` over `rect`.
+/// Every pixel of the rectangle costs one over op (the BSBR disadvantage:
+/// blank pixels inside the rectangle are shipped and composited too).
+void unpack_composite_rect(img::Image& image, const img::Rect& rect, img::UnpackBuffer& buf,
+                           bool incoming_in_front, Counters& counters);
+
+/// Run-length encode the pixels of `rect` in row-major order.
+/// Counts rect.area() encoded pixels and the emitted codes.
+[[nodiscard]] img::Rle encode_rect(const img::Image& image, const img::Rect& rect,
+                                   Counters& counters);
+
+/// Run-length encode the pixels of an interleaved progression.
+[[nodiscard]] img::Rle encode_strided(const img::Image& image,
+                                      const img::InterleavedRange& range,
+                                      Counters& counters);
+
+/// Append an Rle to `buf`: codes then pixels, no header — the decoder knows
+/// the expected sequence length, so wire bytes are exactly
+/// 2*#codes + 16*#pixels (the R_code / A_opaque terms of Eqs. 6 and 8).
+void pack_rle(const img::Rle& rle, img::PackBuffer& buf);
+
+/// Parse an Rle representing `expected_length` pixels from `buf`.
+[[nodiscard]] img::Rle parse_rle(img::UnpackBuffer& buf, std::int64_t expected_length);
+
+/// Composite an Rle whose sequence is the row-major scan of `rect`.
+/// Only non-blank pixels are composited (one over op each).
+void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle& rle,
+                        bool incoming_in_front, Counters& counters);
+
+/// Composite an Rle whose sequence is the interleaved progression `range`.
+void composite_rle_strided(img::Image& image, const img::InterleavedRange& range,
+                           const img::Rle& rle, bool incoming_in_front, Counters& counters);
+
+// ---- scanline-span codec (future-work encoding; see image/spans.hpp) -----
+
+/// Span-encode the pixels of `rect`; counts rect.area() encoded pixels and
+/// one "code" per row plus two per span (matching its 2-byte units so the
+/// cost model's R_code term stays comparable with the RLE methods).
+[[nodiscard]] img::SpanImage encode_spans(const img::Image& image, const img::Rect& rect,
+                                          Counters& counters);
+
+/// Append a SpanImage (rows, spans, pixels — rect is shipped separately).
+void pack_spans(const img::SpanImage& spans, img::PackBuffer& buf);
+
+/// Parse a SpanImage for the known `rect` from `buf`.
+[[nodiscard]] img::SpanImage parse_spans(img::UnpackBuffer& buf, const img::Rect& rect);
+
+/// Composite the span pixels into `image` (over ops = non-blank count).
+void composite_spans(img::Image& image, const img::SpanImage& spans,
+                     bool incoming_in_front, Counters& counters);
+
+}  // namespace slspvr::core::wire

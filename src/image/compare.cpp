@@ -1,0 +1,50 @@
+#include "image/compare.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slspvr::img {
+
+namespace {
+void check_same_size(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image comparison: size mismatch");
+  }
+}
+}  // namespace
+
+float max_abs_diff(const Image& a, const Image& b) {
+  check_same_size(a, b);
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+    const Pixel& pa = a.at_index(i);
+    const Pixel& pb = b.at_index(i);
+    worst = std::max({worst, std::fabs(pa.r - pb.r), std::fabs(pa.g - pb.g),
+                      std::fabs(pa.b - pb.b), std::fabs(pa.a - pb.a)});
+  }
+  return worst;
+}
+
+std::int64_t count_diff_pixels(const Image& a, const Image& b, float tolerance) {
+  check_same_size(a, b);
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+    if (std::fabs(a.at_index(i).a - b.at_index(i).a) > tolerance) ++count;
+  }
+  return count;
+}
+
+double psnr_gray(const Image& a, const Image& b) {
+  check_same_size(a, b);
+  double mse = 0.0;
+  for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+    const double da = to_gray8(a.at_index(i));
+    const double db = to_gray8(b.at_index(i));
+    mse += (da - db) * (da - db);
+  }
+  mse /= static_cast<double>(a.pixel_count());
+  if (mse <= 0.0) return 999.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace slspvr::img

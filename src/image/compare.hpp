@@ -1,0 +1,21 @@
+// Image comparison utilities used by tests, examples and tools.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace slspvr::img {
+
+/// Maximum absolute per-channel difference between two same-sized images.
+[[nodiscard]] float max_abs_diff(const Image& a, const Image& b);
+
+/// Number of pixels whose opacity differs by more than `tolerance`.
+[[nodiscard]] std::int64_t count_diff_pixels(const Image& a, const Image& b,
+                                             float tolerance = 1e-4f);
+
+/// Peak signal-to-noise ratio over the gray channel (dB; +inf for equal
+/// images, returned as a large finite sentinel 999.0).
+[[nodiscard]] double psnr_gray(const Image& a, const Image& b);
+
+}  // namespace slspvr::img

@@ -1,0 +1,54 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+
+namespace slspvr::img {
+
+Rect bounding_rect_of(const Image& image, const Rect& region, std::int64_t* scanned) {
+  const Rect clipped = intersect(region, image.bounds());
+  int min_x = clipped.x1, min_y = clipped.y1;
+  int max_x = clipped.x0 - 1, max_y = clipped.y0 - 1;
+  std::int64_t examined = 0;
+  for (int y = clipped.y0; y < clipped.y1; ++y) {
+    for (int x = clipped.x0; x < clipped.x1; ++x) {
+      ++examined;
+      if (!is_blank(image.at(x, y))) {
+        min_x = std::min(min_x, x);
+        min_y = std::min(min_y, y);
+        max_x = std::max(max_x, x);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (scanned != nullptr) *scanned += examined;
+  if (max_x < min_x || max_y < min_y) return kEmptyRect;
+  return Rect{min_x, min_y, max_x + 1, max_y + 1};
+}
+
+std::int64_t count_non_blank(const Image& image, const Rect& region) {
+  const Rect clipped = intersect(region, image.bounds());
+  std::int64_t count = 0;
+  for (int y = clipped.y0; y < clipped.y1; ++y) {
+    for (int x = clipped.x0; x < clipped.x1; ++x) {
+      if (!is_blank(image.at(x, y))) ++count;
+    }
+  }
+  return count;
+}
+
+std::int64_t composite_region(Image& local, const Image& incoming, const Rect& region,
+                              bool incoming_in_front) {
+  const Rect clipped = intersect(region, local.bounds());
+  std::int64_t ops = 0;
+  for (int y = clipped.y0; y < clipped.y1; ++y) {
+    for (int x = clipped.x0; x < clipped.x1; ++x) {
+      const Pixel& in = incoming.at(x, y);
+      Pixel& out = local.at(x, y);
+      out = incoming_in_front ? over(in, out) : over(out, in);
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+}  // namespace slspvr::img

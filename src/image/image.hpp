@@ -1,0 +1,85 @@
+// 2D pixel image with row-major storage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "image/pixel.hpp"
+#include "image/rect.hpp"
+
+namespace slspvr::img {
+
+/// Row-major image of 16-byte pixels. Every PE holds a full-frame buffer but
+/// only the region it owns during a given compositing stage is meaningful.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(check_dims(width, height))) {}
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::int64_t pixel_count() const noexcept {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+  [[nodiscard]] Rect bounds() const noexcept { return Rect{0, 0, width_, height_}; }
+
+  [[nodiscard]] Pixel& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(index(x, y))];
+  }
+  [[nodiscard]] const Pixel& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(index(x, y))];
+  }
+
+  /// Row-major linear index; used by the interleaved (BSLC) distribution.
+  [[nodiscard]] std::int64_t index(int x, int y) const noexcept {
+    return static_cast<std::int64_t>(y) * width_ + x;
+  }
+  [[nodiscard]] Pixel& at_index(std::int64_t i) { return pixels_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Pixel& at_index(std::int64_t i) const {
+    return pixels_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<Pixel> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const Pixel> pixels() const noexcept { return pixels_; }
+
+  void fill(const Pixel& p) { std::fill(pixels_.begin(), pixels_.end(), p); }
+  void clear() { fill(Pixel{}); }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  static std::int64_t check_dims(int width, int height) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("Image: negative dimensions " + std::to_string(width) +
+                                  "x" + std::to_string(height));
+    }
+    return static_cast<std::int64_t>(width) * height;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+/// Scan a region for the tight bounding rectangle of non-blank pixels
+/// (Sec. 3.2: O(A) scan in the first compositing stage). Returns kEmptyRect
+/// when every pixel in `region` is blank. `scanned` (optional) receives the
+/// number of pixels examined, feeding the T_bound term of Eq. (3)/(7).
+[[nodiscard]] Rect bounding_rect_of(const Image& image, const Rect& region,
+                                    std::int64_t* scanned = nullptr);
+
+/// Count non-blank pixels in a region (test/metric helper).
+[[nodiscard]] std::int64_t count_non_blank(const Image& image, const Rect& region);
+
+/// Composite `incoming` over/under `local` pixel-by-pixel inside `region`,
+/// storing into `local`. When `incoming_in_front`, result = incoming OVER
+/// local, else local OVER incoming. Returns the number of over operations.
+std::int64_t composite_region(Image& local, const Image& incoming, const Rect& region,
+                              bool incoming_in_front);
+
+}  // namespace slspvr::img

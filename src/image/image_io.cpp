@@ -1,0 +1,75 @@
+#include "image/image_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace slspvr::img {
+
+namespace {
+std::ofstream open_binary(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+std::uint8_t clamp255(float v) {
+  const float scaled = v * 255.0f;
+  if (scaled <= 0.0f) return 0;
+  if (scaled >= 255.0f) return 255;
+  return static_cast<std::uint8_t>(scaled + 0.5f);
+}
+}  // namespace
+
+void write_pgm(const Image& image, const std::string& path) {
+  auto out = open_binary(path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(image.width()));
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) row[static_cast<std::size_t>(x)] = to_gray8(image.at(x, y));
+    out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (!in || magic != "P5" || width <= 0 || height <= 0 || maxval != 255) {
+    throw std::runtime_error("not an 8-bit binary PGM: " + path);
+  }
+  in.get();  // single whitespace after the header
+  Image image(width, height);
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("truncated PGM: " + path);
+    for (int x = 0; x < width; ++x) {
+      const float v = static_cast<float>(row[static_cast<std::size_t>(x)]) / 255.0f;
+      if (v > 0.0f) image.at(x, y) = Pixel{v, v, v, 1.0f};
+    }
+  }
+  return image;
+}
+
+void write_ppm(const Image& image, const std::string& path) {
+  auto out = open_binary(path);
+  out << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(image.width()) * 3);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const Pixel& p = image.at(x, y);
+      row[static_cast<std::size_t>(3 * x) + 0] = clamp255(p.r);
+      row[static_cast<std::size_t>(3 * x) + 1] = clamp255(p.g);
+      row[static_cast<std::size_t>(3 * x) + 2] = clamp255(p.b);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace slspvr::img

@@ -1,0 +1,22 @@
+// Minimal PGM/PPM writers for inspecting rendered/composited images
+// (Figure 7 of the paper shows the four test sample renders).
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace slspvr::img {
+
+/// Write an 8-bit binary PGM (gray levels via to_gray8). Throws on IO error.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Write an 8-bit binary PPM (r, g, b channels clamped to [0,255]).
+void write_ppm(const Image& image, const std::string& path);
+
+/// Read a binary PGM (P5) back into an image: gray value v/255 becomes an
+/// opaque pixel (r=g=b=v/255, a=1), 0 stays blank. Intended for round-trip
+/// checks and for feeding externally produced mattes into the pipeline.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+}  // namespace slspvr::img

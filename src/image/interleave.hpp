@@ -1,0 +1,43 @@
+// Interleaved array distribution (Figure 6) for the BSLC method.
+//
+// Instead of halving a contiguous screen region, BSLC halves an *interleaved*
+// set of pixels each stage so every PE keeps/sends an evenly spread sample of
+// the image — Molnar's static load-balancing fix for uneven non-blank pixel
+// distributions. The owned set is always an arithmetic progression over the
+// row-major pixel index: {offset, offset+stride, ...}, `count` elements.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace slspvr::img {
+
+struct InterleavedRange {
+  std::int64_t offset = 0;
+  std::int64_t stride = 1;
+  std::int64_t count = 0;
+
+  friend bool operator==(const InterleavedRange&, const InterleavedRange&) = default;
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return count <= 0; }
+
+  /// Linear pixel index of the i-th element of the progression.
+  [[nodiscard]] constexpr std::int64_t index(std::int64_t i) const noexcept {
+    return offset + i * stride;
+  }
+
+  /// Split into even and odd elements: doubling the stride halves the set
+  /// while keeping it evenly interleaved across the image (Figure 6).
+  [[nodiscard]] constexpr std::array<InterleavedRange, 2> split() const noexcept {
+    const InterleavedRange even{offset, stride * 2, (count + 1) / 2};
+    const InterleavedRange odd{offset + stride, stride * 2, count / 2};
+    return {even, odd};
+  }
+
+  /// Full-image progression: all `pixel_count` pixels with stride 1.
+  [[nodiscard]] static constexpr InterleavedRange whole(std::int64_t pixel_count) noexcept {
+    return InterleavedRange{0, 1, pixel_count};
+  }
+};
+
+}  // namespace slspvr::img

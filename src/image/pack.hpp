@@ -1,0 +1,86 @@
+// Byte-buffer packing/unpacking for building send buffers.
+//
+// The BSBR/BSLC/BSBRC methods assemble heterogeneous send buffers (bounding
+// rectangle info, run-length codes, packed pixels — Sec. 3.4 lines 9-12).
+// PackBuffer/UnpackBuffer give a typed, bounds-checked view of that process.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace slspvr::img {
+
+/// Sequential writer of trivially-copyable values into a byte buffer.
+class PackBuffer {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    append(&value, sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_span(std::span<const T> values) {
+    append(values.data(), values.size_bytes());
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  void clear() noexcept { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+ private:
+  void append(const void* src, std::size_t n) {
+    const auto old = data_.size();
+    data_.resize(old + n);
+    std::memcpy(data_.data() + old, src, n);
+  }
+
+  std::vector<std::byte> data_;
+};
+
+/// Sequential, bounds-checked reader over a received byte buffer.
+class UnpackBuffer {
+ public:
+  explicit UnpackBuffer(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get() {
+    T value;
+    read(&value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> get_vector(std::size_t count) {
+    std::vector<T> values(count);
+    read(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  void read(void* dst, std::size_t n) {
+    if (n > remaining()) {
+      throw std::out_of_range("UnpackBuffer: short read (want " + std::to_string(n) +
+                              ", have " + std::to_string(remaining()) + ")");
+    }
+    std::memcpy(dst, data_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace slspvr::img

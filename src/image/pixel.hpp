@@ -1,0 +1,47 @@
+// Pixel type and the "over" compositing operator.
+//
+// The paper represents each pixel by 16 bytes of intensity + opacity; we use
+// four floats (premultiplied r, g, b and opacity a), which is exactly 16
+// bytes and subsumes the 8-bit gray-level images of the evaluation
+// (r == g == b). A pixel is *blank* when its opacity is zero — that is the
+// background/foreground predicate the BSLC/BSBRC run-length encoder keys on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace slspvr::img {
+
+/// 16-byte pixel: premultiplied colour + opacity.
+struct Pixel {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+  float a = 0.0f;
+
+  friend bool operator==(const Pixel&, const Pixel&) = default;
+};
+
+static_assert(sizeof(Pixel) == 16, "paper assumes 16-byte pixels (Eq. 2)");
+
+/// Background/foreground predicate (Sec. 3.3): blank iff fully transparent.
+[[nodiscard]] constexpr bool is_blank(const Pixel& p) noexcept { return p.a == 0.0f; }
+
+/// Porter–Duff "over" for premultiplied pixels: `front` over `back`.
+/// This is the compositing operator of sort-last volume rendering; it is
+/// associative (which binary-swap exploits) but not commutative (which is
+/// why depth order must be respected).
+[[nodiscard]] constexpr Pixel over(const Pixel& front, const Pixel& back) noexcept {
+  const float t = 1.0f - front.a;
+  return Pixel{front.r + t * back.r, front.g + t * back.g, front.b + t * back.b,
+               front.a + t * back.a};
+}
+
+/// Convert to an 8-bit gray level (the paper renders 8-bit gray images).
+[[nodiscard]] inline std::uint8_t to_gray8(const Pixel& p) noexcept {
+  const float luma = 0.299f * p.r + 0.587f * p.g + 0.114f * p.b;
+  const float clamped = luma < 0.0f ? 0.0f : (luma > 1.0f ? 1.0f : luma);
+  return static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
+}
+
+}  // namespace slspvr::img

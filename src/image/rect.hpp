@@ -1,0 +1,96 @@
+// Axis-aligned integer rectangles on the image plane.
+//
+// Bounding rectangles are the core data structure of the BSBR/BSBRC methods
+// (Sec. 3.2): four short integers describing the upper-left and lower-right
+// corners. We use half-open coordinates [x0, x1) x [y0, y1) internally and
+// serialise to the paper's 8-byte wire format (4 x int16).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace slspvr::img {
+
+struct Rect {
+  // Half-open extents; an empty rectangle has x0 >= x1 or y0 >= y1.
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return x0 >= x1 || y0 >= y1; }
+  [[nodiscard]] constexpr int width() const noexcept { return empty() ? 0 : x1 - x0; }
+  [[nodiscard]] constexpr int height() const noexcept { return empty() ? 0 : y1 - y0; }
+  [[nodiscard]] constexpr std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+  [[nodiscard]] constexpr bool contains(int x, int y) const noexcept {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& other) const noexcept {
+    return other.empty() ||
+           (other.x0 >= x0 && other.x1 <= x1 && other.y0 >= y0 && other.y1 <= y1);
+  }
+};
+
+/// Canonical empty rectangle (all zeros).
+inline constexpr Rect kEmptyRect{};
+
+/// Intersection; returns an empty rect when disjoint.
+[[nodiscard]] constexpr Rect intersect(const Rect& a, const Rect& b) noexcept {
+  if (a.empty() || b.empty()) return kEmptyRect;
+  const Rect r{std::max(a.x0, b.x0), std::max(a.y0, b.y0), std::min(a.x1, b.x1),
+               std::min(a.y1, b.y1)};
+  return r.empty() ? kEmptyRect : r;
+}
+
+/// Smallest rectangle covering both (the "combine" of BSBRC line 21).
+[[nodiscard]] constexpr Rect bounding_union(const Rect& a, const Rect& b) noexcept {
+  if (a.empty()) return b.empty() ? kEmptyRect : b;
+  if (b.empty()) return a;
+  return Rect{std::min(a.x0, b.x0), std::min(a.y0, b.y0), std::max(a.x1, b.x1),
+              std::max(a.y1, b.y1)};
+}
+
+/// Split along the longer side at the centerline (Sec. 3.4, algorithm line
+/// 6). Returns {low half, high half}; for odd sizes the low half gets the
+/// extra row/column.
+[[nodiscard]] constexpr std::array<Rect, 2> split_centerline(const Rect& r) noexcept {
+  if (r.width() >= r.height()) {
+    const int mid = r.x0 + (r.width() + 1) / 2;
+    return {Rect{r.x0, r.y0, mid, r.y1}, Rect{mid, r.y0, r.x1, r.y1}};
+  }
+  const int mid = r.y0 + (r.height() + 1) / 2;
+  return {Rect{r.x0, r.y0, r.x1, mid}, Rect{r.x0, mid, r.x1, r.y1}};
+}
+
+/// Paper wire format: 4 short integers, 8 bytes (Eq. 4 / Eq. 8).
+struct WireRect {
+  std::int16_t x0 = 0;
+  std::int16_t y0 = 0;
+  std::int16_t x1 = 0;
+  std::int16_t y1 = 0;
+};
+static_assert(sizeof(WireRect) == 8, "bounding rectangle costs 8 bytes on the wire");
+
+[[nodiscard]] inline WireRect to_wire(const Rect& r) {
+  constexpr int kMax = 32767;
+  if (r.x0 < -32768 || r.y0 < -32768 || r.x1 > kMax || r.y1 > kMax) {
+    throw std::out_of_range("Rect does not fit the 4x int16 wire format: [" +
+                            std::to_string(r.x0) + "," + std::to_string(r.y0) + "," +
+                            std::to_string(r.x1) + "," + std::to_string(r.y1) + "]");
+  }
+  return WireRect{static_cast<std::int16_t>(r.x0), static_cast<std::int16_t>(r.y0),
+                  static_cast<std::int16_t>(r.x1), static_cast<std::int16_t>(r.y1)};
+}
+
+[[nodiscard]] constexpr Rect from_wire(const WireRect& w) noexcept {
+  return Rect{w.x0, w.y0, w.x1, w.y1};
+}
+
+}  // namespace slspvr::img

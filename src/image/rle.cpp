@@ -1,0 +1,18 @@
+#include "image/rle.hpp"
+
+namespace slspvr::img {
+
+bool rle_valid(const Rle& rle) {
+  std::int64_t total = 0;
+  std::int64_t foreground = 0;
+  bool blank = true;
+  for (const std::uint16_t code : rle.codes) {
+    total += code;
+    if (!blank) foreground += code;
+    blank = !blank;
+  }
+  return total == rle.length &&
+         foreground == static_cast<std::int64_t>(rle.pixels.size());
+}
+
+}  // namespace slspvr::img

@@ -1,0 +1,77 @@
+#include "image/spans.hpp"
+
+namespace slspvr::img {
+
+SpanImage span_encode_rect(const Image& image, const Rect& rect, std::int64_t* scanned) {
+  SpanImage out;
+  out.rect = rect;
+  if (rect.empty()) return out;
+  out.row_counts.reserve(static_cast<std::size_t>(rect.height()));
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    std::uint16_t count = 0;
+    int x = rect.x0;
+    while (x < rect.x1) {
+      // Skip blanks.
+      while (x < rect.x1 && is_blank(image.at(x, y))) ++x;
+      if (x >= rect.x1) break;
+      const int start = x;
+      while (x < rect.x1 && !is_blank(image.at(x, y))) {
+        out.pixels.push_back(image.at(x, y));
+        ++x;
+      }
+      out.spans.push_back(Span{static_cast<std::uint16_t>(start - rect.x0),
+                               static_cast<std::uint16_t>(x - start)});
+      ++count;
+    }
+    out.row_counts.push_back(count);
+  }
+  if (scanned != nullptr) *scanned += rect.area();
+  return out;
+}
+
+std::int64_t span_composite(Image& image, const SpanImage& spans, bool incoming_in_front) {
+  std::int64_t ops = 0;
+  std::size_t span_index = 0;
+  std::size_t pixel_index = 0;
+  for (std::size_t row = 0; row < spans.row_counts.size(); ++row) {
+    const int y = spans.rect.y0 + static_cast<int>(row);
+    for (std::uint16_t s = 0; s < spans.row_counts[row]; ++s) {
+      const Span& span = spans.spans[span_index++];
+      for (std::uint16_t i = 0; i < span.len; ++i) {
+        const int x = spans.rect.x0 + span.x + i;
+        const Pixel& in = spans.pixels[pixel_index++];
+        Pixel& local = image.at(x, y);
+        local = incoming_in_front ? over(in, local) : over(local, in);
+        ++ops;
+      }
+    }
+  }
+  return ops;
+}
+
+bool span_valid(const SpanImage& spans) {
+  if (spans.rect.empty()) {
+    return spans.row_counts.empty() && spans.spans.empty() && spans.pixels.empty();
+  }
+  if (static_cast<int>(spans.row_counts.size()) != spans.rect.height()) return false;
+  std::size_t total_spans = 0;
+  for (const auto c : spans.row_counts) total_spans += c;
+  if (total_spans != spans.spans.size()) return false;
+
+  std::size_t span_index = 0;
+  std::int64_t total_pixels = 0;
+  for (const auto count : spans.row_counts) {
+    int cursor = -1;
+    for (std::uint16_t s = 0; s < count; ++s) {
+      const Span& span = spans.spans[span_index++];
+      if (span.len == 0) return false;
+      if (static_cast<int>(span.x) <= cursor) return false;  // sorted, gap >= 1
+      if (span.x + span.len > spans.rect.width()) return false;
+      cursor = span.x + span.len;  // next span must start beyond (a blank gap)
+      total_pixels += span.len;
+    }
+  }
+  return total_pixels == static_cast<std::int64_t>(spans.pixels.size());
+}
+
+}  // namespace slspvr::img

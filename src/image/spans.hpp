@@ -1,0 +1,61 @@
+// Scanline-span encoding — an alternative sparse-pixel codec implementing
+// the paper's future-work direction "study more efficient encoding schemes".
+//
+// Where the background/foreground RLE (Fig. 5) writes one 2-byte count per
+// run boundary across the whole scan, the span codec describes each row of
+// the bounding rectangle independently: a 2-byte span count, then per span
+// a 2-byte x-offset and 2-byte length, with the non-blank pixel payload
+// appended in order. Entirely blank rows cost 2 bytes; the receiver can
+// composite span-by-span with no per-pixel position bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/rect.hpp"
+
+namespace slspvr::img {
+
+/// One horizontal run of non-blank pixels within a row.
+struct Span {
+  std::uint16_t x = 0;    ///< offset from the rectangle's left edge
+  std::uint16_t len = 0;  ///< number of pixels
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Span encoding of one rectangle's non-blank pixels.
+struct SpanImage {
+  Rect rect;                             ///< the encoded rectangle
+  std::vector<std::uint16_t> row_counts; ///< spans per row (rect.height() entries)
+  std::vector<Span> spans;               ///< all spans, row-major
+  std::vector<Pixel> pixels;             ///< non-blank pixels, span order
+
+  /// Wire bytes: 2 per row + 4 per span + 16 per pixel (rect header not
+  /// included — methods already ship the 8-byte rectangle).
+  [[nodiscard]] std::int64_t wire_bytes() const noexcept {
+    return 2 * static_cast<std::int64_t>(row_counts.size()) +
+           4 * static_cast<std::int64_t>(spans.size()) +
+           16 * static_cast<std::int64_t>(pixels.size());
+  }
+
+  [[nodiscard]] std::int64_t non_blank_count() const noexcept {
+    return static_cast<std::int64_t>(pixels.size());
+  }
+};
+
+/// Encode the non-blank pixels of `rect` (must fit uint16 offsets).
+/// `scanned` (optional) accrues the pixels iterated, for the T_encode term.
+[[nodiscard]] SpanImage span_encode_rect(const Image& image, const Rect& rect,
+                                         std::int64_t* scanned = nullptr);
+
+/// Composite a SpanImage into `image`: only the span pixels are touched.
+/// Returns the number of over operations.
+std::int64_t span_composite(Image& image, const SpanImage& spans, bool incoming_in_front);
+
+/// Structural validation (row counts match span list, spans within rect,
+/// pixels match span lengths, spans sorted and non-overlapping per row).
+[[nodiscard]] bool span_valid(const SpanImage& spans);
+
+}  // namespace slspvr::img

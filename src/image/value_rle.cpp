@@ -1,0 +1,78 @@
+#include "image/value_rle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace slspvr::img {
+
+std::vector<ValueRun> value_rle_encode(std::span<const Pixel> pixels) {
+  std::vector<ValueRun> runs;
+  for (const Pixel& p : pixels) {
+    if (!runs.empty() && runs.back().value == p &&
+        runs.back().count < std::numeric_limits<std::uint32_t>::max()) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(ValueRun{p, 1});
+    }
+  }
+  return runs;
+}
+
+void value_rle_decode(std::span<const ValueRun> runs, std::span<Pixel> out) {
+  std::size_t pos = 0;
+  for (const ValueRun& run : runs) {
+    if (pos + run.count > out.size()) {
+      throw std::out_of_range("value_rle_decode: runs exceed output length");
+    }
+    for (std::uint32_t i = 0; i < run.count; ++i) out[pos++] = run.value;
+  }
+  if (pos != out.size()) {
+    throw std::invalid_argument("value_rle_decode: runs shorter than output length");
+  }
+}
+
+std::int64_t value_rle_length(std::span<const ValueRun> runs) {
+  std::int64_t total = 0;
+  for (const ValueRun& run : runs) total += run.count;
+  return total;
+}
+
+namespace {
+void append_merged(std::vector<ValueRun>& out, const Pixel& value, std::uint32_t count) {
+  if (!out.empty() && out.back().value == value &&
+      std::numeric_limits<std::uint32_t>::max() - out.back().count >= count) {
+    out.back().count += count;
+  } else {
+    out.push_back(ValueRun{value, count});
+  }
+}
+}  // namespace
+
+std::vector<ValueRun> value_rle_composite(std::span<const ValueRun> front,
+                                          std::span<const ValueRun> back,
+                                          std::int64_t* over_ops) {
+  if (value_rle_length(front) != value_rle_length(back)) {
+    throw std::invalid_argument("value_rle_composite: sequences differ in length");
+  }
+  std::vector<ValueRun> out;
+  std::size_t fi = 0, bi = 0;
+  std::uint32_t f_left = front.empty() ? 0 : front[0].count;
+  std::uint32_t b_left = back.empty() ? 0 : back[0].count;
+  std::int64_t ops = 0;
+  while (fi < front.size() && bi < back.size()) {
+    const std::uint32_t n = std::min(f_left, b_left);
+    // One over op composites the whole aligned stretch: this is the O(1)
+    // best case the paper quotes for compositing compressed images.
+    append_merged(out, over(front[fi].value, back[bi].value), n);
+    ++ops;
+    f_left -= n;
+    b_left -= n;
+    if (f_left == 0 && ++fi < front.size()) f_left = front[fi].count;
+    if (b_left == 0 && ++bi < back.size()) b_left = back[bi].count;
+  }
+  if (over_ops != nullptr) *over_ops += ops;
+  return out;
+}
+
+}  // namespace slspvr::img

@@ -1,0 +1,50 @@
+// Value-based run-length encoding (Ahrens & Painter, Sec. 2).
+//
+// Runs of *identical pixel values* with a count field. The paper argues this
+// works well for surface/polygon rendering (integer pixels, large constant
+// regions) but degenerates for volume rendering (float pixels, neighbours
+// rarely equal) — we implement it both as the related-work binary-tree
+// compositor's encoding and as an ablation subject that measures that claim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/pixel.hpp"
+
+namespace slspvr::img {
+
+/// One run: a pixel value repeated `count` times. 20 bytes on the wire.
+struct ValueRun {
+  Pixel value;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const ValueRun&, const ValueRun&) = default;
+};
+static_assert(sizeof(ValueRun) == 20, "value run = 16-byte pixel + 4-byte count");
+
+/// Encode a pixel sequence into maximal runs of equal values.
+[[nodiscard]] std::vector<ValueRun> value_rle_encode(std::span<const Pixel> pixels);
+
+/// Decode runs back into `out`; throws if lengths mismatch.
+void value_rle_decode(std::span<const ValueRun> runs, std::span<Pixel> out);
+
+/// Total pixels represented by a run list.
+[[nodiscard]] std::int64_t value_rle_length(std::span<const ValueRun> runs);
+
+/// Wire size in bytes.
+[[nodiscard]] inline std::int64_t value_rle_wire_bytes(std::span<const ValueRun> runs) {
+  return static_cast<std::int64_t>(runs.size()) * 20;
+}
+
+/// Composite two run lists directly in the compressed domain (the
+/// Ahrens–Painter merge described in Sec. 2): walk both lists, composite
+/// min(count) pixels at a time, and re-merge equal adjacent outputs.
+/// `front` and `back` must represent equal-length sequences.
+/// `over_ops` (optional) accumulates the number of over operations.
+[[nodiscard]] std::vector<ValueRun> value_rle_composite(std::span<const ValueRun> front,
+                                                        std::span<const ValueRun> back,
+                                                        std::int64_t* over_ops = nullptr);
+
+}  // namespace slspvr::img

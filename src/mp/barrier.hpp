@@ -1,0 +1,42 @@
+// Reusable cyclic barrier for the PE threads (MPI_Barrier equivalent).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace slspvr::mp {
+
+/// Classic generation-counting cyclic barrier. Safe for repeated use by a
+/// fixed set of `parties` threads.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties), waiting_(0) {}
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Block until all parties have arrived.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t waiting_;
+  std::uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,100 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+
+namespace slspvr::mp {
+
+namespace {
+constexpr int kBarrierTag = -1002;  // reserved internal tag
+}
+
+void Comm::send(int dest, int tag, std::span<const std::byte> data) {
+  check_rank(dest, "send");
+  const int real_dest = real(dest);
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  ctx_->trace.record_send(rank_, real_dest, tag, data.size());
+  ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv(int source, int tag) {
+  return recv_message(source, tag).payload;
+}
+
+Message Comm::recv_message(int source, int tag) {
+  if (source != kAnySource) check_rank(source, "recv");
+  const int match_source = source == kAnySource ? kAnySource : real(source);
+  Message msg = ctx_->mailboxes[static_cast<std::size_t>(rank_)].match(match_source, tag);
+  ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size());
+  // Report the sender in (sub)communicator coordinates when possible.
+  const int v = virt(msg.source);
+  if (v >= 0) msg.source = v;
+  return msg;
+}
+
+std::vector<std::byte> Comm::sendrecv(int peer, int tag, std::span<const std::byte> data) {
+  send(peer, tag, data);
+  return recv(peer, tag);
+}
+
+void Comm::barrier() {
+  if (group_.empty()) {
+    ctx_->barrier.arrive_and_wait();
+    return;
+  }
+  // Dissemination barrier over point-to-point messages: after round i every
+  // rank has (transitively) heard from 2^(i+1) predecessors.
+  const int n = size();
+  for (int k = 1; k < n; k <<= 1) {
+    send((my_virtual_ + k) % n, kBarrierTag, {});
+    (void)recv(((my_virtual_ - k) % n + n) % n, kBarrierTag);
+  }
+}
+
+Comm Comm::subgroup(std::vector<int> members) const {
+  if (!group_.empty()) {
+    // Nested subgroups: translate member ids (given in this comm's ranks)
+    // back to world ranks.
+    for (int& m : members) m = real(m);
+  }
+  Comm sub(ctx_, rank_);
+  sub.group_ = std::move(members);
+  sub.my_virtual_ = sub.virt(rank_);
+  if (sub.my_virtual_ < 0) {
+    throw std::invalid_argument("Comm::subgroup: calling rank is not a member");
+  }
+  return sub;
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(int root, std::span<const std::byte> data) {
+  check_rank(root, "gather");
+  constexpr int kGatherTag = -1000;  // reserved internal tag
+  if (rank() == root) {
+    std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank())].assign(data.begin(), data.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv(r, kGatherTag);
+    }
+    return out;
+  }
+  send(root, kGatherTag, data);
+  return {};
+}
+
+std::vector<std::byte> Comm::broadcast(int root, std::span<const std::byte> data) {
+  check_rank(root, "broadcast");
+  constexpr int kBcastTag = -1001;  // reserved internal tag
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(r, kBcastTag, data);
+    }
+    return {data.begin(), data.end()};
+  }
+  return recv(root, kBcastTag);
+}
+
+}  // namespace slspvr::mp

@@ -1,0 +1,154 @@
+// Communicator: the MPI-like API each PE thread programs against.
+//
+// This is the substrate substitution for the paper's "C language with an MPI
+// message passing library" on the SP2: blocking point-to-point send/recv with
+// (source, tag) matching, sendrecv, barrier, broadcast and gather — the
+// complete set of operations the compositing algorithms use.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mp/barrier.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+#include "mp/trace.hpp"
+
+namespace slspvr::mp {
+
+/// Shared state behind all ranks of one run (owned by the Runtime).
+struct CommContext {
+  explicit CommContext(int ranks)
+      : mailboxes(ranks), barrier(static_cast<std::size_t>(ranks)), trace(ranks) {}
+
+  std::vector<Mailbox> mailboxes;
+  CyclicBarrier barrier;
+  TrafficTrace trace;
+};
+
+/// Per-rank handle onto the shared context. Cheap to copy within a rank's
+/// thread; must not be shared across threads.
+class Comm {
+ public:
+  Comm(CommContext* ctx, int rank) : ctx_(ctx), rank_(rank), my_virtual_(rank) {}
+
+  /// This rank's id within the (sub)communicator.
+  [[nodiscard]] int rank() const noexcept { return my_virtual_; }
+  [[nodiscard]] int size() const noexcept {
+    return group_.empty() ? static_cast<int>(ctx_->mailboxes.size())
+                          : static_cast<int>(group_.size());
+  }
+
+  /// Restrict to a subgroup (MPI_Comm_split-lite): `members` lists the world
+  /// ranks of the subgroup, identically ordered on every member; the calling
+  /// rank must be in the list. Ranks in the returned Comm are positions in
+  /// `members`; barrier/gather/broadcast operate within the subgroup.
+  [[nodiscard]] Comm subgroup(std::vector<int> members) const;
+
+  /// Mark the algorithm stage for traffic accounting (compositing stage k).
+  void set_stage(int stage) { ctx_->trace.set_stage(rank_, stage); }
+
+  /// Blocking (buffered) send of raw bytes.
+  void send(int dest, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive; returns the payload of the first message matching
+  /// (source, tag). Source may be kAnySource, tag may be kAnyTag.
+  [[nodiscard]] std::vector<std::byte> recv(int source, int tag);
+
+  /// Receive and report the actual sender (for kAnySource receives).
+  [[nodiscard]] Message recv_message(int source, int tag);
+
+  /// Combined exchange with one peer (send first is safe: sends are eager).
+  [[nodiscard]] std::vector<std::byte> sendrecv(int peer, int tag,
+                                                std::span<const std::byte> data);
+
+  /// Block until all ranks (of this (sub)communicator) arrive. The world
+  /// barrier uses the shared cyclic barrier; subgroup barriers use a
+  /// message-based dissemination barrier over internal tags.
+  void barrier();
+
+  /// Gather every rank's buffer at `root`. Returns size() buffers at root
+  /// (indexed by rank, root's own included), empty elsewhere.
+  [[nodiscard]] std::vector<std::vector<std::byte>> gather(
+      int root, std::span<const std::byte> data);
+
+  /// Broadcast root's buffer to all ranks; returns the buffer on every rank.
+  [[nodiscard]] std::vector<std::byte> broadcast(int root, std::span<const std::byte> data);
+
+  // ---- typed convenience wrappers ----------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, std::as_bytes(std::span(&value, 1)));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T recv_value(int source, int tag) {
+    const auto bytes = recv(source, tag);
+    if (bytes.size() != sizeof(T)) {
+      throw std::runtime_error("recv_value: size mismatch (got " +
+                               std::to_string(bytes.size()) + ", want " +
+                               std::to_string(sizeof(T)) + ")");
+    }
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_vector(int dest, int tag, std::span<const T> values) {
+    send(dest, tag, std::as_bytes(values));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> recv_vector(int source, int tag) {
+    const auto bytes = recv(source, tag);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error("recv_vector: payload not a multiple of element size");
+    }
+    std::vector<T> values(bytes.size() / sizeof(T));
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  /// Access the shared traffic trace (valid to *read* only after the run).
+  [[nodiscard]] const TrafficTrace& trace() const { return ctx_->trace; }
+
+ private:
+  void check_rank(int r, const char* what) const {
+    if (r < 0 || r >= size()) {
+      throw std::out_of_range(std::string(what) + ": rank " + std::to_string(r) +
+                              " out of range [0," + std::to_string(size()) + ")");
+    }
+  }
+
+  /// World rank of a (sub)communicator rank.
+  [[nodiscard]] int real(int virtual_rank) const {
+    return group_.empty() ? virtual_rank
+                          : group_[static_cast<std::size_t>(virtual_rank)];
+  }
+  /// (Sub)communicator rank of a world rank, or -1 when not a member.
+  [[nodiscard]] int virt(int real_rank) const {
+    if (group_.empty()) return real_rank;
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      if (group_[i] == real_rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  CommContext* ctx_;
+  int rank_;              ///< world rank (fixed)
+  int my_virtual_;        ///< rank within the current group
+  std::vector<int> group_;  ///< virtual -> world map; empty = world comm
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,41 @@
+#include "mp/mailbox.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slspvr::mp {
+
+void Mailbox::deposit(Message msg) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::match(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  const std::lock_guard lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+std::size_t Mailbox::pending() const {
+  const std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace slspvr::mp

@@ -1,0 +1,48 @@
+// Per-rank mailbox: an unbounded MPSC queue with MPI-style matching.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "mp/message.hpp"
+
+namespace slspvr::mp {
+
+/// Thread-safe mailbox holding messages destined for one rank.
+///
+/// `deposit` never blocks (eager/buffered send semantics, like MPI eager
+/// protocol for the message sizes this system uses). `match` blocks until a
+/// message matching (source, tag) is available and removes the *first* such
+/// message, preserving per-(source, tag) FIFO order as MPI requires.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue a message. Wakes any waiting receiver.
+  void deposit(Message msg);
+
+  /// Block until a message matching (source, tag) arrives, then return it.
+  /// `source` may be kAnySource and `tag` may be kAnyTag.
+  [[nodiscard]] Message match(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag) const;
+
+  /// Number of queued (undelivered) messages; used by shutdown checks.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace slspvr::mp

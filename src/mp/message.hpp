@@ -1,0 +1,29 @@
+// Message envelope for the in-process message-passing runtime.
+//
+// The runtime stands in for MPI on the IBM SP2 the paper used: every
+// "processor" (PE) is a thread, and messages are byte buffers matched by
+// (source, tag), exactly like MPI point-to-point matching semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slspvr::mp {
+
+/// Wildcard source rank, mirroring MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+
+/// Wildcard tag, mirroring MPI_ANY_TAG.
+inline constexpr int kAnyTag = -1;
+
+/// A single point-to-point message in flight.
+struct Message {
+  int source = -1;                  ///< sending rank
+  int tag = 0;                      ///< user tag, matched on receive
+  std::vector<std::byte> payload;   ///< opaque bytes
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return payload.size(); }
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,38 @@
+#include "mp/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace slspvr::mp {
+
+RunResult Runtime::run(int ranks, const RankFn& fn) {
+  if (ranks <= 0) throw std::invalid_argument("Runtime::run: ranks must be positive");
+
+  auto ctx = std::make_unique<CommContext>(ranks);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(ctx.get(), r);
+      try {
+        fn(comm);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  return RunResult(std::move(ctx));
+}
+
+}  // namespace slspvr::mp

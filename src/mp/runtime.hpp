@@ -1,0 +1,43 @@
+// Runtime: spawns P "processor" threads and runs an SPMD function on each.
+//
+// Runtime::run is the substitute for `mpirun -np P`: it creates the shared
+// communicator context, launches one thread per rank, executes the user
+// function SPMD-style, joins all threads, propagates the first exception,
+// and hands back the traffic trace for cost-model evaluation.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mp/communicator.hpp"
+
+namespace slspvr::mp {
+
+/// Result of one SPMD run: the complete traffic trace, safe to read because
+/// all PE threads have been joined.
+class RunResult {
+ public:
+  explicit RunResult(std::unique_ptr<CommContext> ctx) : ctx_(std::move(ctx)) {}
+
+  [[nodiscard]] const TrafficTrace& trace() const { return ctx_->trace; }
+
+ private:
+  std::unique_ptr<CommContext> ctx_;
+};
+
+/// SPMD entry point type: called once per rank on its own thread.
+using RankFn = std::function<void(Comm&)>;
+
+class Runtime {
+ public:
+  /// Run `fn` on `ranks` threads. Blocks until all ranks finish.
+  ///
+  /// If any rank throws, the remaining ranks are still joined (they may
+  /// deadlock only if they were blocked on the failed rank — to keep the
+  /// semantics simple and deterministic, an exception on any rank is
+  /// considered a test/programming error and is rethrown after join; the
+  /// algorithms in this repo never throw mid-protocol).
+  [[nodiscard]] static RunResult run(int ranks, const RankFn& fn);
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,80 @@
+// Traffic trace: per-rank accounting of every message sent/received.
+//
+// The paper's evaluation is driven by communication volume — Eq. (2)/(4)/
+// (6)/(8) are sums of (T_s + bytes * T_c) over the messages a PE receives,
+// and the M_max metric of Section 4 is the maximum over PEs of total
+// received bytes. The trace records exactly those quantities while the real
+// algorithms run; the cost model in core/ turns them into modelled time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slspvr::mp {
+
+/// One message as seen from one endpoint.
+struct MessageRecord {
+  int peer = -1;          ///< the other rank
+  int tag = 0;            ///< message tag
+  std::uint64_t bytes = 0;///< payload size
+  int stage = 0;          ///< user-defined stage marker (compositing stage k)
+};
+
+/// Per-rank send/receive log. Each rank appends only to its own slot, so no
+/// synchronisation is needed while PEs run; readers must wait for the
+/// runtime to join (Runtime::run returns) before consuming the trace.
+class TrafficTrace {
+ public:
+  explicit TrafficTrace(int ranks) : sent_(ranks), received_(ranks), stage_(ranks, 0) {}
+
+  /// Set the current stage marker for `rank`; subsequent records carry it.
+  void set_stage(int rank, int stage) { stage_[rank] = stage; }
+  [[nodiscard]] int stage(int rank) const { return stage_[rank]; }
+
+  void record_send(int rank, int dest, int tag, std::uint64_t bytes) {
+    sent_[rank].push_back({dest, tag, bytes, stage_[rank]});
+  }
+  void record_receive(int rank, int source, int tag, std::uint64_t bytes) {
+    received_[rank].push_back({source, tag, bytes, stage_[rank]});
+  }
+
+  [[nodiscard]] const std::vector<MessageRecord>& sent(int rank) const { return sent_[rank]; }
+  [[nodiscard]] const std::vector<MessageRecord>& received(int rank) const { return received_[rank]; }
+  [[nodiscard]] int ranks() const { return static_cast<int>(sent_.size()); }
+
+  /// Total bytes received by `rank` across all stages: m_i of Section 4.
+  [[nodiscard]] std::uint64_t received_bytes(int rank) const {
+    std::uint64_t total = 0;
+    for (const auto& r : received_[rank]) total += r.bytes;
+    return total;
+  }
+
+  /// Total bytes sent by `rank`.
+  [[nodiscard]] std::uint64_t sent_bytes(int rank) const {
+    std::uint64_t total = 0;
+    for (const auto& r : sent_[rank]) total += r.bytes;
+    return total;
+  }
+
+  /// The paper's M_max: max over ranks of total received bytes.
+  [[nodiscard]] std::uint64_t max_received_bytes() const {
+    std::uint64_t best = 0;
+    for (int r = 0; r < ranks(); ++r) best = std::max(best, received_bytes(r));
+    return best;
+  }
+
+  void clear() {
+    for (auto& v : sent_) v.clear();
+    for (auto& v : received_) v.clear();
+    for (auto& s : stage_) s = 0;
+  }
+
+ private:
+  std::vector<std::vector<MessageRecord>> sent_;
+  std::vector<std::vector<MessageRecord>> received_;
+  std::vector<int> stage_;
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,29 @@
+// CSV export of experiment results — machine-readable counterpart of the
+// TextTable output, for plotting the regenerated tables/figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pvr/experiment.hpp"
+
+namespace slspvr::pvr {
+
+/// Accumulates MethodResult rows and writes one CSV file. Columns:
+/// dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,
+/// wait_ms,m_max_bytes,wall_ms
+class CsvWriter {
+ public:
+  void add(const std::string& dataset, int image_size, int ranks,
+           const MethodResult& result);
+
+  /// Write all accumulated rows (with header) to `path`; throws on IO error.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+}  // namespace slspvr::pvr

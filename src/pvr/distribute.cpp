@@ -1,0 +1,68 @@
+#include "pvr/distribute.hpp"
+
+#include <chrono>
+
+#include "image/pack.hpp"
+#include "mp/runtime.hpp"
+#include "volume/ghost.hpp"
+
+namespace slspvr::pvr {
+
+namespace {
+constexpr int kBrickTag = 700;
+}
+
+DistributedRender distribute_and_render(const vol::Volume& volume,
+                                        const vol::TransferFunction& tf,
+                                        const std::vector<vol::Brick>& bricks,
+                                        const render::OrthoCamera& camera,
+                                        const render::RaycastOptions& options) {
+  const int ranks = static_cast<int>(bricks.size());
+  DistributedRender result;
+  result.subimages.assign(static_cast<std::size_t>(ranks),
+                          img::Image(camera.width(), camera.height()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const mp::RunResult run = mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    const int rank = comm.rank();
+    comm.set_stage(1);  // partitioning phase traffic
+
+    vol::GhostBrick local;
+    if (rank == 0) {
+      // Rank 0 owns the volume: extract and ship every other PE's brick.
+      for (int dest = 1; dest < ranks; ++dest) {
+        const vol::GhostBrick gb = vol::GhostBrick::extract(
+            volume, bricks[static_cast<std::size_t>(dest)], /*ghost=*/1);
+        img::PackBuffer buf;
+        buf.put(gb.wire_header());
+        buf.put_span(std::span<const std::uint8_t>(gb.data().data()));
+        comm.send(dest, kBrickTag, buf.bytes());
+      }
+      local = vol::GhostBrick::extract(volume, bricks[0], /*ghost=*/1);
+    } else {
+      const auto bytes = comm.recv(0, kBrickTag);
+      img::UnpackBuffer in(bytes);
+      const auto header = in.get<vol::GhostBrick::WireHeader>();
+      const std::size_t voxels = static_cast<std::size_t>(header.nx) *
+                                 static_cast<std::size_t>(header.ny) *
+                                 static_cast<std::size_t>(header.nz);
+      local = vol::GhostBrick::from_wire(header, in.get_vector<std::uint8_t>(voxels));
+    }
+    comm.set_stage(0);
+
+    // Rendering phase: strictly local data.
+    render::render_ghost_brick(local, tf, camera,
+                               result.subimages[static_cast<std::size_t>(rank)], options);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (int r = 0; r < ranks; ++r) {
+    const std::uint64_t bytes = run.trace().received_bytes(r);
+    result.total_partition_bytes += bytes;
+    result.max_partition_bytes = std::max(result.max_partition_bytes, bytes);
+  }
+  return result;
+}
+
+}  // namespace slspvr::pvr

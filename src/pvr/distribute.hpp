@@ -1,0 +1,33 @@
+// The partitioning phase of Figure 1, executed for real over the message-
+// passing runtime: rank 0 owns the volume, extracts each PE's brick with a
+// one-voxel ghost layer and ships it; every PE then renders purely from its
+// local data (render_ghost_brick). This is the distributed-memory data
+// path — no PE other than rank 0 ever touches the full volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "volume/partition.hpp"
+#include "volume/transfer_function.hpp"
+#include "volume/volume.hpp"
+
+namespace slspvr::pvr {
+
+struct DistributedRender {
+  std::vector<img::Image> subimages;      ///< per-rank rendered subimages
+  std::uint64_t total_partition_bytes = 0;  ///< all partitioning-phase traffic
+  std::uint64_t max_partition_bytes = 0;    ///< largest single PE payload
+  double wall_ms = 0.0;
+};
+
+/// Run partitioning + rendering SPMD over `bricks.size()` PEs.
+[[nodiscard]] DistributedRender distribute_and_render(
+    const vol::Volume& volume, const vol::TransferFunction& tf,
+    const std::vector<vol::Brick>& bricks, const render::OrthoCamera& camera,
+    const render::RaycastOptions& options = {});
+
+}  // namespace slspvr::pvr

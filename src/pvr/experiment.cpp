@@ -1,0 +1,157 @@
+#include "pvr/experiment.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/binary_swap.hpp"
+#include "core/binary_tree.hpp"
+#include "core/bsbr.hpp"
+#include "core/bsbrc.hpp"
+#include "core/bsbrs.hpp"
+#include "core/bslc.hpp"
+#include "core/direct_send.hpp"
+#include "core/fold.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/reference.hpp"
+#include "mp/runtime.hpp"
+#include "pvr/distribute.hpp"
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "render/splatting.hpp"
+
+namespace slspvr::pvr {
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : Experiment(vol::make_dataset(config.dataset, config.volume_scale), config) {}
+
+Experiment::Experiment(const vol::Dataset& dataset, const ExperimentConfig& config)
+    : config_(config) {
+  if (config.ranks <= 0) throw std::invalid_argument("Experiment: ranks must be positive");
+
+  const vol::Dims dims = dataset.volume.dims();
+
+  render::OrthoCamera camera(dims, config.image_size, config.image_size, config.rot_x_deg,
+                             config.rot_y_deg);
+  float dir[3];
+  camera.view_dir_array(dir);
+
+  // Partitioning phase.
+  if (vol::is_power_of_two(config.ranks)) {
+    const vol::KdPartition partition =
+        config.balanced_partition
+            ? vol::kd_partition_balanced(dataset.volume, config.ranks, 64)
+            : vol::kd_partition(dims, config.ranks);
+    bricks_ = partition.bricks;
+    order_ = core::make_swap_order(partition, dir);
+    folded_ = false;
+  } else {
+    // Non-power-of-two: depth-ordered slabs along x + the fold extension.
+    bricks_ = vol::slab_partition(dims, config.ranks, /*axis=*/0);
+    order_ = core::make_fold_order(config.ranks, /*axis=*/0, dir);
+    folded_ = true;
+  }
+
+  // Rendering phase. The distributed path executes the partitioning phase
+  // over the message-passing runtime (rank 0 ships ghost bricks, PEs render
+  // local-only); the default renders each brick against the shared volume —
+  // identical images, no partition traffic to account.
+  render::RaycastOptions options;
+  options.step = config.step;
+  if (config.distributed_partitioning && !config.use_splatting) {
+    DistributedRender distributed =
+        distribute_and_render(dataset.volume, dataset.tf, bricks_, camera, options);
+    subimages_ = std::move(distributed.subimages);
+    total_partition_bytes_ = distributed.total_partition_bytes;
+    max_partition_bytes_ = distributed.max_partition_bytes;
+    return;
+  }
+  subimages_.reserve(bricks_.size());
+  for (const vol::Brick& brick : bricks_) {
+    img::Image sub(config.image_size, config.image_size);
+    if (config.use_splatting) {
+      render::splat_brick(dataset.volume, dataset.tf, camera, brick, sub);
+    } else {
+      render::render_brick(dataset.volume, dataset.tf, camera, brick, sub, options);
+    }
+    subimages_.push_back(std::move(sub));
+  }
+}
+
+img::Image Experiment::reference() const {
+  return core::composite_reference(subimages_, order_.front_to_back);
+}
+
+MethodResult run_compositing(const core::Compositor& method,
+                             const std::vector<img::Image>& subimages,
+                             const core::SwapOrder& order, const core::CostModel& model) {
+  const int ranks = static_cast<int>(subimages.size());
+  MethodResult result;
+  result.method = std::string(method.name());
+  result.per_rank.assign(static_cast<std::size_t>(ranks), core::Counters{});
+
+  img::Image final_image;
+  std::mutex final_mutex;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const mp::RunResult run = mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    const int rank = comm.rank();
+    img::Image local = subimages[static_cast<std::size_t>(rank)];  // methods mutate
+    core::Counters& counters = result.per_rank[static_cast<std::size_t>(rank)];
+    const core::Ownership owned = method.composite(comm, local, order, counters);
+    img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
+    if (rank == 0) {
+      const std::lock_guard lock(final_mutex);
+      final_image = std::move(gathered);
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.times = model.critical_path(result.per_rank, run.trace());
+  result.timeline = core::simulate_timeline(result.per_rank, run.trace(), model);
+  result.m_max = core::max_received_message_bytes(run.trace());
+  result.received_bytes_per_rank.resize(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    result.received_bytes_per_rank[static_cast<std::size_t>(r)] =
+        core::received_message_bytes(run.trace(), r);
+  }
+  result.final_image = std::move(final_image);
+  return result;
+}
+
+MethodResult Experiment::run(const core::Compositor& method) const {
+  const core::FoldCompositor folded(method);
+  const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
+                                               : &method;
+  return run_compositing(*compositor, subimages_, order_, config_.cost_model);
+}
+
+std::vector<std::unique_ptr<core::Compositor>> MethodSet::paper_methods() {
+  std::vector<std::unique_ptr<core::Compositor>> methods;
+  methods.push_back(std::make_unique<core::BinarySwapCompositor>());
+  methods.push_back(std::make_unique<core::BsbrCompositor>());
+  methods.push_back(std::make_unique<core::BslcCompositor>());
+  methods.push_back(std::make_unique<core::BsbrcCompositor>());
+  return methods;
+}
+
+std::vector<std::unique_ptr<core::Compositor>> MethodSet::proposed_methods() {
+  std::vector<std::unique_ptr<core::Compositor>> methods;
+  methods.push_back(std::make_unique<core::BsbrCompositor>());
+  methods.push_back(std::make_unique<core::BslcCompositor>());
+  methods.push_back(std::make_unique<core::BsbrcCompositor>());
+  return methods;
+}
+
+std::vector<std::unique_ptr<core::Compositor>> MethodSet::all_methods() {
+  auto methods = paper_methods();
+  methods.push_back(std::make_unique<core::BsbrsCompositor>());
+  methods.push_back(std::make_unique<core::BinaryTreeCompositor>());
+  methods.push_back(std::make_unique<core::DirectSendCompositor>(false));
+  methods.push_back(std::make_unique<core::DirectSendCompositor>(true));
+  methods.push_back(std::make_unique<core::ParallelPipelineCompositor>());
+  return methods;
+}
+
+}  // namespace slspvr::pvr

@@ -1,0 +1,113 @@
+// End-to-end sort-last experiment harness: partitioning phase + rendering
+// phase + compositing phase (Figure 1 of the paper), instrumented the way
+// the evaluation section needs.
+//
+// An Experiment renders the per-PE subimages once; each call to run()
+// executes one compositing method SPMD over those subimages and returns the
+// modelled times (SP2 cost model), M_max, wall-clock, per-rank counters and
+// the gathered final image. Power-of-two rank counts use the kd partition;
+// any other count automatically switches to the slab decomposition and
+// wraps the method in the non-power-of-two fold extension.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compositor.hpp"
+#include "core/cost_model.hpp"
+#include "core/timeline.hpp"
+#include "core/order.hpp"
+#include "volume/datasets.hpp"
+#include "volume/partition.hpp"
+
+namespace slspvr::pvr {
+
+struct ExperimentConfig {
+  vol::DatasetKind dataset = vol::DatasetKind::EngineLow;
+  double volume_scale = 1.0;   ///< 1.0 = the paper's 256^3-class volumes
+  int image_size = 384;        ///< square image (384 or 768 in the paper)
+  int ranks = 4;
+  float rot_x_deg = 18.0f;     ///< default off-axis view (avoids degenerate
+  float rot_y_deg = 24.0f;     ///  all-empty/all-full bounding rectangles)
+  bool balanced_partition = false;  ///< future-work load-balanced kd splits
+  bool use_splatting = false;       ///< future-work splatting renderer
+  /// Execute the partitioning phase over the message-passing runtime: rank 0
+  /// ships each PE its ghost brick and PEs render from purely local data
+  /// (identical images; adds partition-traffic accounting). Ray caster only.
+  bool distributed_partitioning = false;
+  float step = 1.0f;                ///< ray sampling step (voxels)
+  core::CostModel cost_model = core::CostModel::sp2();
+};
+
+struct MethodResult {
+  std::string method;
+  core::ModelTimes times;   ///< critical-path modelled T_comp / T_comm (ms)
+  core::TimelineResult timeline;  ///< staged simulation incl. sync wait
+  std::uint64_t m_max = 0;  ///< paper's maximum received message size (bytes)
+  double wall_ms = 0.0;     ///< wall-clock of the SPMD compositing section
+  img::Image final_image;   ///< gathered at rank 0
+  std::vector<core::Counters> per_rank;
+  std::vector<std::uint64_t> received_bytes_per_rank;  ///< m_i per rank
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  /// Run the pipeline over a user-supplied volume + transfer function
+  /// (config.dataset / volume_scale are ignored; everything else applies).
+  /// This is the bring-your-own-data entry point used by tools/.
+  Experiment(const vol::Dataset& dataset, const ExperimentConfig& config);
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<img::Image>& subimages() const noexcept {
+    return subimages_;
+  }
+  [[nodiscard]] const core::SwapOrder& order() const noexcept { return order_; }
+  [[nodiscard]] const std::vector<vol::Brick>& bricks() const noexcept { return bricks_; }
+
+  /// Sequential depth-ordered composite of the subimages — the ground truth.
+  [[nodiscard]] img::Image reference() const;
+
+  /// Partitioning-phase traffic (nonzero only with distributed_partitioning).
+  [[nodiscard]] std::uint64_t total_partition_bytes() const noexcept {
+    return total_partition_bytes_;
+  }
+  [[nodiscard]] std::uint64_t max_partition_bytes() const noexcept {
+    return max_partition_bytes_;
+  }
+
+  /// Execute one compositing method over the rendered subimages.
+  [[nodiscard]] MethodResult run(const core::Compositor& method) const;
+
+ private:
+  ExperimentConfig config_;
+  std::vector<vol::Brick> bricks_;
+  core::SwapOrder order_;
+  std::vector<img::Image> subimages_;
+  bool folded_ = false;  ///< non-power-of-two ranks: wrap methods in Fold
+  std::uint64_t total_partition_bytes_ = 0;
+  std::uint64_t max_partition_bytes_ = 0;
+};
+
+/// Run one compositing method SPMD over externally supplied subimages (no
+/// rendering phase) — the workhorse behind Experiment::run, also used
+/// directly by the ablation benches and property tests. `final_image` is
+/// gathered at rank 0.
+[[nodiscard]] MethodResult run_compositing(const core::Compositor& method,
+                                           const std::vector<img::Image>& subimages,
+                                           const core::SwapOrder& order,
+                                           const core::CostModel& model = core::CostModel::sp2());
+
+/// All four of the paper's methods, in Table 1 column order.
+struct MethodSet {
+  [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> paper_methods();
+  /// The three proposed methods (Table 2 / Figures 8-11).
+  [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> proposed_methods();
+  /// Everything in the library, including related-work baselines.
+  [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> all_methods();
+};
+
+}  // namespace slspvr::pvr

@@ -1,0 +1,34 @@
+// Plain-text table formatting for the benchmark harness — prints rows in
+// the layout of the paper's Tables 1-2 and the Figure 8-11 series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slspvr::pvr {
+
+/// A simple fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (e.g. times in ms).
+[[nodiscard]] std::string fmt_ms(double value, int decimals = 2);
+
+/// Format a byte count with thousands separators.
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace slspvr::pvr

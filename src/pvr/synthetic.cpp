@@ -1,0 +1,68 @@
+#include "pvr/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace slspvr::pvr {
+
+img::Image random_subimage(int width, int height, double density, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  img::Image image(width, height);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  std::uniform_int_distribution<int> px(0, width - 1), py(0, height - 1);
+  std::uniform_int_distribution<int> radius(std::max(1, width / 16), std::max(2, width / 4));
+  const double target = density * width * height;
+  double covered = 0;
+  int guard = 0;
+  while (covered < target && guard++ < 64) {
+    const int cx = px(rng), cy = py(rng), r = radius(rng);
+    for (int y = std::max(0, cy - r); y < std::min(height, cy + r); ++y) {
+      for (int x = std::max(0, cx - r); x < std::min(width, cx + r); ++x) {
+        const float dx = static_cast<float>(x - cx), dy = static_cast<float>(y - cy);
+        if (dx * dx + dy * dy > static_cast<float>(r) * static_cast<float>(r)) continue;
+        img::Pixel& p = image.at(x, y);
+        if (img::is_blank(p)) covered += 1;
+        const float v = 0.2f + 0.8f * unit(rng);
+        const float a = 0.1f + 0.85f * unit(rng);
+        p = img::Pixel{v * a, v * a, v * a, a};
+      }
+    }
+  }
+  return image;
+}
+
+std::vector<img::Image> make_subimages(int ranks, int width, int height, double density,
+                                       std::uint32_t seed) {
+  std::vector<img::Image> images;
+  images.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    images.push_back(
+        random_subimage(width, height, density, seed + static_cast<std::uint32_t>(r)));
+  }
+  return images;
+}
+
+std::vector<img::Image> make_skewed_subimages(int ranks, int width, int height,
+                                              double coverage, std::uint32_t seed) {
+  std::vector<img::Image> images;
+  images.reserve(static_cast<std::size_t>(ranks));
+  const int block = std::max(
+      1, static_cast<int>(std::lround(std::sqrt(coverage) * std::min(width, height))));
+  for (int r = 0; r < ranks; ++r) {
+    std::mt19937 rng(seed + static_cast<std::uint32_t>(r));
+    std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+    img::Image image(width, height);
+    for (int y = 0; y < std::min(block, height); ++y) {
+      for (int x = 0; x < std::min(block, width); ++x) {
+        const float v = 0.2f + 0.8f * unit(rng);
+        const float a = 0.2f + 0.75f * unit(rng);
+        image.at(x, y) = img::Pixel{v * a, v * a, v * a, a};
+      }
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+}  // namespace slspvr::pvr

@@ -1,0 +1,32 @@
+// Synthetic subimage generation: controllable-sparsity images used by the
+// property tests and the ablation benches (density sweeps, skewed loads)
+// without paying for a volume render.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace slspvr::pvr {
+
+/// A subimage of random soft blobs covering roughly `density` of the area,
+/// with per-pixel float noise (so value-RLE sees realistic volume pixels).
+/// Deterministic in `seed`.
+[[nodiscard]] img::Image random_subimage(int width, int height, double density,
+                                         std::uint32_t seed);
+
+/// One subimage per rank, seeds derived from `seed`.
+[[nodiscard]] std::vector<img::Image> make_subimages(int ranks, int width, int height,
+                                                     double density,
+                                                     std::uint32_t seed = 1234);
+
+/// A maximally skewed workload: all non-blank pixels concentrated in one
+/// corner block (fraction `coverage` of the area) on every rank — the
+/// uneven-distribution case Molnar et al. flag for sort-last-sparse
+/// merging, used by the interleave (BSLC load-balancing) ablation.
+[[nodiscard]] std::vector<img::Image> make_skewed_subimages(int ranks, int width, int height,
+                                                            double coverage,
+                                                            std::uint32_t seed = 99);
+
+}  // namespace slspvr::pvr

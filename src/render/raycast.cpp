@@ -1,0 +1,132 @@
+#include "render/raycast.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+
+namespace slspvr::render {
+
+namespace {
+
+/// Classification lookup table: density in [0,255] -> (intensity, corrected
+/// opacity). Baking the step-size opacity correction into the table keeps
+/// the inner loop free of pow().
+struct ClassifyLut {
+  static constexpr int kSize = 1024;
+  std::array<vol::Classified, kSize> entries{};
+
+  ClassifyLut(const vol::TransferFunction& tf, float step) {
+    for (int i = 0; i < kSize; ++i) {
+      const float density = 255.0f * static_cast<float>(i) / (kSize - 1);
+      vol::Classified c = tf.classify(density);
+      if (step != 1.0f) c.opacity = 1.0f - std::pow(1.0f - c.opacity, step);
+      entries[static_cast<std::size_t>(i)] = c;
+    }
+  }
+
+  [[nodiscard]] vol::Classified classify(float density) const noexcept {
+    float pos = density * ((kSize - 1) / 255.0f);
+    if (pos <= 0.0f) pos = 0.0f;
+    if (pos >= kSize - 1) pos = kSize - 1;
+    const int i = static_cast<int>(pos);
+    const float f = pos - static_cast<float>(i);
+    const int j = i + 1 < kSize ? i + 1 : i;
+    const vol::Classified& a = entries[static_cast<std::size_t>(i)];
+    const vol::Classified& b = entries[static_cast<std::size_t>(j)];
+    return {a.r + f * (b.r - a.r), a.g + f * (b.g - a.g), a.b + f * (b.b - a.b),
+            a.opacity + f * (b.opacity - a.opacity)};
+  }
+};
+
+/// Shared ray-march core; `sample_at(x, y, z)` returns the density at a
+/// continuous voxel-center position (the two entry points differ only in
+/// whether samples come from the shared volume or a PE-local ghost brick).
+template <typename SampleFn>
+void render_impl(SampleFn&& sample_at, const vol::TransferFunction& tf,
+                 const OrthoCamera& camera, const vol::Brick& brick, img::Image& out,
+                 const RaycastOptions& options, RenderStats* stats) {
+  const ClassifyLut lut(tf, options.step);
+  const Vec3 dir = camera.view_dir();
+  const float dt = options.step;
+  const float b0[3] = {static_cast<float>(brick.x0), static_cast<float>(brick.y0),
+                       static_cast<float>(brick.z0)};
+  const float b1[3] = {static_cast<float>(brick.x1), static_cast<float>(brick.y1),
+                       static_cast<float>(brick.z1)};
+
+  for (int py = 0; py < camera.height(); ++py) {
+    for (int px = 0; px < camera.width(); ++px) {
+      const Vec3 o = camera.ray_origin(px, py);
+
+      // Slab intersection of the ray with the brick's AABB.
+      float tmin = 0.0f;
+      float tmax = camera.t_max();
+      bool miss = false;
+      for (int axis = 0; axis < 3 && !miss; ++axis) {
+        const float d = dir[axis];
+        const float ov = o[axis];
+        if (std::fabs(d) < 1e-7f) {
+          if (ov < b0[axis] || ov >= b1[axis]) miss = true;
+          continue;
+        }
+        float t1 = (b0[axis] - ov) / d;
+        float t2 = (b1[axis] - ov) / d;
+        if (t1 > t2) std::swap(t1, t2);
+        tmin = std::max(tmin, t1);
+        tmax = std::min(tmax, t2);
+      }
+      if (miss || tmin > tmax) continue;
+      if (stats != nullptr) ++stats->rays;
+
+      // March the GLOBAL sample grid t_i = (i + 0.5) * dt; the half-open
+      // ownership test below guarantees each sample is taken by exactly one
+      // brick, so brick images composite exactly.
+      float acc_r = 0.0f, acc_g = 0.0f, acc_b = 0.0f;
+      float acc_a = 0.0f;
+      std::int64_t i = std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(std::floor(tmin / dt - 0.5f)));
+      for (;; ++i) {
+        const float t = (static_cast<float>(i) + 0.5f) * dt;
+        if (t > tmax + dt) break;
+        const Vec3 pos = o + dir * t;
+        const bool owned = pos.x >= b0[0] && pos.x < b1[0] && pos.y >= b0[1] &&
+                           pos.y < b1[1] && pos.z >= b0[2] && pos.z < b1[2];
+        if (!owned) {
+          if (t > tmax) break;
+          continue;
+        }
+        if (stats != nullptr) ++stats->samples;
+        const float density = sample_at(pos.x - 0.5f, pos.y - 0.5f, pos.z - 0.5f);
+        const vol::Classified c = lut.classify(density);
+        if (c.opacity < options.min_alpha) continue;
+        const float contribution = (1.0f - acc_a) * c.opacity;
+        acc_r += contribution * c.r;
+        acc_g += contribution * c.g;
+        acc_b += contribution * c.b;
+        acc_a += contribution;
+        if (acc_a >= options.early_termination) break;
+      }
+      if (acc_a > 0.0f) {
+        out.at(px, py) = img::Pixel{acc_r, acc_g, acc_b, acc_a};
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void render_brick(const vol::Volume& volume, const vol::TransferFunction& tf,
+                  const OrthoCamera& camera, const vol::Brick& brick, img::Image& out,
+                  const RaycastOptions& options, RenderStats* stats) {
+  render_impl([&](float x, float y, float z) { return volume.sample(x, y, z); }, tf,
+              camera, brick, out, options, stats);
+}
+
+void render_ghost_brick(const vol::GhostBrick& ghost, const vol::TransferFunction& tf,
+                        const OrthoCamera& camera, img::Image& out,
+                        const RaycastOptions& options, RenderStats* stats) {
+  render_impl([&](float x, float y, float z) { return ghost.sample(x, y, z); }, tf,
+              camera, ghost.brick(), out, options, stats);
+}
+
+}  // namespace slspvr::render

@@ -1,0 +1,164 @@
+#include "render/shear_warp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace slspvr::render {
+
+namespace {
+
+int dominant_axis(const Vec3& v) {
+  const float ax = std::fabs(v.x), ay = std::fabs(v.y), az = std::fabs(v.z);
+  if (ax >= ay && ax >= az) return 0;
+  return ay >= az ? 1 : 2;
+}
+
+/// Bilinear density sample within slice k of the volume (axes i/j are the
+/// non-dominant axes). Coordinates are continuous voxel-center positions.
+float slice_sample(const vol::Volume& volume, int axis_k, int k, int axis_i, int axis_j,
+                   float ui, float vj) {
+  const auto fetch = [&](int ii, int jj) {
+    int c[3];
+    c[axis_k] = k;
+    c[axis_i] = ii;
+    c[axis_j] = jj;
+    return static_cast<float>(volume.at_clamped(c[0], c[1], c[2]));
+  };
+  const int i0 = static_cast<int>(std::floor(ui));
+  const int j0 = static_cast<int>(std::floor(vj));
+  const float fi = ui - static_cast<float>(i0);
+  const float fj = vj - static_cast<float>(j0);
+  const float a = fetch(i0, j0) * (1 - fi) + fetch(i0 + 1, j0) * fi;
+  const float b = fetch(i0, j0 + 1) * (1 - fi) + fetch(i0 + 1, j0 + 1) * fi;
+  return a * (1 - fj) + b * fj;
+}
+
+}  // namespace
+
+void shear_warp_render(const vol::Volume& volume, const vol::TransferFunction& tf,
+                       const OrthoCamera& camera, img::Image& out,
+                       const ShearWarpOptions& options, ShearWarpStats* stats) {
+  const Vec3 d = camera.view_dir();
+  const int axis_k = dominant_axis(d);
+  const int axis_i = axis_k == 0 ? 1 : 0;
+  const int axis_j = axis_k == 2 ? 1 : 2;
+
+  const float dk = d[axis_k];
+  const float shear_i = d[axis_i] / dk;  // object drift per unit k
+  const float shear_j = d[axis_j] / dk;
+
+  const int dims_arr[3] = {volume.dims().nx, volume.dims().ny, volume.dims().nz};
+  const int nk = dims_arr[axis_k];
+  const int ni = dims_arr[axis_i];
+  const int nj = dims_arr[axis_j];
+
+  // Intermediate (sheared) image bounds: u = x_i - shear_i * x_k over the
+  // volume's extent, one pixel per voxel plus a safety margin.
+  const float u_lo = std::min(0.0f, -shear_i * static_cast<float>(nk));
+  const float u_hi = std::max(static_cast<float>(ni),
+                              static_cast<float>(ni) - shear_i * static_cast<float>(nk));
+  const float v_lo = std::min(0.0f, -shear_j * static_cast<float>(nk));
+  const float v_hi = std::max(static_cast<float>(nj),
+                              static_cast<float>(nj) - shear_j * static_cast<float>(nk));
+  const int iw = static_cast<int>(std::ceil(u_hi - u_lo)) + 2;
+  const int ih = static_cast<int>(std::ceil(v_hi - v_lo)) + 2;
+  img::Image intermediate(iw, ih);
+  if (stats != nullptr) {
+    stats->intermediate_width = iw;
+    stats->intermediate_height = ih;
+  }
+
+  // Classification LUT with path-length opacity correction: each slice step
+  // covers 1/|d_k| world units along the ray.
+  const float path = 1.0f / std::fabs(dk);
+  constexpr int kLut = 1024;
+  std::array<vol::Classified, kLut> lut{};
+  for (int i = 0; i < kLut; ++i) {
+    vol::Classified c = tf.classify(255.0f * static_cast<float>(i) / (kLut - 1));
+    c.opacity = 1.0f - std::pow(1.0f - c.opacity, path);
+    lut[static_cast<std::size_t>(i)] = c;
+  }
+  const auto classify = [&](float density) {
+    float pos = density * ((kLut - 1) / 255.0f);
+    pos = std::clamp(pos, 0.0f, static_cast<float>(kLut - 1));
+    const int i = static_cast<int>(pos);
+    const int j = std::min(i + 1, kLut - 1);
+    const float f = pos - static_cast<float>(i);
+    const vol::Classified& a = lut[static_cast<std::size_t>(i)];
+    const vol::Classified& b = lut[static_cast<std::size_t>(j)];
+    return vol::Classified{a.r + f * (b.r - a.r), a.g + f * (b.g - a.g),
+                           a.b + f * (b.b - a.b),
+                           a.opacity + f * (b.opacity - a.opacity)};
+  };
+
+  // Composite slices front-to-back: k ascending when looking along +k.
+  const bool forward = dk >= 0.0f;
+  for (int step = 0; step < nk; ++step) {
+    const int k = forward ? step : nk - 1 - step;
+    if (stats != nullptr) ++stats->slices;
+    // Slice k covers intermediate pixels u = x_i - shear_i*(k+0.5) for
+    // x_i in [0, ni); iterate the covered intermediate window only.
+    const float ks = static_cast<float>(k) + 0.5f;
+    const float off_i = shear_i * ks;
+    const float off_j = shear_j * ks;
+    const int u0 = std::max(0, static_cast<int>(std::floor(0.5f - off_i - u_lo)) - 1);
+    const int u1 = std::min(iw, static_cast<int>(std::ceil(ni - 0.5f - off_i - u_lo)) + 1);
+    const int v0 = std::max(0, static_cast<int>(std::floor(0.5f - off_j - v_lo)) - 1);
+    const int v1 = std::min(ih, static_cast<int>(std::ceil(nj - 0.5f - off_j - v_lo)) + 1);
+    for (int v = v0; v < v1; ++v) {
+      for (int u = u0; u < u1; ++u) {
+        img::Pixel& acc = intermediate.at(u, v);
+        if (acc.a >= options.early_termination) continue;
+        // Object-space sample position within the slice (voxel centers).
+        const float xi = (static_cast<float>(u) + u_lo) + off_i - 0.5f;
+        const float xj = (static_cast<float>(v) + v_lo) + off_j - 0.5f;
+        if (xi < -1.0f || xi > static_cast<float>(ni) || xj < -1.0f ||
+            xj > static_cast<float>(nj)) {
+          continue;
+        }
+        if (stats != nullptr) ++stats->samples;
+        const float density = slice_sample(volume, axis_k, k, axis_i, axis_j, xi, xj);
+        const vol::Classified c = classify(density);
+        if (c.opacity < options.min_alpha) continue;
+        const float contribution = (1.0f - acc.a) * c.opacity;
+        acc.r += contribution * c.r;
+        acc.g += contribution * c.g;
+        acc.b += contribution * c.b;
+        acc.a += contribution;
+      }
+    }
+  }
+
+  // Warp: map each display pixel's ray to its intermediate coordinate
+  // (u, v) = (o_i - shear_i * o_k, o_j - shear_j * o_k) and resample.
+  for (int py = 0; py < camera.height(); ++py) {
+    for (int px = 0; px < camera.width(); ++px) {
+      const Vec3 o = camera.ray_origin(px, py);
+      const float oc[3] = {o.x, o.y, o.z};
+      // Intermediate pixel index u represents coordinate U = u + u_lo.
+      const float u = oc[axis_i] - shear_i * oc[axis_k] - u_lo;
+      const float v = oc[axis_j] - shear_j * oc[axis_k] - v_lo;
+      const int iu = static_cast<int>(std::floor(u));
+      const int iv = static_cast<int>(std::floor(v));
+      if (iu < 0 || iu + 1 >= iw || iv < 0 || iv + 1 >= ih) continue;
+      const float fu = u - static_cast<float>(iu);
+      const float fv = v - static_cast<float>(iv);
+      const auto lerp = [&](auto get) {
+        const float a = get(intermediate.at(iu, iv)) * (1 - fu) +
+                        get(intermediate.at(iu + 1, iv)) * fu;
+        const float b = get(intermediate.at(iu, iv + 1)) * (1 - fu) +
+                        get(intermediate.at(iu + 1, iv + 1)) * fu;
+        return a * (1 - fv) + b * fv;
+      };
+      img::Pixel result;
+      result.r = lerp([](const img::Pixel& p) { return p.r; });
+      result.g = lerp([](const img::Pixel& p) { return p.g; });
+      result.b = lerp([](const img::Pixel& p) { return p.b; });
+      result.a = lerp([](const img::Pixel& p) { return p.a; });
+      if (result.a > 0.0f) out.at(px, py) = result;
+    }
+  }
+}
+
+}  // namespace slspvr::render

@@ -1,0 +1,97 @@
+#include "render/splatting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace slspvr::render {
+
+namespace {
+
+int dominant_axis(const Vec3& v) {
+  const float ax = std::fabs(v.x), ay = std::fabs(v.y), az = std::fabs(v.z);
+  if (ax >= ay && ax >= az) return 0;
+  return ay >= az ? 1 : 2;
+}
+
+}  // namespace
+
+void splat_brick(const vol::Volume& volume, const vol::TransferFunction& tf,
+                 const OrthoCamera& camera, const vol::Brick& brick, img::Image& out,
+                 const SplatOptions& options, SplatStats* stats) {
+  const Vec3 dir = camera.view_dir();
+  const int axis = dominant_axis(dir);
+  const bool forward = dir[axis] >= 0.0f;
+
+  const int lo = axis == 0 ? brick.x0 : (axis == 1 ? brick.y0 : brick.z0);
+  const int hi = axis == 0 ? brick.x1 : (axis == 1 ? brick.y1 : brick.z1);
+
+  img::Image sheet(out.width(), out.height());
+
+  // Slices front-to-back: lower coordinates first when looking along +axis.
+  for (int step = 0; step < hi - lo; ++step) {
+    const int s = forward ? lo + step : hi - 1 - step;
+    sheet.clear();
+    bool sheet_used = false;
+
+    const auto slice_voxel = [&](int x, int y, int z) {
+      const float density = static_cast<float>(volume.at(x, y, z));
+      const vol::Classified c = tf.classify(density);
+      if (c.opacity < options.min_alpha) return;
+      if (stats != nullptr) ++stats->voxels_splatted;
+      float px, py;
+      camera.project(Vec3{static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f,
+                          static_cast<float>(z) + 0.5f},
+                     px, py);
+      // Bilinear footprint over the 2x2 neighbourhood of the projection.
+      const int ix = static_cast<int>(std::floor(px));
+      const int iy = static_cast<int>(std::floor(py));
+      const float fx = px - static_cast<float>(ix);
+      const float fy = py - static_cast<float>(iy);
+      const float w[4] = {(1 - fx) * (1 - fy), fx * (1 - fy), (1 - fx) * fy, fx * fy};
+      const int ox[4] = {0, 1, 0, 1};
+      const int oy[4] = {0, 0, 1, 1};
+      for (int i = 0; i < 4; ++i) {
+        const int qx = ix + ox[i];
+        const int qy = iy + oy[i];
+        if (qx < 0 || qx >= sheet.width() || qy < 0 || qy >= sheet.height()) continue;
+        const float weight = w[i] * options.kernel_scale;
+        if (weight <= 0.0f) continue;
+        img::Pixel& p = sheet.at(qx, qy);
+        const float a = std::min(1.0f, c.opacity * weight);
+        p.r += c.r * a;
+        p.g += c.g * a;
+        p.b += c.b * a;
+        p.a = std::min(1.0f, p.a + a);
+        sheet_used = true;
+      }
+    };
+
+    switch (axis) {
+      case 0:
+        for (int z = brick.z0; z < brick.z1; ++z)
+          for (int y = brick.y0; y < brick.y1; ++y) slice_voxel(s, y, z);
+        break;
+      case 1:
+        for (int z = brick.z0; z < brick.z1; ++z)
+          for (int x = brick.x0; x < brick.x1; ++x) slice_voxel(x, s, z);
+        break;
+      default:
+        for (int y = brick.y0; y < brick.y1; ++y)
+          for (int x = brick.x0; x < brick.x1; ++x) slice_voxel(x, y, s);
+        break;
+    }
+
+    if (!sheet_used) continue;
+    if (stats != nullptr) ++stats->sheets;
+    // Accumulated image is in front of the new sheet (front-to-back order).
+    for (std::int64_t i = 0; i < out.pixel_count(); ++i) {
+      const img::Pixel& sp = sheet.at_index(i);
+      if (img::is_blank(sp)) continue;
+      img::Pixel& op = out.at_index(i);
+      op = img::over(op, sp);
+    }
+  }
+}
+
+}  // namespace slspvr::render

@@ -1,0 +1,37 @@
+// Splatting renderer (Westover) — the paper's stated future work:
+// "we plan to implement the parallel splatting volume rendering method".
+//
+// Feed-forward: voxels are classified, projected to the image plane, and
+// their footprints accumulated into per-slice sheet buffers that are then
+// composited front-to-back. This is an axis-aligned approximation (slices
+// perpendicular to the dominant view axis), adequate for the modest
+// rotations the evaluation uses. It plugs into the same sort-last pipeline:
+// render a brick with splatting, composite with any method in core/.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "render/camera.hpp"
+#include "volume/transfer_function.hpp"
+#include "volume/volume.hpp"
+
+namespace slspvr::render {
+
+struct SplatOptions {
+  float min_alpha = 1.0f / 512.0f;  ///< skip voxels below this opacity
+  float kernel_scale = 1.0f;        ///< footprint radius multiplier
+};
+
+struct SplatStats {
+  std::int64_t voxels_splatted = 0;
+  std::int64_t sheets = 0;
+};
+
+/// Splat the voxels of `brick` into `out` (camera-sized). Slices along the
+/// dominant view axis are processed front-to-back.
+void splat_brick(const vol::Volume& volume, const vol::TransferFunction& tf,
+                 const OrthoCamera& camera, const vol::Brick& brick, img::Image& out,
+                 const SplatOptions& options = {}, SplatStats* stats = nullptr);
+
+}  // namespace slspvr::render

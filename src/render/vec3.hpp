@@ -1,0 +1,52 @@
+// Minimal 3-vector for the renderer.
+#pragma once
+
+#include <cmath>
+
+namespace slspvr::render {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  friend constexpr Vec3 operator+(const Vec3& a, const Vec3& b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(const Vec3& a, const Vec3& b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(const Vec3& a, float s) noexcept {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr Vec3 operator*(float s, const Vec3& a) noexcept { return a * s; }
+
+  [[nodiscard]] constexpr float operator[](int i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+};
+
+[[nodiscard]] constexpr float dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+[[nodiscard]] inline float length(const Vec3& a) noexcept { return std::sqrt(dot(a, a)); }
+
+[[nodiscard]] inline Vec3 normalized(const Vec3& a) noexcept {
+  const float len = length(a);
+  return len > 0.0f ? a * (1.0f / len) : a;
+}
+
+/// Rotate about the x axis by `radians`.
+[[nodiscard]] inline Vec3 rotate_x(const Vec3& v, float radians) noexcept {
+  const float c = std::cos(radians), s = std::sin(radians);
+  return {v.x, c * v.y - s * v.z, s * v.y + c * v.z};
+}
+
+/// Rotate about the y axis by `radians`.
+[[nodiscard]] inline Vec3 rotate_y(const Vec3& v, float radians) noexcept {
+  const float c = std::cos(radians), s = std::sin(radians);
+  return {c * v.x + s * v.z, v.y, -s * v.x + c * v.z};
+}
+
+}  // namespace slspvr::render

@@ -1,0 +1,214 @@
+#include "volume/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace slspvr::vol {
+
+namespace {
+
+/// Deterministic per-voxel noise in [0, 1) (splitmix64 finaliser over the
+/// voxel coordinates). Adds CT-like texture so adjacent non-blank pixels
+/// rarely share exact float values — the regime in which the paper argues
+/// value-based RLE degenerates.
+float hash_noise(int x, int y, int z) {
+  std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 42) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) << 21) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(z));
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h = h ^ (h >> 31);
+  return static_cast<float>(h >> 40) / static_cast<float>(1ULL << 24);
+}
+
+std::uint8_t quantize(float density, int x, int y, int z, float noise_amp = 12.0f) {
+  const float noisy = density + (hash_noise(x, y, z) - 0.5f) * noise_amp;
+  return static_cast<std::uint8_t>(std::clamp(noisy, 0.0f, 255.0f));
+}
+
+struct Vec3 {
+  float x, y, z;
+};
+
+}  // namespace
+
+const char* dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::EngineLow: return "engine_low";
+    case DatasetKind::EngineHigh: return "engine_high";
+    case DatasetKind::Head: return "head";
+    case DatasetKind::Cube: return "cube";
+  }
+  throw std::invalid_argument("unknown DatasetKind");
+}
+
+Dims dataset_dims(DatasetKind kind, double scale) {
+  const auto s = [&](int v) { return std::max(8, static_cast<int>(std::lround(v * scale))); };
+  switch (kind) {
+    case DatasetKind::EngineLow:
+    case DatasetKind::EngineHigh:
+    case DatasetKind::Cube:
+      return Dims{s(256), s(256), s(110)};
+    case DatasetKind::Head:
+      return Dims{s(256), s(256), s(113)};
+  }
+  throw std::invalid_argument("unknown DatasetKind");
+}
+
+Volume make_engine_volume(const Dims& dims) {
+  // A machined "engine block": a main casing with cylinder bores (soft
+  // material density ~90, metal density ~210, bores carved out). Normalised
+  // coordinates u, v, w in [0, 1] keep the shape scale-invariant.
+  Volume volume(dims);
+  const float fx = static_cast<float>(dims.nx);
+  const float fy = static_cast<float>(dims.ny);
+  const float fz = static_cast<float>(dims.nz);
+  for (int z = 0; z < dims.nz; ++z) {
+    for (int y = 0; y < dims.ny; ++y) {
+      for (int x = 0; x < dims.nx; ++x) {
+        const float u = (static_cast<float>(x) + 0.5f) / fx;
+        const float v = (static_cast<float>(y) + 0.5f) / fy;
+        const float w = (static_cast<float>(z) + 0.5f) / fz;
+        float density = 0.0f;
+
+        // Main casing: large rounded box of soft material.
+        const bool in_casing = u > 0.08f && u < 0.92f && v > 0.14f && v < 0.88f &&
+                               w > 0.10f && w < 0.92f;
+        if (in_casing) density = 95.0f;
+
+        // Thin dense metal deck plate on top of the casing.
+        if (in_casing && v < 0.19f) density = 210.0f;
+
+        // Four dense cylinder liners through the casing (axis along v).
+        for (int c = 0; c < 4; ++c) {
+          const float cx = 0.20f + 0.20f * static_cast<float>(c);
+          const float cz = 0.50f;
+          const float dx = u - cx;
+          const float dz = w - cz;
+          const float r = std::sqrt(dx * dx + dz * dz);
+          if (v > 0.20f && v < 0.75f) {
+            if (r < 0.050f) density = 215.0f;   // liner wall (dense metal)
+            if (r < 0.030f) density = 15.0f;    // bore (carved out)
+          }
+        }
+
+        // Dense crankshaft tunnel along u at the bottom.
+        {
+          const float dv = v - 0.80f;
+          const float dz = w - 0.50f;
+          if (u > 0.12f && u < 0.88f && std::sqrt(dv * dv + dz * dz) < 0.045f) {
+            density = 205.0f;
+          }
+        }
+
+        volume.at(x, y, z) = density > 0.0f ? quantize(density, x, y, z) : 0;
+      }
+    }
+  }
+  return volume;
+}
+
+Volume make_head_volume(const Dims& dims) {
+  // Concentric ellipsoid shells: skin (soft), skull (dense), brain (medium),
+  // plus dense jaw mass — a dense roundish image like the paper's Head.
+  Volume volume(dims);
+  const float fx = static_cast<float>(dims.nx);
+  const float fy = static_cast<float>(dims.ny);
+  const float fz = static_cast<float>(dims.nz);
+  for (int z = 0; z < dims.nz; ++z) {
+    for (int y = 0; y < dims.ny; ++y) {
+      for (int x = 0; x < dims.nx; ++x) {
+        const float u = (static_cast<float>(x) + 0.5f) / fx - 0.5f;
+        const float v = (static_cast<float>(y) + 0.5f) / fy - 0.5f;
+        const float w = (static_cast<float>(z) + 0.5f) / fz - 0.5f;
+        // Ellipsoid radius normalised so the head nearly fills the grid.
+        const float e = std::sqrt((u * u) / (0.40f * 0.40f) + (v * v) / (0.46f * 0.46f) +
+                                  (w * w) / (0.40f * 0.40f));
+        float density = 0.0f;
+        if (e < 1.00f) density = 85.0f;                  // skin/flesh
+        if (e < 0.92f && e > 0.80f) density = 220.0f;    // skull shell
+        if (e < 0.80f) density = 120.0f;                 // brain
+        // Jaw / dental mass: dense blob low in the face.
+        {
+          const float du = u;
+          const float dv = v - 0.30f;
+          const float dw = w - 0.22f;
+          if (std::sqrt(du * du + dv * dv + dw * dw) < 0.14f) density = 230.0f;
+        }
+        volume.at(x, y, z) = density > 0.0f ? quantize(density, x, y, z) : 0;
+      }
+    }
+  }
+  return volume;
+}
+
+Volume make_cube_volume(const Dims& dims) {
+  // Wireframe cube: only the 12 edges carry material. Its projection spans a
+  // large screen rectangle that is almost entirely blank — the paper's
+  // "larger and sparser bounding rectangle" case where BSBRC shines.
+  Volume volume(dims);
+  const float fx = static_cast<float>(dims.nx);
+  const float fy = static_cast<float>(dims.ny);
+  const float fz = static_cast<float>(dims.nz);
+  const float lo = 0.12f, hi = 0.88f;
+  const float thick = 0.035f;
+  const auto near_plane = [&](float c, float target) { return std::abs(c - target) < thick; };
+  const auto near_either = [&](float c) { return near_plane(c, lo) || near_plane(c, hi); };
+  const auto in_span = [&](float c) { return c > lo - thick && c < hi + thick; };
+  for (int z = 0; z < dims.nz; ++z) {
+    for (int y = 0; y < dims.ny; ++y) {
+      for (int x = 0; x < dims.nx; ++x) {
+        const float u = (static_cast<float>(x) + 0.5f) / fx;
+        const float v = (static_cast<float>(y) + 0.5f) / fy;
+        const float w = (static_cast<float>(z) + 0.5f) / fz;
+        // An edge of the cube is where two of the three coordinates sit on a
+        // face plane and the third runs along the edge.
+        const int on = (near_either(u) ? 1 : 0) + (near_either(v) ? 1 : 0) +
+                       (near_either(w) ? 1 : 0);
+        const bool inside = in_span(u) && in_span(v) && in_span(w);
+        if (inside && on >= 2) {
+          volume.at(x, y, z) = quantize(190.0f, x, y, z);
+        }
+      }
+    }
+  }
+  return volume;
+}
+
+TransferFunction dataset_tf(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::EngineLow:
+      // Low threshold: soft casing material visible -> dense image.
+      return ramp_tf(55.0f, 110.0f, 0.55f);
+    case DatasetKind::EngineHigh:
+      // High threshold: only dense metal visible -> sparse image.
+      return ramp_tf(160.0f, 215.0f, 0.80f);
+    case DatasetKind::Head:
+      return ramp_tf(60.0f, 140.0f, 0.45f);
+    case DatasetKind::Cube:
+      return ramp_tf(120.0f, 185.0f, 0.75f);
+  }
+  throw std::invalid_argument("unknown DatasetKind");
+}
+
+Dataset make_dataset(DatasetKind kind, double scale) {
+  const Dims dims = dataset_dims(kind, scale);
+  Volume volume = [&] {
+    switch (kind) {
+      case DatasetKind::EngineLow:
+      case DatasetKind::EngineHigh:
+        return make_engine_volume(dims);
+      case DatasetKind::Head:
+        return make_head_volume(dims);
+      case DatasetKind::Cube:
+        return make_cube_volume(dims);
+    }
+    throw std::invalid_argument("unknown DatasetKind");
+  }();
+  return Dataset{dataset_name(kind), std::move(volume), dataset_tf(kind)};
+}
+
+}  // namespace slspvr::vol

@@ -1,0 +1,52 @@
+// Synthetic test samples standing in for the paper's CT datasets.
+//
+// The paper evaluates on Engine_low / Engine_high (256x256x110, one CT scan,
+// two classification thresholds), Head (256x256x113) and Cube (256x256x110).
+// We cannot ship the original scans, so we generate procedural volumes with
+// the same dimensions and — crucially — the same *screen-space sparsity
+// regimes*, which are what drive every compositing result:
+//   engine_low  : dense, blocky solid (low threshold -> most material shows)
+//   engine_high : the same solid, high threshold -> only dense parts, sparse
+//   head        : dense roundish layered object (skin/skull/brain shells)
+//   cube        : wireframe cube -> large but very sparse bounding rectangles
+#pragma once
+
+#include <string>
+
+#include "volume/transfer_function.hpp"
+#include "volume/volume.hpp"
+
+namespace slspvr::vol {
+
+enum class DatasetKind { EngineLow, EngineHigh, Head, Cube };
+
+[[nodiscard]] const char* dataset_name(DatasetKind kind);
+
+/// A ready-to-render test sample: named volume + its transfer function.
+struct Dataset {
+  std::string name;
+  Volume volume;
+  TransferFunction tf;
+};
+
+/// Paper-size dimensions for each sample (scale 1.0); `scale` shrinks the
+/// grid uniformly (tests use small volumes for speed — the rendered image
+/// structure is scale-invariant because the camera fits the volume to view).
+[[nodiscard]] Dims dataset_dims(DatasetKind kind, double scale = 1.0);
+
+/// Procedural volume generators (deterministic).
+[[nodiscard]] Volume make_engine_volume(const Dims& dims);
+[[nodiscard]] Volume make_head_volume(const Dims& dims);
+[[nodiscard]] Volume make_cube_volume(const Dims& dims);
+
+/// The classification used for each sample.
+[[nodiscard]] TransferFunction dataset_tf(DatasetKind kind);
+
+/// Bundle generator.
+[[nodiscard]] Dataset make_dataset(DatasetKind kind, double scale = 1.0);
+
+inline constexpr DatasetKind kAllDatasets[] = {
+    DatasetKind::EngineLow, DatasetKind::EngineHigh, DatasetKind::Head,
+    DatasetKind::Cube};
+
+}  // namespace slspvr::vol

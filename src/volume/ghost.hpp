@@ -1,0 +1,64 @@
+// Ghost-layer brick extraction: the distributed-memory data model.
+//
+// On a real multicomputer each PE holds ONLY its subvolume. Trilinear
+// sampling at brick boundaries reads one voxel beyond the brick, so the
+// partitioning phase ships each brick with a one-voxel ghost layer (edge
+// values clamped at the volume boundary, matching Volume::at_clamped).
+// A GhostBrick carries its own storage plus the global offset, and samples
+// in GLOBAL voxel coordinates — rendering from a GhostBrick is bit-identical
+// to rendering the same brick against the full volume.
+#pragma once
+
+#include "volume/volume.hpp"
+
+namespace slspvr::vol {
+
+class GhostBrick {
+ public:
+  GhostBrick() = default;
+
+  /// Extract `brick` plus `ghost` voxels on every side (clamped to the
+  /// volume by edge replication).
+  [[nodiscard]] static GhostBrick extract(const Volume& volume, const Brick& brick,
+                                          int ghost = 1);
+
+  [[nodiscard]] const Brick& brick() const noexcept { return brick_; }
+  [[nodiscard]] int ghost() const noexcept { return ghost_; }
+  [[nodiscard]] const Volume& data() const noexcept { return data_; }
+
+  /// Trilinear density sample in GLOBAL continuous voxel coordinates.
+  /// Valid for positions within the brick (plus the ghost margin).
+  [[nodiscard]] float sample(float x, float y, float z) const noexcept {
+    return data_.sample(x - static_cast<float>(ox_), y - static_cast<float>(oy_),
+                        z - static_cast<float>(oz_));
+  }
+
+  /// Bytes a PE receives for this brick in the partitioning phase.
+  [[nodiscard]] std::int64_t payload_bytes() const noexcept {
+    return data_.dims().voxel_count();
+  }
+
+  // ---- wire form (partitioning phase messages) ---------------------------
+
+  /// Fixed-size header preceding the voxel bytes on the wire.
+  struct WireHeader {
+    std::int32_t bx0, by0, bz0, bx1, by1, bz1;  ///< brick extents
+    std::int32_t ghost;
+    std::int32_t ox, oy, oz;        ///< storage origin (global coords)
+    std::int32_t nx, ny, nz;        ///< storage dims
+  };
+
+  [[nodiscard]] WireHeader wire_header() const noexcept;
+
+  /// Rebuild from a received header + voxel bytes (size must match dims).
+  [[nodiscard]] static GhostBrick from_wire(const WireHeader& header,
+                                            std::vector<std::uint8_t> voxels);
+
+ private:
+  Brick brick_{};
+  int ghost_ = 0;
+  int ox_ = 0, oy_ = 0, oz_ = 0;  ///< global coordinate of data_(0,0,0)
+  Volume data_;
+};
+
+}  // namespace slspvr::vol

@@ -1,0 +1,172 @@
+#include "volume/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace slspvr::vol {
+
+namespace {
+
+std::vector<int> choose_level_axes(const Dims& dims, int levels) {
+  std::vector<int> axes;
+  axes.reserve(static_cast<std::size_t>(levels));
+  double extent[3] = {static_cast<double>(dims.nx), static_cast<double>(dims.ny),
+                      static_cast<double>(dims.nz)};
+  for (int l = 0; l < levels; ++l) {
+    const int axis = static_cast<int>(
+        std::max_element(std::begin(extent), std::end(extent)) - std::begin(extent));
+    axes.push_back(axis);
+    extent[axis] /= 2.0;
+  }
+  return axes;
+}
+
+int brick_lo(const Brick& b, int axis) {
+  return axis == 0 ? b.x0 : (axis == 1 ? b.y0 : b.z0);
+}
+int brick_hi(const Brick& b, int axis) {
+  return axis == 0 ? b.x1 : (axis == 1 ? b.y1 : b.z1);
+}
+
+std::array<Brick, 2> split_brick(const Brick& b, int axis, int at) {
+  Brick low = b, high = b;
+  switch (axis) {
+    case 0: low.x1 = at; high.x0 = at; break;
+    case 1: low.y1 = at; high.y0 = at; break;
+    default: low.z1 = at; high.z0 = at; break;
+  }
+  return {low, high};
+}
+
+void check_ranks(int ranks) {
+  if (!is_power_of_two(ranks)) {
+    throw std::invalid_argument("kd_partition: ranks must be a power of two (got " +
+                                std::to_string(ranks) +
+                                "); wrap with core/fold for other counts");
+  }
+}
+
+/// Recursive leaf assignment with a per-node split-position chooser.
+template <typename ChooseSplit>
+KdPartition build(const Dims& dims, int ranks, ChooseSplit&& choose) {
+  check_ranks(ranks);
+  KdPartition out;
+  out.levels = log2_exact(ranks);
+  out.level_axis = choose_level_axes(dims, out.levels);
+  out.bricks.assign(static_cast<std::size_t>(ranks), Brick{});
+
+  const std::function<void(const Brick&, int, int)> assign = [&](const Brick& brick,
+                                                                 int level, int prefix) {
+    if (level == out.levels) {
+      out.bricks[static_cast<std::size_t>(prefix)] = brick;
+      return;
+    }
+    const int axis = out.level_axis[static_cast<std::size_t>(level)];
+    const int lo = brick_lo(brick, axis);
+    const int hi = brick_hi(brick, axis);
+    if (hi - lo < 2) {
+      throw std::invalid_argument("kd_partition: too many ranks for volume extent");
+    }
+    const int at = choose(brick, axis, lo, hi);
+    const auto [low, high] = split_brick(brick, axis, at);
+    assign(low, level + 1, prefix * 2);       // bit 0 of this level = lower half
+    assign(high, level + 1, prefix * 2 + 1);  // MSB-first: root choice is the MSB
+  };
+  assign(Brick::whole(dims), 0, 0);
+  return out;
+}
+
+}  // namespace
+
+KdPartition kd_partition(const Dims& dims, int ranks) {
+  return build(dims, ranks,
+               [](const Brick&, int, int lo, int hi) { return lo + (hi - lo) / 2; });
+}
+
+KdPartition kd_partition_balanced(const Volume& volume, int ranks, std::uint8_t threshold) {
+  return build(volume.dims(), ranks, [&](const Brick& brick, int axis, int lo, int hi) {
+    // Dense-voxel counts per slice along `axis` inside this brick.
+    std::vector<std::int64_t> per_slice(static_cast<std::size_t>(hi - lo), 0);
+    for (int z = brick.z0; z < brick.z1; ++z) {
+      for (int y = brick.y0; y < brick.y1; ++y) {
+        for (int x = brick.x0; x < brick.x1; ++x) {
+          if (volume.at(x, y, z) >= threshold) {
+            const int c = axis == 0 ? x : (axis == 1 ? y : z);
+            ++per_slice[static_cast<std::size_t>(c - lo)];
+          }
+        }
+      }
+    }
+    std::int64_t total = 0;
+    for (const auto v : per_slice) total += v;
+    // Pick the cut (strictly inside) minimising |left - right| dense voxels.
+    int best_at = lo + (hi - lo) / 2;
+    std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+    std::int64_t left = 0;
+    for (int at = lo + 1; at < hi; ++at) {
+      left += per_slice[static_cast<std::size_t>(at - 1 - lo)];
+      const std::int64_t cost = std::llabs(2 * left - total);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_at = at;
+      }
+    }
+    return best_at;
+  });
+}
+
+std::vector<Brick> slab_partition(const Dims& dims, int ranks, int axis) {
+  if (ranks <= 0 || axis < 0 || axis > 2) {
+    throw std::invalid_argument("slab_partition: bad ranks/axis");
+  }
+  const int extent = axis == 0 ? dims.nx : (axis == 1 ? dims.ny : dims.nz);
+  if (extent < ranks) {
+    throw std::invalid_argument("slab_partition: more ranks than slices");
+  }
+  std::vector<Brick> slabs(static_cast<std::size_t>(ranks), Brick::whole(dims));
+  for (int r = 0; r < ranks; ++r) {
+    const int lo = static_cast<int>(static_cast<std::int64_t>(extent) * r / ranks);
+    const int hi = static_cast<int>(static_cast<std::int64_t>(extent) * (r + 1) / ranks);
+    Brick& b = slabs[static_cast<std::size_t>(r)];
+    switch (axis) {
+      case 0: b.x0 = lo; b.x1 = hi; break;
+      case 1: b.y0 = lo; b.y1 = hi; break;
+      default: b.z0 = lo; b.z1 = hi; break;
+    }
+  }
+  return slabs;
+}
+
+bool partition_tiles_volume(const KdPartition& partition, const Dims& dims) {
+  std::int64_t total = 0;
+  for (const Brick& b : partition.bricks) {
+    if (b.empty()) return false;
+    if (b.x0 < 0 || b.y0 < 0 || b.z0 < 0 || b.x1 > dims.nx || b.y1 > dims.ny ||
+        b.z1 > dims.nz) {
+      return false;
+    }
+    total += b.voxel_count();
+  }
+  if (total != dims.voxel_count()) return false;
+  // With counts matching and bounds respected, overlap would force a count
+  // mismatch elsewhere only if some voxel were uncovered; check disjointness
+  // pairwise to be thorough (P <= 64ish, cheap).
+  for (std::size_t i = 0; i < partition.bricks.size(); ++i) {
+    for (std::size_t j = i + 1; j < partition.bricks.size(); ++j) {
+      const Brick& a = partition.bricks[i];
+      const Brick& b = partition.bricks[j];
+      const bool overlap = a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1 &&
+                           a.z0 < b.z1 && b.z0 < a.z1;
+      if (overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace slspvr::vol

@@ -1,0 +1,71 @@
+// kd-tree volume partitioner for the sort-last partitioning phase.
+//
+// Binary-swap compositing needs the P subvolumes arranged as the leaves of a
+// binary space partition whose split levels correspond to the rank bits: at
+// compositing stage k the pair differs in bit (k-1), which must separate two
+// bricks adjacent along a single axis so the front/back over-order is simply
+// the sign of the view direction along that axis.
+//
+// Bit layout: the MSB of the rank corresponds to the ROOT split (level 0),
+// the LSB to the deepest level — so stage 1 (bit 0) merges kd siblings, and
+// the child with bit 0 occupies the lower coordinates along the level axis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "volume/volume.hpp"
+
+namespace slspvr::vol {
+
+[[nodiscard]] constexpr bool is_power_of_two(int n) noexcept {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// Integer log2 for powers of two.
+[[nodiscard]] constexpr int log2_exact(int n) noexcept {
+  int levels = 0;
+  while ((1 << levels) < n) ++levels;
+  return levels;
+}
+
+struct KdPartition {
+  std::vector<Brick> bricks;    ///< one brick per rank
+  std::vector<int> level_axis;  ///< split axis (0=x,1=y,2=z) per tree level
+  int levels = 0;               ///< log2(ranks)
+
+  [[nodiscard]] int ranks() const noexcept { return static_cast<int>(bricks.size()); }
+
+  /// Split axis separating the pair that differs in rank bit `bit`
+  /// (bit 0 = deepest level).
+  [[nodiscard]] int axis_for_bit(int bit) const { return level_axis[levels - 1 - bit]; }
+
+  /// True when the rank whose `bit` is 0 (the lower-coordinate child along
+  /// axis_for_bit) is in FRONT for view direction `view_dir` (rays travel
+  /// along +view_dir). Exactly-perpendicular views return true; the two
+  /// halves then project to disjoint screen regions and order is irrelevant.
+  [[nodiscard]] bool lower_child_in_front(int bit, const float view_dir[3]) const {
+    return view_dir[axis_for_bit(bit)] >= 0.0f;
+  }
+};
+
+/// Regular spatial partition: split the longest remaining axis at its
+/// midpoint, one axis per level. Requires power-of-two ranks.
+[[nodiscard]] KdPartition kd_partition(const Dims& dims, int ranks);
+
+/// Load-balanced partition (the paper's future-work rendering-phase load
+/// balancing): same per-level axes, but each node splits at the position
+/// that best balances the number of dense voxels (density >= threshold)
+/// between its children.
+[[nodiscard]] KdPartition kd_partition_balanced(const Volume& volume, int ranks,
+                                                std::uint8_t threshold);
+
+/// Sanity check used by tests: bricks are disjoint and tile the volume.
+[[nodiscard]] bool partition_tiles_volume(const KdPartition& partition, const Dims& dims);
+
+/// 1-D slab decomposition along `axis` into `ranks` slabs in ascending
+/// coordinate order. Works for ANY rank count — this is the decomposition
+/// the non-power-of-two fold wrapper (core/fold) runs on.
+[[nodiscard]] std::vector<Brick> slab_partition(const Dims& dims, int ranks, int axis);
+
+}  // namespace slspvr::vol

@@ -1,0 +1,27 @@
+#include "volume/transfer_function.hpp"
+
+namespace slspvr::vol {
+
+TransferFunction ramp_tf(float lo, float hi, float max_opacity, float max_intensity) {
+  using CP = TransferFunction::ControlPoint;
+  return TransferFunction({
+      CP::gray(0.0f, 0.0f, 0.0f),
+      CP::gray(lo, 0.0f, 0.0f),
+      CP::gray(hi, max_intensity, max_opacity),
+      CP::gray(255.0f, max_intensity, max_opacity),
+  });
+}
+
+TransferFunction rainbow_tf(float lo, float hi, float max_opacity) {
+  const float third = (hi - lo) / 3.0f;
+  return TransferFunction({
+      {0.0f, 0, 0, 0, 0.0f},
+      {lo, 0, 0, 0, 0.0f},
+      {lo + third, 0.1f, 0.2f, 0.9f, max_opacity * 0.35f},       // blue
+      {lo + 2 * third, 0.1f, 0.85f, 0.2f, max_opacity * 0.7f},   // green
+      {hi, 0.95f, 0.15f, 0.1f, max_opacity},                     // red
+      {255.0f, 0.95f, 0.15f, 0.1f, max_opacity},
+  });
+}
+
+}  // namespace slspvr::vol

@@ -1,0 +1,94 @@
+// Transfer functions: map 8-bit density to emitted colour and opacity.
+//
+// The paper renders 8-bit gray-level images; the distinction between
+// Engine_low and Engine_high is precisely a transfer-function choice (a low
+// vs high density threshold), which controls how dense or sparse the
+// rendered subimages are — the variable the compositing evaluation sweeps.
+// Control points carry full RGB so colour classification works too (the
+// 16-byte pixel format already ships RGBA); the gray presets set r=g=b.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace slspvr::vol {
+
+/// One sample of the classification: emitted colour and opacity per unit
+/// sample step, all in [0, 1].
+struct Classified {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+  float opacity = 0.0f;
+
+  /// Gray-level helper (the paper's 8-bit gray rendering).
+  [[nodiscard]] static constexpr Classified gray(float intensity, float opacity) noexcept {
+    return Classified{intensity, intensity, intensity, opacity};
+  }
+
+  /// Luma of the emitted colour — the "intensity" of the gray presets.
+  [[nodiscard]] constexpr float intensity() const noexcept {
+    return 0.299f * r + 0.587f * g + 0.114f * b;
+  }
+};
+
+/// Piecewise-linear transfer function over density in [0, 255].
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    float density = 0.0f;  ///< in [0, 255]
+    float r = 0.0f, g = 0.0f, b = 0.0f;  ///< emitted colour in [0, 1]
+    float opacity = 0.0f;                ///< in [0, 1]
+
+    /// Gray control point (r = g = b = intensity).
+    [[nodiscard]] static constexpr ControlPoint gray(float density, float intensity,
+                                                     float opacity) noexcept {
+      return ControlPoint{density, intensity, intensity, intensity, opacity};
+    }
+  };
+
+  /// Control points must be sorted by density and non-empty.
+  explicit TransferFunction(std::vector<ControlPoint> points) : points_(std::move(points)) {
+    if (points_.empty()) throw std::invalid_argument("TransferFunction: no control points");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (points_[i].density < points_[i - 1].density) {
+        throw std::invalid_argument("TransferFunction: control points not sorted");
+      }
+    }
+  }
+
+  [[nodiscard]] Classified classify(float density) const noexcept {
+    const auto from = [](const ControlPoint& p) {
+      return Classified{p.r, p.g, p.b, p.opacity};
+    };
+    if (density <= points_.front().density) return from(points_.front());
+    if (density >= points_.back().density) return from(points_.back());
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), density,
+        [](float d, const ControlPoint& p) { return d < p.density; });
+    const ControlPoint& hi = *it;
+    const ControlPoint& lo = *(it - 1);
+    const float span = hi.density - lo.density;
+    const float t = span > 0.0f ? (density - lo.density) / span : 0.0f;
+    const auto lerp = [&](float a, float b2) { return a + t * (b2 - a); };
+    return Classified{lerp(lo.r, hi.r), lerp(lo.g, hi.g), lerp(lo.b, hi.b),
+                      lerp(lo.opacity, hi.opacity)};
+  }
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+/// Simple gray threshold ramp: fully transparent below `lo`, ramping to
+/// `max_opacity` at `hi`; intensity ramps alongside. The workhorse preset.
+[[nodiscard]] TransferFunction ramp_tf(float lo, float hi, float max_opacity,
+                                       float max_intensity = 1.0f);
+
+/// Colour preset: transparent below `lo`, then blue -> green -> red with
+/// rising opacity toward `hi` (a classic density rainbow). Exercises the
+/// RGB classification path end to end.
+[[nodiscard]] TransferFunction rainbow_tf(float lo, float hi, float max_opacity);
+
+}  // namespace slspvr::vol

@@ -1,0 +1,75 @@
+#include "volume/volume.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace slspvr::vol {
+
+float Volume::sample(float x, float y, float z) const noexcept {
+  const int ix = static_cast<int>(std::floor(x));
+  const int iy = static_cast<int>(std::floor(y));
+  const int iz = static_cast<int>(std::floor(z));
+  const float fx = x - static_cast<float>(ix);
+  const float fy = y - static_cast<float>(iy);
+  const float fz = z - static_cast<float>(iz);
+
+  const auto v = [&](int dx, int dy, int dz) {
+    return static_cast<float>(at_clamped(ix + dx, iy + dy, iz + dz));
+  };
+  const float c00 = v(0, 0, 0) * (1 - fx) + v(1, 0, 0) * fx;
+  const float c10 = v(0, 1, 0) * (1 - fx) + v(1, 1, 0) * fx;
+  const float c01 = v(0, 0, 1) * (1 - fx) + v(1, 0, 1) * fx;
+  const float c11 = v(0, 1, 1) * (1 - fx) + v(1, 1, 1) * fx;
+  const float c0 = c00 * (1 - fy) + c10 * fy;
+  const float c1 = c01 * (1 - fy) + c11 * fy;
+  return c0 * (1 - fz) + c1 * fz;
+}
+
+std::int64_t Volume::count_dense_voxels(const Brick& brick, std::uint8_t threshold) const {
+  std::int64_t count = 0;
+  for (int z = brick.z0; z < brick.z1; ++z) {
+    for (int y = brick.y0; y < brick.y1; ++y) {
+      for (int x = brick.x0; x < brick.x1; ++x) {
+        if (at(x, y, z) >= threshold) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+namespace {
+constexpr char kMagic[8] = {'S', 'L', 'S', 'V', 'O', 'L', '1', '\n'};
+}
+
+void write_raw(const Volume& volume, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const Dims d = volume.dims();
+  const std::int32_t hdr[3] = {d.nx, d.ny, d.nz};
+  out.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+  out.write(reinterpret_cast<const char*>(volume.data().data()),
+            static_cast<std::streamsize>(volume.data().size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Volume read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a SLSVOL1 volume: " + path);
+  }
+  std::int32_t hdr[3];
+  in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+  if (!in) throw std::runtime_error("truncated header: " + path);
+  Volume volume(Dims{hdr[0], hdr[1], hdr[2]});
+  in.read(reinterpret_cast<char*>(volume.data().data()),
+          static_cast<std::streamsize>(volume.data().size()));
+  if (!in) throw std::runtime_error("truncated voxel data: " + path);
+  return volume;
+}
+
+}  // namespace slspvr::vol

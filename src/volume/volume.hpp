@@ -1,0 +1,99 @@
+// Volumetric scalar field: an (nx, ny, nz) grid of 8-bit densities, the same
+// data model as the paper's CT test samples (Engine 256x256x110,
+// Head 256x256x113, Cube 256x256x110).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace slspvr::vol {
+
+struct Dims {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  friend bool operator==(const Dims&, const Dims&) = default;
+
+  [[nodiscard]] constexpr std::int64_t voxel_count() const noexcept {
+    return static_cast<std::int64_t>(nx) * ny * nz;
+  }
+};
+
+/// Axis-aligned voxel brick [x0,x1) x [y0,y1) x [z0,z1): one PE's subvolume.
+struct Brick {
+  int x0 = 0, y0 = 0, z0 = 0;
+  int x1 = 0, y1 = 0, z1 = 0;
+
+  friend bool operator==(const Brick&, const Brick&) = default;
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return x0 >= x1 || y0 >= y1 || z0 >= z1;
+  }
+  [[nodiscard]] constexpr std::int64_t voxel_count() const noexcept {
+    return empty() ? 0
+                   : static_cast<std::int64_t>(x1 - x0) * (y1 - y0) * (z1 - z0);
+  }
+  [[nodiscard]] constexpr bool contains(int x, int y, int z) const noexcept {
+    return x >= x0 && x < x1 && y >= y0 && y < y1 && z >= z0 && z < z1;
+  }
+  [[nodiscard]] static constexpr Brick whole(const Dims& d) noexcept {
+    return Brick{0, 0, 0, d.nx, d.ny, d.nz};
+  }
+};
+
+/// Dense 8-bit volume.
+class Volume {
+ public:
+  Volume() = default;
+  explicit Volume(Dims dims)
+      : dims_(dims), voxels_(static_cast<std::size_t>(check(dims))) {}
+
+  [[nodiscard]] const Dims& dims() const noexcept { return dims_; }
+
+  [[nodiscard]] std::uint8_t at(int x, int y, int z) const {
+    return voxels_[index(x, y, z)];
+  }
+  [[nodiscard]] std::uint8_t& at(int x, int y, int z) { return voxels_[index(x, y, z)]; }
+
+  /// Clamped access: coordinates outside the grid read the nearest voxel.
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y, int z) const noexcept {
+    const auto clampi = [](int v, int hi) { return v < 0 ? 0 : (v >= hi ? hi - 1 : v); };
+    return voxels_[index(clampi(x, dims_.nx), clampi(y, dims_.ny), clampi(z, dims_.nz))];
+  }
+
+  /// Trilinear density sample at continuous voxel coordinates.
+  [[nodiscard]] float sample(float x, float y, float z) const noexcept;
+
+  [[nodiscard]] std::vector<std::uint8_t>& data() noexcept { return voxels_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return voxels_; }
+
+  /// Number of voxels with density >= threshold inside `brick` (used by the
+  /// cost-balanced partitioner, the paper's future-work load balancing).
+  [[nodiscard]] std::int64_t count_dense_voxels(const Brick& brick,
+                                                std::uint8_t threshold) const;
+
+ private:
+  static std::int64_t check(const Dims& d) {
+    if (d.nx < 0 || d.ny < 0 || d.nz < 0) {
+      throw std::invalid_argument("Volume: negative dimensions");
+    }
+    return d.voxel_count();
+  }
+  [[nodiscard]] std::size_t index(int x, int y, int z) const noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<std::int64_t>(z) * dims_.ny + y) * dims_.nx + x);
+  }
+
+  Dims dims_;
+  std::vector<std::uint8_t> voxels_;
+};
+
+/// Raw volume file io (tiny header + voxel bytes) — lets users bring their
+/// own CT data in place of the synthetic samples.
+void write_raw(const Volume& volume, const std::string& path);
+[[nodiscard]] Volume read_raw(const std::string& path);
+
+}  // namespace slspvr::vol

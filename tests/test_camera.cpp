@@ -1,0 +1,121 @@
+// Focused tests for the camera/vector math and renderer options that the
+// integration suites exercise only indirectly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "render/vec3.hpp"
+#include "volume/datasets.hpp"
+
+namespace render = slspvr::render;
+namespace vol = slspvr::vol;
+namespace img = slspvr::img;
+
+using render::Vec3;
+
+TEST(Vec3, ArithmeticAndDot) {
+  const Vec3 a{1, 2, 3}, b{4, -5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_FLOAT_EQ(sum.x, 5);
+  EXPECT_FLOAT_EQ(sum.y, -3);
+  EXPECT_FLOAT_EQ(sum.z, 9);
+  EXPECT_FLOAT_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_FLOAT_EQ(length(Vec3{3, 4, 0}), 5.0f);
+  const Vec3 n = normalized(Vec3{0, 0, 10});
+  EXPECT_FLOAT_EQ(n.z, 1.0f);
+  // Zero vector normalises to itself (no NaNs).
+  const Vec3 z = normalized(Vec3{});
+  EXPECT_FLOAT_EQ(z.x, 0.0f);
+}
+
+TEST(Vec3, RotationsPreserveLengthAndCompose) {
+  const Vec3 v{0.3f, -0.7f, 0.65f};
+  const float len = length(v);
+  for (const float angle : {0.1f, 0.7f, 2.5f}) {
+    EXPECT_NEAR(length(render::rotate_x(v, angle)), len, 1e-5f);
+    EXPECT_NEAR(length(render::rotate_y(v, angle)), len, 1e-5f);
+  }
+  // Rotating forward then backward is the identity.
+  const Vec3 back = render::rotate_x(render::rotate_x(v, 0.9f), -0.9f);
+  EXPECT_NEAR(back.x, v.x, 1e-6f);
+  EXPECT_NEAR(back.y, v.y, 1e-6f);
+  EXPECT_NEAR(back.z, v.z, 1e-6f);
+}
+
+TEST(Camera, BasisStaysOrthonormalUnderRotation) {
+  for (const auto& [rx, ry] : std::vector<std::pair<float, float>>{
+           {0, 0}, {30, 0}, {0, 45}, {18, 24}, {-60, 125}}) {
+    render::OrthoCamera camera(vol::Dims{32, 32, 32}, 16, 16, rx, ry);
+    // Two rays one pixel apart are parallel and offset perpendicular to the
+    // view direction.
+    const Vec3 o1 = camera.ray_origin(4, 4);
+    const Vec3 o2 = camera.ray_origin(5, 4);
+    const Vec3 offset = o2 - o1;
+    EXPECT_NEAR(dot(offset, camera.view_dir()), 0.0f, 1e-3f) << rx << "," << ry;
+  }
+}
+
+TEST(Camera, ZoomShrinksViewportExtent) {
+  const vol::Dims dims{32, 32, 32};
+  render::OrthoCamera wide(dims, 16, 16, 0, 0, 1.0f);
+  render::OrthoCamera tight(dims, 16, 16, 0, 0, 2.0f);
+  const float wide_span = length(wide.ray_origin(15, 8) - wide.ray_origin(0, 8));
+  const float tight_span = length(tight.ray_origin(15, 8) - tight.ray_origin(0, 8));
+  EXPECT_NEAR(tight_span * 2.0f, wide_span, 1e-3f);
+}
+
+TEST(Raycast, StepSizeHalvingKeepsImageClose) {
+  // Opacity correction: halving the step should approximately preserve the
+  // accumulated image (more, weaker samples).
+  const auto ds = vol::make_dataset(vol::DatasetKind::Head, 0.12);
+  const int size = 48;
+  render::OrthoCamera camera(ds.volume.dims(), size, size, 10, 15);
+  img::Image coarse(size, size), fine(size, size);
+  render::RaycastOptions c1;
+  c1.step = 1.0f;
+  render::RaycastOptions c2;
+  c2.step = 0.5f;
+  render::render_full(ds.volume, ds.tf, camera, coarse, c1);
+  render::render_full(ds.volume, ds.tf, camera, fine, c2);
+  double diff = 0, count = 0;
+  for (std::int64_t i = 0; i < coarse.pixel_count(); ++i) {
+    if (img::is_blank(coarse.at_index(i)) && img::is_blank(fine.at_index(i))) continue;
+    diff += std::fabs(coarse.at_index(i).a - fine.at_index(i).a);
+    count += 1;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LT(diff / count, 0.06);  // mean opacity difference is small
+}
+
+TEST(Raycast, EarlyTerminationOnlyShortensWork) {
+  const auto ds = vol::make_dataset(vol::DatasetKind::EngineLow, 0.12);
+  const int size = 48;
+  render::OrthoCamera camera(ds.volume.dims(), size, size, 18, 24);
+  render::RaycastOptions never;
+  never.early_termination = 2.0f;  // never fires
+  render::RaycastOptions normal;   // 0.995
+
+  img::Image a(size, size), b(size, size);
+  render::RenderStats sa, sb;
+  render::render_full(ds.volume, ds.tf, camera, a, never, &sa);
+  render::render_full(ds.volume, ds.tf, camera, b, normal, &sb);
+  EXPECT_LE(sb.samples, sa.samples);
+  // Images agree closely: termination threshold only clips opacity > 0.995.
+  for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+    EXPECT_NEAR(a.at_index(i).a, b.at_index(i).a, 0.01f);
+  }
+}
+
+TEST(Raycast, MinAlphaSkipsNearTransparentSamples) {
+  const auto ds = vol::make_dataset(vol::DatasetKind::Head, 0.1);
+  const int size = 32;
+  render::OrthoCamera camera(ds.volume.dims(), size, size);
+  render::RaycastOptions strict;
+  strict.min_alpha = 0.5f;  // absurdly high: most samples skipped
+  img::Image image(size, size);
+  render::render_full(ds.volume, ds.tf, camera, image, strict);
+  // The head TF peaks at 0.45 opacity, so nothing passes min_alpha 0.5.
+  EXPECT_EQ(img::count_non_blank(image, image.bounds()), 0);
+}

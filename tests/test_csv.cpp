@@ -1,0 +1,53 @@
+// Tests for the CSV result exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/bsbrc.hpp"
+#include "pvr/csv.hpp"
+#include "test_helpers.hpp"
+
+namespace pvr = slspvr::pvr;
+using slspvr::testing::make_default_order;
+using slspvr::testing::make_subimages;
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto subimages = make_subimages(4, 24, 24, 0.3, 9);
+  const auto order = make_default_order(2);
+  const slspvr::core::BsbrcCompositor bsbrc;
+  const auto result = pvr::run_compositing(bsbrc, subimages, order);
+
+  pvr::CsvWriter csv;
+  csv.add("synthetic", 24, 4, result);
+  csv.add("synthetic", 24, 4, result);
+  EXPECT_EQ(csv.rows(), 2u);
+
+  const std::string path = std::filesystem::temp_directory_path() / "slspvr_test.csv";
+  csv.write(path);
+
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,"
+            "wait_ms,m_max_bytes,wall_ms");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    // Each row has 11 comma-separated fields and names the method.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 10);
+    EXPECT_NE(line.find("BSBRC"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathThrows) {
+  pvr::CsvWriter csv;
+  EXPECT_THROW(csv.write("/nonexistent-dir-xyz/out.csv"), std::runtime_error);
+}

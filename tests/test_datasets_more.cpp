@@ -1,0 +1,84 @@
+// Additional dataset/partition properties: scale invariance of the screen
+// structure, the balanced partitioner on real datasets, and dataset-tf
+// plumbing used by the tools.
+#include <gtest/gtest.h>
+
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "volume/datasets.hpp"
+#include "volume/partition.hpp"
+
+namespace vol = slspvr::vol;
+namespace img = slspvr::img;
+namespace render = slspvr::render;
+
+TEST(DatasetsMore, NamesRoundTrip) {
+  EXPECT_STREQ(vol::dataset_name(vol::DatasetKind::EngineLow), "engine_low");
+  EXPECT_STREQ(vol::dataset_name(vol::DatasetKind::EngineHigh), "engine_high");
+  EXPECT_STREQ(vol::dataset_name(vol::DatasetKind::Head), "head");
+  EXPECT_STREQ(vol::dataset_name(vol::DatasetKind::Cube), "cube");
+}
+
+TEST(DatasetsMore, EngineVolumesShareDensities) {
+  // engine_low and engine_high are the SAME volume with different transfer
+  // functions — exactly as in the paper (one CT scan, two thresholds).
+  const auto low = vol::make_dataset(vol::DatasetKind::EngineLow, 0.1);
+  const auto high = vol::make_dataset(vol::DatasetKind::EngineHigh, 0.1);
+  EXPECT_EQ(low.volume.data(), high.volume.data());
+}
+
+TEST(DatasetsMore, CoverageIsRoughlyScaleInvariant) {
+  // The camera fits the volume to the viewport, so rendering a half-scale
+  // volume should produce a similar screen coverage fraction.
+  const int size = 64;
+  for (const auto kind : {vol::DatasetKind::Head, vol::DatasetKind::Cube}) {
+    double coverage[2];
+    int i = 0;
+    for (const double scale : {0.15, 0.3}) {
+      const auto ds = vol::make_dataset(kind, scale);
+      render::OrthoCamera camera(ds.volume.dims(), size, size, 18, 24);
+      img::Image image(size, size);
+      render::render_full(ds.volume, ds.tf, camera, image);
+      coverage[i++] = static_cast<double>(img::count_non_blank(image, image.bounds())) /
+                      (size * size);
+    }
+    EXPECT_NEAR(coverage[0], coverage[1], 0.08) << vol::dataset_name(kind);
+  }
+}
+
+TEST(DatasetsMore, BalancedPartitionOnRealDatasets) {
+  for (const auto kind : {vol::DatasetKind::Head, vol::DatasetKind::EngineHigh}) {
+    const auto ds = vol::make_dataset(kind, 0.12);
+    const auto uniform = vol::kd_partition(ds.volume.dims(), 8);
+    const auto balanced = vol::kd_partition_balanced(ds.volume, 8, 64);
+    EXPECT_TRUE(vol::partition_tiles_volume(balanced, ds.volume.dims()));
+
+    const auto spread = [&](const vol::KdPartition& partition) {
+      std::int64_t max = 0;
+      for (const auto& brick : partition.bricks) {
+        max = std::max(max, ds.volume.count_dense_voxels(brick, 64));
+      }
+      return max;
+    };
+    EXPECT_LE(spread(balanced), spread(uniform)) << vol::dataset_name(kind);
+  }
+}
+
+TEST(DatasetsMore, RainbowTfEmitsColour) {
+  const auto tf = vol::rainbow_tf(50, 200, 0.8f);
+  const auto low = tf.classify(100.0f);
+  const auto high = tf.classify(195.0f);
+  // Low densities lean blue, high densities lean red.
+  EXPECT_GT(low.b, low.r);
+  EXPECT_GT(high.r, high.b);
+  EXPECT_GT(high.opacity, low.opacity);
+  EXPECT_FLOAT_EQ(tf.classify(10.0f).opacity, 0.0f);
+}
+
+TEST(DatasetsMore, ClassifiedGrayHelper) {
+  const auto c = vol::Classified::gray(0.6f, 0.3f);
+  EXPECT_FLOAT_EQ(c.r, 0.6f);
+  EXPECT_FLOAT_EQ(c.g, 0.6f);
+  EXPECT_FLOAT_EQ(c.b, 0.6f);
+  EXPECT_NEAR(c.intensity(), 0.6f, 1e-5f);
+}

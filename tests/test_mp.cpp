@@ -1,0 +1,311 @@
+// Tests for the message-passing runtime: matching semantics, collectives,
+// subgroups, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mp/runtime.hpp"
+
+namespace mp = slspvr::mp;
+
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string to_string(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::array<std::atomic<bool>, 8> seen{};
+  const auto result = mp::Runtime::run(8, [&](mp::Comm& comm) {
+    ++count;
+    seen[static_cast<std::size_t>(comm.rank())] = true;
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(count, 8);
+  for (const auto& s : seen) EXPECT_TRUE(s);
+  (void)result;
+}
+
+TEST(Runtime, SingleRankWorks) {
+  int visits = 0;
+  (void)mp::Runtime::run(1, [&](mp::Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Runtime, ZeroRanksThrows) {
+  EXPECT_THROW((void)mp::Runtime::run(0, [](mp::Comm&) {}), std::invalid_argument);
+}
+
+TEST(Runtime, RankExceptionPropagates) {
+  EXPECT_THROW((void)mp::Runtime::run(2,
+                                      [](mp::Comm& comm) {
+                                        if (comm.rank() == 1) throw std::runtime_error("boom");
+                                      }),
+               std::runtime_error);
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::string payload = "hello rank one";
+      comm.send(1, 7, as_bytes(payload));
+    } else {
+      const auto bytes = comm.recv(0, 7);
+      EXPECT_EQ(to_string(bytes), "hello rank one");
+    }
+  });
+}
+
+TEST(Comm, MatchingBySourceAndTag) {
+  // Rank 2 receives in the opposite order the messages were (likely) sent;
+  // matching must pick by (source, tag), not arrival order.
+  (void)mp::Runtime::run(3, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(2, 1, as_bytes(std::string("from-zero")));
+    } else if (comm.rank() == 1) {
+      comm.send(2, 2, as_bytes(std::string("from-one")));
+    } else {
+      EXPECT_EQ(to_string(comm.recv(1, 2)), "from-one");
+      EXPECT_EQ(to_string(comm.recv(0, 1)), "from-zero");
+    }
+  });
+}
+
+TEST(Comm, FifoPerSourceAndTag) {
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 16; ++i) comm.send_value(1, 5, i);
+    } else {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(Comm, AnySourceReceivesAll) {
+  (void)mp::Runtime::run(4, [](mp::Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(0, 3, comm.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) {
+        const auto msg = comm.recv_message(mp::kAnySource, 3);
+        int v;
+        std::memcpy(&v, msg.payload.data(), sizeof(v));
+        EXPECT_EQ(v, msg.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    }
+  });
+}
+
+TEST(Comm, SendrecvBetweenPairs) {
+  (void)mp::Runtime::run(8, [](mp::Comm& comm) {
+    const int partner = comm.rank() ^ 1;
+    const int mine = comm.rank() * 100;
+    const auto got = comm.sendrecv(partner, 9, std::as_bytes(std::span(&mine, 1)));
+    int theirs;
+    std::memcpy(&theirs, got.data(), sizeof(theirs));
+    EXPECT_EQ(theirs, partner * 100);
+  });
+}
+
+TEST(Comm, SendValueRecvValueTyped) {
+  struct Payload {
+    double a;
+    int b;
+  };
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, Payload{3.5, 42});
+    } else {
+      const auto p = comm.recv_value<Payload>(0, 4);
+      EXPECT_DOUBLE_EQ(p.a, 3.5);
+      EXPECT_EQ(p.b, 42);
+    }
+  });
+}
+
+TEST(Comm, RecvValueSizeMismatchThrows) {
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::uint8_t tiny = 1;
+      comm.send_value(1, 4, tiny);
+    } else {
+      EXPECT_THROW((void)comm.recv_value<std::uint64_t>(0, 4), std::runtime_error);
+    }
+  });
+}
+
+TEST(Comm, RecvVectorRoundTrip) {
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    std::vector<float> values(100);
+    std::iota(values.begin(), values.end(), 0.0f);
+    if (comm.rank() == 0) {
+      comm.send_vector<float>(1, 11, values);
+    } else {
+      EXPECT_EQ(comm.recv_vector<float>(0, 11), values);
+    }
+  });
+}
+
+TEST(Comm, SendToInvalidRankThrows) {
+  (void)mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_value(5, 0, 1), std::out_of_range);
+      EXPECT_THROW(comm.send_value(-1, 0, 1), std::out_of_range);
+    }
+  });
+}
+
+TEST(Comm, BarrierSeparatesPhases) {
+  std::atomic<int> before{0};
+  std::atomic<bool> ordering_ok{true};
+  (void)mp::Runtime::run(6, [&](mp::Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 6) ordering_ok = false;
+  });
+  EXPECT_TRUE(ordering_ok);
+}
+
+TEST(Comm, GatherCollectsInRankOrder) {
+  (void)mp::Runtime::run(4, [](mp::Comm& comm) {
+    const int mine = comm.rank() + 10;
+    const auto all = comm.gather(0, std::as_bytes(std::span(&mine, 1)));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        int v;
+        std::memcpy(&v, all[static_cast<std::size_t>(r)].data(), sizeof(v));
+        EXPECT_EQ(v, r + 10);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, BroadcastReachesEveryRank) {
+  (void)mp::Runtime::run(5, [](mp::Comm& comm) {
+    std::vector<std::byte> data;
+    if (comm.rank() == 2) {
+      const int v = 777;
+      data = comm.broadcast(2, std::as_bytes(std::span(&v, 1)));
+    } else {
+      data = comm.broadcast(2, {});
+    }
+    int v;
+    std::memcpy(&v, data.data(), sizeof(v));
+    EXPECT_EQ(v, 777);
+  });
+}
+
+TEST(Subgroup, RanksAndTranslation) {
+  (void)mp::Runtime::run(6, [](mp::Comm& comm) {
+    // Subgroup of the even world ranks.
+    if (comm.rank() % 2 != 0) return;
+    mp::Comm sub = comm.subgroup({0, 2, 4});
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Ring exchange inside the subgroup.
+    const int next = (sub.rank() + 1) % 3;
+    const int prev = (sub.rank() + 2) % 3;
+    sub.send_value(next, 21, sub.rank());
+    EXPECT_EQ(sub.recv_value<int>(prev, 21), prev);
+  });
+}
+
+TEST(Subgroup, BarrierWorks) {
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> ok{true};
+  (void)mp::Runtime::run(8, [&](mp::Comm& comm) {
+    if (comm.rank() >= 5) return;  // only ranks 0..4 participate
+    mp::Comm sub = comm.subgroup({0, 1, 2, 3, 4});
+    ++arrivals;
+    sub.barrier();
+    if (arrivals.load() != 5) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Subgroup, GatherWithinGroup) {
+  (void)mp::Runtime::run(6, [](mp::Comm& comm) {
+    if (comm.rank() < 2) return;
+    mp::Comm sub = comm.subgroup({2, 3, 4, 5});
+    const int mine = comm.rank();
+    const auto all = sub.gather(0, std::as_bytes(std::span(&mine, 1)));
+    if (sub.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int i = 0; i < 4; ++i) {
+        int v;
+        std::memcpy(&v, all[static_cast<std::size_t>(i)].data(), sizeof(v));
+        EXPECT_EQ(v, i + 2);
+      }
+    }
+  });
+}
+
+TEST(Subgroup, NonMemberThrows) {
+  (void)mp::Runtime::run(3, [](mp::Comm& comm) {
+    if (comm.rank() == 2) {
+      EXPECT_THROW((void)comm.subgroup({0, 1}), std::invalid_argument);
+    }
+  });
+}
+
+TEST(Trace, CountsBytesPerEndpoint) {
+  const auto result = mp::Runtime::run(2, [](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(100);
+      comm.send(1, 1, payload);
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(result.trace().sent_bytes(0), 100u);
+  EXPECT_EQ(result.trace().received_bytes(1), 100u);
+  EXPECT_EQ(result.trace().sent_bytes(1), 0u);
+  EXPECT_EQ(result.trace().max_received_bytes(), 100u);
+}
+
+TEST(Trace, StageMarkersAttachToRecords) {
+  const auto result = mp::Runtime::run(2, [](mp::Comm& comm) {
+    comm.set_stage(3);
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(8);
+      comm.send(1, 1, payload);
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+  ASSERT_EQ(result.trace().sent(0).size(), 1u);
+  EXPECT_EQ(result.trace().sent(0)[0].stage, 3);
+  ASSERT_EQ(result.trace().received(1).size(), 1u);
+  EXPECT_EQ(result.trace().received(1)[0].stage, 3);
+}
+
+TEST(Mailbox, ProbeAndPending) {
+  mp::Mailbox box;
+  EXPECT_FALSE(box.probe(0, 1));
+  EXPECT_EQ(box.pending(), 0u);
+  box.deposit(mp::Message{0, 1, {}});
+  EXPECT_TRUE(box.probe(0, 1));
+  EXPECT_TRUE(box.probe(mp::kAnySource, mp::kAnyTag));
+  EXPECT_FALSE(box.probe(0, 2));
+  EXPECT_EQ(box.pending(), 1u);
+  (void)box.match(0, 1);
+  EXPECT_EQ(box.pending(), 0u);
+}

@@ -1,0 +1,157 @@
+// Tests for the typed reduction collectives and mp stress behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+
+#include "mp/reduce.hpp"
+#include "mp/runtime.hpp"
+
+namespace mp = slspvr::mp;
+
+namespace {
+constexpr auto kSum = [](auto a, auto b) { return a + b; };
+constexpr auto kMax = [](auto a, auto b) { return a > b ? a : b; };
+}  // namespace
+
+class ReduceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceRanks, SumReachesRootZero) {
+  const int ranks = GetParam();
+  const int expected = ranks * (ranks - 1) / 2;
+  (void)mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    const int result = mp::reduce(comm, comm.rank(), kSum);
+    if (comm.rank() == 0) EXPECT_EQ(result, expected);
+  });
+}
+
+TEST_P(ReduceRanks, AllreduceGivesEveryRankTheTotal) {
+  const int ranks = GetParam();
+  const std::int64_t expected = static_cast<std::int64_t>(ranks) * (ranks - 1) / 2;
+  (void)mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    const auto result = mp::allreduce(comm, static_cast<std::int64_t>(comm.rank()), kSum);
+    EXPECT_EQ(result, expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ReduceRanks,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));
+
+TEST(Reduce, NonZeroRoot) {
+  (void)mp::Runtime::run(6, [](mp::Comm& comm) {
+    const int result = mp::reduce(comm, comm.rank() + 1, kSum, /*root=*/4);
+    if (comm.rank() == 4) EXPECT_EQ(result, 21);
+  });
+}
+
+TEST(Reduce, MaxOperator) {
+  (void)mp::Runtime::run(8, [](mp::Comm& comm) {
+    const int value = (comm.rank() * 37) % 23;
+    const int result = mp::allreduce(comm, value, kMax);
+    int expected = 0;
+    for (int r = 0; r < 8; ++r) expected = std::max(expected, (r * 37) % 23);
+    EXPECT_EQ(result, expected);
+  });
+}
+
+TEST(Reduce, VectorElementwise) {
+  (void)mp::Runtime::run(5, [](mp::Comm& comm) {
+    std::vector<int> mine(16);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = comm.rank() * static_cast<int>(i);
+    }
+    const auto result = mp::reduce_vector<int>(comm, mine, kSum);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        EXPECT_EQ(result[i], 10 * static_cast<int>(i));  // 0+1+2+3+4 = 10
+      }
+    }
+  });
+}
+
+TEST(Reduce, DoublePrecisionSums) {
+  (void)mp::Runtime::run(12, [](mp::Comm& comm) {
+    const double value = 0.5 * (comm.rank() + 1);
+    const double result = mp::allreduce(comm, value, kSum);
+    EXPECT_DOUBLE_EQ(result, 0.5 * 78.0);
+  });
+}
+
+TEST(Reduce, WorksOnSubgroups) {
+  (void)mp::Runtime::run(8, [](mp::Comm& comm) {
+    if (comm.rank() % 2 != 0) return;
+    mp::Comm sub = comm.subgroup({0, 2, 4, 6});
+    const int result = mp::allreduce(sub, comm.rank(), kSum);
+    EXPECT_EQ(result, 0 + 2 + 4 + 6);
+  });
+}
+
+// ---- stress ---------------------------------------------------------------
+
+TEST(Stress, RandomPairwiseMessageStorm) {
+  // Every rank sends a few hundred messages with random (deterministic)
+  // sizes to random peers, tagged by sender round; receivers drain by
+  // matching (source, tag) in reverse round order to stress the mailbox's
+  // out-of-order matching. Total bytes are conserved end to end.
+  const int ranks = 6;
+  const int rounds = 50;
+  const auto result = mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    std::mt19937 rng(1000 + static_cast<std::uint32_t>(comm.rank()));
+    std::uniform_int_distribution<int> size_dist(0, 2000);
+    // Everyone sends `rounds` messages to every other rank, tag = round.
+    std::vector<std::vector<int>> sent_sizes(static_cast<std::size_t>(ranks));
+    for (int round = 0; round < rounds; ++round) {
+      for (int peer = 0; peer < ranks; ++peer) {
+        if (peer == comm.rank()) continue;
+        const int size = size_dist(rng);
+        sent_sizes[static_cast<std::size_t>(peer)].push_back(size);
+        const std::vector<std::byte> payload(static_cast<std::size_t>(size));
+        comm.send(peer, round, payload);
+      }
+    }
+    // Drain in reverse round order, per peer.
+    for (int peer = 0; peer < ranks; ++peer) {
+      if (peer == comm.rank()) continue;
+      // Regenerate the peer's rng stream to know expected sizes.
+      std::mt19937 peer_rng(1000 + static_cast<std::uint32_t>(peer));
+      std::uniform_int_distribution<int> peer_size(0, 2000);
+      std::vector<std::vector<int>> peer_sent(static_cast<std::size_t>(ranks));
+      for (int round = 0; round < rounds; ++round) {
+        for (int q = 0; q < ranks; ++q) {
+          if (q == peer) continue;
+          peer_sent[static_cast<std::size_t>(q)].push_back(peer_size(peer_rng));
+        }
+      }
+      const auto& expected =
+          peer_sent[static_cast<std::size_t>(comm.rank())];
+      for (int round = rounds - 1; round >= 0; --round) {
+        const auto bytes = comm.recv(peer, round);
+        EXPECT_EQ(static_cast<int>(bytes.size()),
+                  expected[static_cast<std::size_t>(round)]);
+      }
+    }
+  });
+  // Conservation: global sent bytes == global received bytes.
+  std::uint64_t sent = 0, received = 0;
+  for (int r = 0; r < ranks; ++r) {
+    sent += result.trace().sent_bytes(r);
+    received += result.trace().received_bytes(r);
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_GT(sent, 0u);
+}
+
+TEST(Stress, ManyRanksBarrierLoop) {
+  const int ranks = 32;
+  std::atomic<int> counter{0};
+  (void)mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      ++counter;
+      comm.barrier();
+      EXPECT_EQ(counter.load() % ranks, 0) << "iteration " << i;
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(counter.load(), ranks * 20);
+}

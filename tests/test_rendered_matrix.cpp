@@ -1,0 +1,70 @@
+// End-to-end correctness matrix on REAL rendered workloads: every proposed
+// method must match the sequential reference across datasets, processor
+// counts, and viewpoint rotations (the conditions that move bounding
+// rectangles, emptiness, and sparsity around).
+#include <gtest/gtest.h>
+
+#include "pvr/experiment.hpp"
+#include "test_helpers.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+using slspvr::testing::expect_images_near;
+
+namespace {
+
+struct MatrixCase {
+  vol::DatasetKind dataset;
+  int ranks;
+  float rot_x, rot_y;
+};
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const auto& c = info.param;
+  std::string rot = std::to_string(static_cast<int>(c.rot_x)) + "_" +
+                    std::to_string(static_cast<int>(c.rot_y));
+  for (char& ch : rot) {
+    if (ch == '-') ch = 'm';
+  }
+  return std::string(vol::dataset_name(c.dataset)) + "_P" + std::to_string(c.ranks) +
+         "_rot" + rot;
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  const std::pair<float, float> rotations[] = {{0.0f, 0.0f}, {18.0f, 24.0f}, {-35.0f, 50.0f}};
+  for (const auto kind : vol::kAllDatasets) {
+    for (const int ranks : {4, 16}) {
+      for (const auto& [rx, ry] : rotations) {
+        cases.push_back(MatrixCase{kind, ranks, rx, ry});
+      }
+    }
+  }
+  return cases;
+}
+
+class RenderedMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+}  // namespace
+
+TEST_P(RenderedMatrix, AllPaperMethodsMatchReference) {
+  const MatrixCase& c = GetParam();
+  pvr::ExperimentConfig config;
+  config.dataset = c.dataset;
+  config.volume_scale = 0.12;
+  config.image_size = 56;
+  config.ranks = c.ranks;
+  config.rot_x_deg = c.rot_x;
+  config.rot_y_deg = c.rot_y;
+
+  const pvr::Experiment experiment(config);
+  const auto reference = experiment.reference();
+  for (const auto& method : pvr::MethodSet::paper_methods()) {
+    SCOPED_TRACE(std::string(method->name()));
+    const auto result = experiment.run(*method);
+    expect_images_near(result.final_image, reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatasetsRanksRotations, RenderedMatrix,
+                         ::testing::ValuesIn(matrix_cases()), matrix_name);

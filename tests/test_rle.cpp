@@ -1,0 +1,245 @@
+// Tests for both run-length encoders: the paper's background/foreground RLE
+// (Sec. 3.3, Figure 5) and the Ahrens-Painter value-based RLE (Sec. 2).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "image/interleave.hpp"
+#include "image/rle.hpp"
+#include "image/value_rle.hpp"
+
+namespace img = slspvr::img;
+
+namespace {
+
+img::Pixel opaque(float v) { return img::Pixel{v, v, v, 1.0f}; }
+
+/// Decode an Rle back to a dense pixel vector (blanks are default pixels).
+std::vector<img::Pixel> decode(const img::Rle& rle) {
+  std::vector<img::Pixel> out(static_cast<std::size_t>(rle.length));
+  img::rle_for_each_non_blank(
+      rle, [&](std::int64_t i, const img::Pixel& p) { out[static_cast<std::size_t>(i)] = p; });
+  return out;
+}
+
+img::Rle encode(const std::vector<img::Pixel>& pixels) {
+  return img::rle_encode_sequence(
+      static_cast<std::int64_t>(pixels.size()),
+      [&](std::int64_t i) -> const img::Pixel& { return pixels[static_cast<std::size_t>(i)]; });
+}
+
+}  // namespace
+
+TEST(Rle, EmptySequence) {
+  const img::Rle rle = encode({});
+  EXPECT_EQ(rle.length, 0);
+  EXPECT_TRUE(rle.codes.empty());
+  EXPECT_TRUE(rle.pixels.empty());
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.wire_bytes(), 0);
+}
+
+TEST(Rle, AllBlank) {
+  const std::vector<img::Pixel> pixels(1000);
+  const img::Rle rle = encode(pixels);
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.non_blank_count(), 0);
+  EXPECT_EQ(rle.codes.size(), 1u);  // a single blank run
+  EXPECT_EQ(rle.wire_bytes(), 2);
+  EXPECT_EQ(decode(rle), pixels);
+}
+
+TEST(Rle, AllForeground) {
+  std::vector<img::Pixel> pixels(500, opaque(0.5f));
+  const img::Rle rle = encode(pixels);
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.non_blank_count(), 500);
+  // Leading zero-length blank run + one foreground run.
+  EXPECT_EQ(rle.codes.size(), 2u);
+  EXPECT_EQ(rle.codes[0], 0);
+  EXPECT_EQ(decode(rle), pixels);
+}
+
+TEST(Rle, Figure5Pattern) {
+  // 3 blank, 2 non-blank, 4 blank, 1 non-blank: codes 3,2,4,1.
+  std::vector<img::Pixel> pixels(10);
+  pixels[3] = opaque(0.1f);
+  pixels[4] = opaque(0.2f);
+  pixels[9] = opaque(0.3f);
+  const img::Rle rle = encode(pixels);
+  EXPECT_EQ(rle.codes, (std::vector<std::uint16_t>{3, 2, 4, 1}));
+  EXPECT_EQ(rle.non_blank_count(), 3);
+  EXPECT_EQ(decode(rle), pixels);
+  // Wire: 4 codes * 2 bytes + 3 pixels * 16 bytes.
+  EXPECT_EQ(rle.wire_bytes(), 8 + 48);
+}
+
+TEST(Rle, AlternatingWorstCase) {
+  // Blank/non-blank alternation: one code per pixel (the worst case the
+  // paper says matches explicit x/y coordinates in code volume).
+  std::vector<img::Pixel> pixels(64);
+  for (std::size_t i = 1; i < pixels.size(); i += 2) pixels[i] = opaque(0.5f);
+  const img::Rle rle = encode(pixels);
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.codes.size(), pixels.size());
+  EXPECT_EQ(decode(rle), pixels);
+}
+
+TEST(Rle, LongRunSplitting) {
+  // Runs longer than 65535 split with zero-length opposite runs.
+  std::vector<img::Pixel> pixels(70000);
+  const img::Rle rle = encode(pixels);
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(decode(rle), pixels);
+  ASSERT_GE(rle.codes.size(), 3u);
+  EXPECT_EQ(rle.codes[0], 65535);
+  EXPECT_EQ(rle.codes[1], 0);  // zero-length foreground run keeps alternation
+  EXPECT_EQ(rle.codes[2], 70000 - 65535);
+}
+
+TEST(Rle, LongForegroundRunSplitting) {
+  std::vector<img::Pixel> pixels(70000, opaque(0.25f));
+  const img::Rle rle = encode(pixels);
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.non_blank_count(), 70000);
+  EXPECT_EQ(decode(rle), pixels);
+}
+
+TEST(RleProperty, RandomRoundTrip) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uniform_int_distribution<int> len_dist(0, 3000);
+    std::uniform_real_distribution<float> density_dist(0.0f, 1.0f);
+    const float density = density_dist(rng);
+    std::vector<img::Pixel> pixels(static_cast<std::size_t>(len_dist(rng)));
+    std::uniform_real_distribution<float> value_dist(0.01f, 1.0f);
+    for (auto& p : pixels) {
+      if (density_dist(rng) < density) p = opaque(value_dist(rng));
+    }
+    const img::Rle rle = encode(pixels);
+    EXPECT_TRUE(img::rle_valid(rle));
+    EXPECT_EQ(decode(rle), pixels) << "trial " << trial;
+    // Wire size is never worse than raw for the non-degenerate direction:
+    // codes are bounded by length + 1 alternations.
+    EXPECT_LE(static_cast<std::size_t>(rle.non_blank_count()), pixels.size());
+  }
+}
+
+TEST(ValueRle, EncodeDecodeRoundTrip) {
+  std::vector<img::Pixel> pixels;
+  for (int i = 0; i < 10; ++i) pixels.push_back(opaque(0.5f));
+  for (int i = 0; i < 5; ++i) pixels.push_back(img::Pixel{});
+  pixels.push_back(opaque(0.9f));
+  const auto runs = img::value_rle_encode(pixels);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].count, 10u);
+  EXPECT_EQ(runs[1].count, 5u);
+  EXPECT_EQ(runs[2].count, 1u);
+  std::vector<img::Pixel> out(pixels.size());
+  img::value_rle_decode(runs, out);
+  EXPECT_EQ(out, pixels);
+  EXPECT_EQ(img::value_rle_length(runs), static_cast<std::int64_t>(pixels.size()));
+}
+
+TEST(ValueRle, DecodeLengthMismatchThrows) {
+  const std::vector<img::ValueRun> runs{{opaque(0.5f), 4}};
+  std::vector<img::Pixel> too_small(3);
+  EXPECT_THROW(img::value_rle_decode(runs, too_small), std::out_of_range);
+  std::vector<img::Pixel> too_big(5);
+  EXPECT_THROW(img::value_rle_decode(runs, too_big), std::invalid_argument);
+}
+
+TEST(ValueRle, CompositeMatchesPixelwise) {
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<float> value(0.0f, 1.0f);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::vector<img::Pixel> front(300), back(300);
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    if (coin(rng) != 0) front[i] = img::Pixel{value(rng), 0, 0, value(rng)};
+    if (coin(rng) != 0) back[i] = img::Pixel{0, value(rng), 0, value(rng)};
+  }
+  const auto fr = img::value_rle_encode(front);
+  const auto br = img::value_rle_encode(back);
+  std::int64_t ops = 0;
+  const auto merged = img::value_rle_composite(fr, br, &ops);
+  EXPECT_GT(ops, 0);
+  std::vector<img::Pixel> out(front.size());
+  img::value_rle_decode(merged, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const img::Pixel expect = img::over(front[i], back[i]);
+    EXPECT_FLOAT_EQ(out[i].r, expect.r) << i;
+    EXPECT_FLOAT_EQ(out[i].a, expect.a) << i;
+  }
+}
+
+TEST(ValueRle, CompositeLengthMismatchThrows) {
+  const auto a = img::value_rle_encode(std::vector<img::Pixel>(5));
+  const auto b = img::value_rle_encode(std::vector<img::Pixel>(6));
+  EXPECT_THROW((void)img::value_rle_composite(a, b), std::invalid_argument);
+}
+
+TEST(ValueRle, ConstantImagesCompositeInOneOp) {
+  // The O(1) best case the paper quotes for compressed-domain compositing.
+  const auto a = img::value_rle_encode(std::vector<img::Pixel>(5000, opaque(0.2f)));
+  const auto b = img::value_rle_encode(std::vector<img::Pixel>(5000, opaque(0.7f)));
+  std::int64_t ops = 0;
+  const auto merged = img::value_rle_composite(a, b, &ops);
+  EXPECT_EQ(ops, 1);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(ValueRle, DegeneratesOnNoisyVolumePixels) {
+  // The paper's argument for background/foreground RLE: with float-valued
+  // volume-rendered pixels, neighbours differ, so value runs are length 1
+  // and the count field is pure overhead versus the bg/fg encoding.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> value(0.01f, 1.0f);
+  std::vector<img::Pixel> pixels(1000);
+  for (auto& p : pixels) p = opaque(value(rng));
+  const auto runs = img::value_rle_encode(pixels);
+  EXPECT_EQ(runs.size(), pixels.size());  // every run is a single pixel
+  const auto bgfg = img::rle_encode_sequence(
+      static_cast<std::int64_t>(pixels.size()),
+      [&](std::int64_t i) -> const img::Pixel& { return pixels[static_cast<std::size_t>(i)]; });
+  EXPECT_LT(bgfg.wire_bytes(), img::value_rle_wire_bytes(runs));
+}
+
+TEST(Interleave, SplitIsEvenOddPartition) {
+  const img::InterleavedRange whole = img::InterleavedRange::whole(11);
+  const auto [even, odd] = whole.split();
+  EXPECT_EQ(even.count + odd.count, 11);
+  EXPECT_EQ(even.count, 6);
+  EXPECT_EQ(odd.count, 5);
+  EXPECT_EQ(even.index(0), 0);
+  EXPECT_EQ(even.index(1), 2);
+  EXPECT_EQ(odd.index(0), 1);
+  EXPECT_EQ(odd.index(1), 3);
+}
+
+TEST(Interleave, RepeatedSplitsTileTheIndexSpace) {
+  // Splitting log2(P) times must partition [0, N) exactly — the Figure 6
+  // invariant that makes BSLC ownership well defined.
+  const std::int64_t n = 96;
+  std::vector<img::InterleavedRange> ranges{img::InterleavedRange::whole(n)};
+  for (int level = 0; level < 3; ++level) {
+    std::vector<img::InterleavedRange> next;
+    for (const auto& r : ranges) {
+      const auto [a, b] = r.split();
+      next.push_back(a);
+      next.push_back(b);
+    }
+    ranges = std::move(next);
+  }
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  for (const auto& r : ranges) {
+    for (std::int64_t i = 0; i < r.count; ++i) ++hits[static_cast<std::size_t>(r.index(i))];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Interleave, SplitOfEmptyRange) {
+  const img::InterleavedRange empty{0, 1, 0};
+  const auto [a, b] = empty.split();
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(b.empty());
+}

@@ -1,0 +1,235 @@
+// Unit tests for the wire helpers (rect/RLE pack–unpack–composite round
+// trips) and the gather_final ownership assembly.
+#include <gtest/gtest.h>
+
+#include "core/compositor.hpp"
+#include "core/wire.hpp"
+#include "test_helpers.hpp"
+
+namespace core = slspvr::core;
+namespace img = slspvr::img;
+namespace wire = slspvr::core::wire;
+using slspvr::testing::random_subimage;
+
+namespace {
+
+img::Image checkerboard(int w, int h) {
+  img::Image image(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if ((x + y) % 2 == 0) {
+        const float v = 0.1f + 0.01f * static_cast<float>(x + y * w);
+        image.at(x, y) = img::Pixel{v, v, v, 0.5f};
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+TEST(Wire, PackUnpackRectRoundTrip) {
+  const img::Image src = random_subimage(20, 16, 0.5, 7);
+  const img::Rect rect{3, 2, 17, 13};
+  img::PackBuffer buf;
+  wire::pack_rect_pixels(src, rect, buf);
+  EXPECT_EQ(buf.size(), static_cast<std::size_t>(rect.area()) * 16);
+
+  // Composite onto a blank image: result must equal the source inside rect.
+  img::Image dst(20, 16);
+  img::UnpackBuffer in(buf.bytes());
+  core::Counters counters;
+  wire::unpack_composite_rect(dst, rect, in, true, counters);
+  EXPECT_EQ(counters.over_ops, rect.area());
+  EXPECT_EQ(counters.pixels_received, rect.area());
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      if (rect.contains(x, y)) {
+        EXPECT_EQ(dst.at(x, y), src.at(x, y));
+      } else {
+        EXPECT_TRUE(img::is_blank(dst.at(x, y)));
+      }
+    }
+  }
+}
+
+TEST(Wire, EncodeRectCountsWork) {
+  const img::Image src = checkerboard(16, 8);
+  const img::Rect rect{0, 0, 16, 8};
+  core::Counters counters;
+  const img::Rle rle = wire::encode_rect(src, rect, counters);
+  EXPECT_EQ(counters.encoded_pixels, rect.area());
+  EXPECT_EQ(counters.codes_emitted, static_cast<std::int64_t>(rle.codes.size()));
+  EXPECT_TRUE(img::rle_valid(rle));
+  EXPECT_EQ(rle.non_blank_count(), rect.area() / 2);  // checkerboard
+}
+
+TEST(Wire, RleRectCompositeRoundTrip) {
+  const img::Image src = random_subimage(24, 18, 0.3, 11);
+  const img::Rect rect = img::bounding_rect_of(src, src.bounds());
+  ASSERT_FALSE(rect.empty());
+  core::Counters counters;
+  const img::Rle rle = wire::encode_rect(src, rect, counters);
+
+  img::PackBuffer buf;
+  wire::pack_rle(rle, buf);
+  EXPECT_EQ(static_cast<std::int64_t>(buf.size()), rle.wire_bytes());
+
+  img::UnpackBuffer in(buf.bytes());
+  const img::Rle parsed = wire::parse_rle(in, rect.area());
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(parsed.codes, rle.codes);
+  EXPECT_EQ(parsed.pixels, rle.pixels);
+
+  img::Image dst(24, 18);
+  wire::composite_rle_rect(dst, rect, parsed, true, counters);
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      EXPECT_EQ(dst.at(x, y), src.at(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(Wire, RleStridedCompositeRoundTrip) {
+  const img::Image src = random_subimage(16, 16, 0.4, 13);
+  const img::InterleavedRange range{1, 3, 85};  // indices 1,4,...,253
+  core::Counters counters;
+  const img::Rle rle = wire::encode_strided(src, range, counters);
+  EXPECT_EQ(counters.encoded_pixels, range.count);
+
+  img::Image dst(16, 16);
+  wire::composite_rle_strided(dst, range, rle, true, counters);
+  for (std::int64_t i = 0; i < range.count; ++i) {
+    EXPECT_EQ(dst.at_index(range.index(i)), src.at_index(range.index(i)));
+  }
+  // Pixels outside the progression untouched.
+  EXPECT_TRUE(img::is_blank(dst.at_index(0)));
+  EXPECT_TRUE(img::is_blank(dst.at_index(2)));
+}
+
+TEST(Wire, ParseRleRejectsOvershoot) {
+  img::Rle rle;
+  rle.length = 5;
+  rle.codes = {7};  // 7 > 5: overshoots
+  img::PackBuffer buf;
+  wire::pack_rle(rle, buf);
+  img::UnpackBuffer in(buf.bytes());
+  EXPECT_THROW((void)wire::parse_rle(in, 5), std::runtime_error);
+}
+
+TEST(Wire, ParseRleRejectsTruncation) {
+  // Codes say 3 foreground pixels but only 1 is present.
+  img::Rle rle;
+  rle.length = 3;
+  rle.codes = {0, 3};
+  rle.pixels = {img::Pixel{1, 1, 1, 1}};
+  img::PackBuffer buf;
+  wire::pack_rle(rle, buf);
+  img::UnpackBuffer in(buf.bytes());
+  EXPECT_THROW((void)wire::parse_rle(in, 3), std::out_of_range);
+}
+
+TEST(Wire, EmptyRectIsFree) {
+  const img::Image src(8, 8);
+  core::Counters counters;
+  const img::Rle rle = wire::encode_rect(src, img::kEmptyRect, counters);
+  EXPECT_EQ(rle.length, 0);
+  EXPECT_EQ(rle.wire_bytes(), 0);
+  EXPECT_EQ(counters.encoded_pixels, 0);
+}
+
+// ---- gather_final ownership kinds ----------------------------------------
+
+TEST(Gather, RectOwnershipAssembles) {
+  const int ranks = 4;
+  // Rank r owns rows [r*4, r*4+4) of a 8x16 image filled with its rank id.
+  std::vector<img::Image> locals;
+  for (int r = 0; r < ranks; ++r) {
+    img::Image image(8, 16);
+    for (int y = r * 4; y < r * 4 + 4; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        image.at(x, y) = img::Pixel{static_cast<float>(r), 0, 0, 1.0f};
+      }
+    }
+    locals.push_back(std::move(image));
+  }
+  img::Image final_image;
+  (void)slspvr::mp::Runtime::run(ranks, [&](slspvr::mp::Comm& comm) {
+    const int r = comm.rank();
+    const core::Ownership owned =
+        core::Ownership::full_rect(img::Rect{0, r * 4, 8, r * 4 + 4});
+    auto gathered =
+        core::gather_final(comm, locals[static_cast<std::size_t>(r)], owned, 0);
+    if (r == 0) final_image = std::move(gathered);
+  });
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_FLOAT_EQ(final_image.at(x, y).r, static_cast<float>(y / 4));
+    }
+  }
+}
+
+TEST(Gather, InterleavedOwnershipAssembles) {
+  const int ranks = 4;
+  const std::int64_t n = 8 * 8;
+  std::vector<img::Image> locals(ranks, img::Image(8, 8));
+  // Rank r owns indices r, r+4, r+8, ... and stamps them with its id.
+  for (int r = 0; r < ranks; ++r) {
+    for (std::int64_t i = r; i < n; i += ranks) {
+      locals[static_cast<std::size_t>(r)].at_index(i) =
+          img::Pixel{static_cast<float>(r), 0, 0, 1.0f};
+    }
+  }
+  img::Image final_image;
+  (void)slspvr::mp::Runtime::run(ranks, [&](slspvr::mp::Comm& comm) {
+    const int r = comm.rank();
+    const core::Ownership owned = core::Ownership::interleaved(
+        img::InterleavedRange{r, ranks, n / ranks});
+    auto gathered =
+        core::gather_final(comm, locals[static_cast<std::size_t>(r)], owned, 0);
+    if (r == 0) final_image = std::move(gathered);
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(final_image.at_index(i).r, static_cast<float>(i % ranks));
+  }
+}
+
+TEST(Gather, FullAtRootKeepsRootImage) {
+  const int ranks = 3;
+  img::Image final_image;
+  (void)slspvr::mp::Runtime::run(ranks, [&](slspvr::mp::Comm& comm) {
+    img::Image local(4, 4);
+    if (comm.rank() == 0) local.at(1, 1) = img::Pixel{0.5f, 0.5f, 0.5f, 1.0f};
+    auto gathered = core::gather_final(comm, local, core::Ownership::full_at_root(), 0);
+    if (comm.rank() == 0) final_image = std::move(gathered);
+  });
+  EXPECT_FLOAT_EQ(final_image.at(1, 1).a, 1.0f);
+  EXPECT_TRUE(img::is_blank(final_image.at(0, 0)));
+}
+
+TEST(Gather, EmptyRectOwnershipContributesNothing) {
+  const int ranks = 2;
+  img::Image final_image;
+  (void)slspvr::mp::Runtime::run(ranks, [&](slspvr::mp::Comm& comm) {
+    img::Image local(4, 4);
+    local.fill(img::Pixel{9, 9, 9, 1});  // should never reach the root
+    const core::Ownership owned = comm.rank() == 0
+                                      ? core::Ownership::full_rect(local.bounds())
+                                      : core::Ownership::full_rect(img::kEmptyRect);
+    auto gathered = core::gather_final(comm, local, owned, 0);
+    if (comm.rank() == 0) final_image = std::move(gathered);
+  });
+  EXPECT_FLOAT_EQ(final_image.at(3, 3).r, 9.0f);
+}
+
+TEST(Gather, TrafficIsStageZero) {
+  const int ranks = 2;
+  const auto run = slspvr::mp::Runtime::run(ranks, [&](slspvr::mp::Comm& comm) {
+    comm.set_stage(5);  // simulate being mid-phase before gather
+    img::Image local(4, 4);
+    (void)core::gather_final(comm, local, core::Ownership::full_rect(local.bounds()), 0);
+  });
+  for (const auto& rec : run.trace().received(0)) {
+    EXPECT_EQ(rec.stage, 0);  // gather resets and records out of phase
+  }
+}

@@ -1,0 +1,225 @@
+// slspvr_render — command-line driver for the whole system.
+//
+// Renders a built-in test sample or a user-supplied raw volume (SLSVOL1
+// format, see volume/volume.hpp) through the sort-last pipeline with a
+// chosen compositing method, renderer, processor count and view, and writes
+// the result as PGM. The tool a downstream user reaches for first.
+//
+// usage:
+//   slspvr_render [options]
+//     --dataset <engine_low|engine_high|head|cube>   (default head)
+//     --volume <file.vol>        raw volume instead of a built-in dataset
+//     --tf <lo,hi,opacity>       ramp transfer function for --volume
+//     --method <bs|bsbr|bslc|bsbrc|bsbrs|tree|direct|pipeline>
+//     --ranks <n>                processor count (any; non-pow2 folds)
+//     --image <n>                image size (default 384)
+//     --scale <f>                built-in dataset scale (default 0.5)
+//     --rotx/--roty <deg>        view rotation (default 18 / 24)
+//     --renderer <raycast|splat> rendering-phase algorithm (default raycast)
+//     --shear-warp-preview <p>   also render the full volume by shear-warp
+//                                into <p> (single-node preview path)
+//     --out <path.pgm>           output image (default out/render.pgm)
+//     --stats                    print per-rank counters
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "core/binary_swap.hpp"
+#include "core/binary_tree.hpp"
+#include "core/bsbr.hpp"
+#include "core/bsbrc.hpp"
+#include "core/bsbrs.hpp"
+#include "core/bslc.hpp"
+#include "core/direct_send.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "image/compare.hpp"
+#include "image/image_io.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/report.hpp"
+#include "render/shear_warp.hpp"
+#include "volume/datasets.hpp"
+
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+namespace img = slspvr::img;
+namespace core = slspvr::core;
+namespace render = slspvr::render;
+
+namespace {
+
+struct Args {
+  vol::DatasetKind dataset = vol::DatasetKind::Head;
+  std::optional<std::string> volume_path;
+  float tf_lo = 60.0f, tf_hi = 140.0f, tf_opacity = 0.45f;
+  std::string method = "bsbrc";
+  int ranks = 8;
+  int image = 384;
+  double scale = 0.5;
+  float rot_x = 18.0f, rot_y = 24.0f;
+  std::string renderer = "raycast";
+  std::optional<std::string> shear_warp_preview;
+  std::string out = "out/render.pgm";
+  bool stats = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout << "see the header of tools/slspvr_render.cpp or README.md\n";
+  std::exit(code);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--dataset") {
+      const char* name = next();
+      bool found = false;
+      for (const auto kind : vol::kAllDatasets) {
+        if (std::strcmp(name, vol::dataset_name(kind)) == 0) {
+          args.dataset = kind;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown dataset " << name << "\n";
+        usage(2);
+      }
+    } else if (a == "--volume") {
+      args.volume_path = next();
+    } else if (a == "--tf") {
+      const std::string spec = next();
+      if (std::sscanf(spec.c_str(), "%f,%f,%f", &args.tf_lo, &args.tf_hi,
+                      &args.tf_opacity) != 3) {
+        std::cerr << "--tf expects lo,hi,opacity\n";
+        usage(2);
+      }
+    } else if (a == "--method") {
+      args.method = next();
+    } else if (a == "--ranks") {
+      args.ranks = std::atoi(next());
+    } else if (a == "--image") {
+      args.image = std::atoi(next());
+    } else if (a == "--scale") {
+      args.scale = std::atof(next());
+    } else if (a == "--rotx") {
+      args.rot_x = static_cast<float>(std::atof(next()));
+    } else if (a == "--roty") {
+      args.rot_y = static_cast<float>(std::atof(next()));
+    } else if (a == "--renderer") {
+      args.renderer = next();
+    } else if (a == "--shear-warp-preview") {
+      args.shear_warp_preview = next();
+    } else if (a == "--out") {
+      args.out = next();
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      usage(2);
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<core::Compositor> make_method(const std::string& name) {
+  if (name == "bs") return std::make_unique<core::BinarySwapCompositor>();
+  if (name == "bsbr") return std::make_unique<core::BsbrCompositor>();
+  if (name == "bslc") return std::make_unique<core::BslcCompositor>();
+  if (name == "bsbrc") return std::make_unique<core::BsbrcCompositor>();
+  if (name == "bsbrs") return std::make_unique<core::BsbrsCompositor>();
+  if (name == "tree") return std::make_unique<core::BinaryTreeCompositor>();
+  if (name == "direct") return std::make_unique<core::DirectSendCompositor>(true);
+  if (name == "pipeline") return std::make_unique<core::ParallelPipelineCompositor>();
+  std::cerr << "unknown method " << name << "\n";
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  if (const auto parent = std::filesystem::path(args.out).parent_path(); !parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+
+  // Build the experiment. A user volume replaces the procedural dataset by
+  // running the same pipeline manually.
+  pvr::ExperimentConfig config;
+  config.dataset = args.dataset;
+  config.volume_scale = args.scale;
+  config.image_size = args.image;
+  config.ranks = args.ranks;
+  config.rot_x_deg = args.rot_x;
+  config.rot_y_deg = args.rot_y;
+  config.use_splatting = args.renderer == "splat";
+
+  std::optional<vol::Dataset> user_dataset;
+  if (args.volume_path) {
+    user_dataset = vol::Dataset{std::filesystem::path(*args.volume_path).stem().string(),
+                                vol::read_raw(*args.volume_path),
+                                vol::ramp_tf(args.tf_lo, args.tf_hi, args.tf_opacity)};
+    std::cout << "loaded " << *args.volume_path << " ("
+              << user_dataset->volume.dims().nx << "x" << user_dataset->volume.dims().ny
+              << "x" << user_dataset->volume.dims().nz << ")\n";
+  }
+
+  const auto method = make_method(args.method);
+
+  pvr::MethodResult result;
+  if (user_dataset) {
+    const pvr::Experiment experiment(*user_dataset, config);
+    result = experiment.run(*method);
+  } else {
+    const pvr::Experiment experiment(config);
+    result = experiment.run(*method);
+  }
+
+  img::write_pgm(result.final_image, args.out);
+  std::cout << "method   : " << result.method << "\n"
+            << "image    : " << args.out << "\n"
+            << "T_comp   : " << pvr::fmt_ms(result.times.comp_ms) << " ms (SP2 model)\n"
+            << "T_comm   : " << pvr::fmt_ms(result.times.comm_ms) << " ms\n"
+            << "T_total  : " << pvr::fmt_ms(result.times.total_ms()) << " ms\n"
+            << "M_max    : " << pvr::fmt_bytes(result.m_max) << " bytes\n"
+            << "wall     : " << pvr::fmt_ms(result.wall_ms) << " ms\n";
+
+  if (args.stats) {
+    pvr::TextTable table({"rank", "over ops", "encoded px", "rect scanned", "codes",
+                          "px sent", "px recv", "bytes recv"});
+    for (std::size_t r = 0; r < result.per_rank.size(); ++r) {
+      const auto& c = result.per_rank[r];
+      table.add_row({std::to_string(r), std::to_string(c.over_ops),
+                     std::to_string(c.encoded_pixels), std::to_string(c.rect_scanned),
+                     std::to_string(c.codes_emitted), std::to_string(c.pixels_sent),
+                     std::to_string(c.pixels_received),
+                     pvr::fmt_bytes(result.received_bytes_per_rank[r])});
+    }
+    table.print(std::cout);
+  }
+
+  if (args.shear_warp_preview) {
+    const vol::Dataset& ds =
+        user_dataset ? *user_dataset : vol::make_dataset(args.dataset, args.scale);
+    render::OrthoCamera camera(ds.volume.dims(), args.image, args.image, args.rot_x,
+                               args.rot_y);
+    img::Image preview(args.image, args.image);
+    render::shear_warp_render(ds.volume, ds.tf, camera, preview);
+    img::write_pgm(preview, *args.shear_warp_preview);
+    std::cout << "shear-warp preview: " << *args.shear_warp_preview
+              << " (PSNR vs composited: " << pvr::fmt_ms(img::psnr_gray(preview, result.final_image), 1)
+              << " dB)\n";
+  }
+  return 0;
+}
