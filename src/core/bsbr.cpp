@@ -32,7 +32,7 @@ Ownership BsbrCompositor::composite(mp::Comm& comm, img::Image& image,
 
     const auto received = comm.sendrecv(partner, k, buf.bytes());
     img::UnpackBuffer in(received);
-    const img::Rect recv_rect = img::from_wire(in.get<img::WireRect>());
+    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
     if (!recv_rect.empty()) {
       wire::unpack_composite_rect(image, recv_rect, in,
                                   order.incoming_in_front(comm.rank(), bit), counters);

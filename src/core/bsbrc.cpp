@@ -36,7 +36,7 @@ Ownership BsbrcCompositor::composite(mp::Comm& comm, img::Image& image,
 
     // Lines 15-20: unpack, composite non-blank pixels per the codes.
     img::UnpackBuffer in(received);
-    const img::Rect recv_rect = img::from_wire(in.get<img::WireRect>());
+    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
     if (!recv_rect.empty()) {
       const img::Rle incoming = wire::parse_rle(in, recv_rect.area());
       wire::composite_rle_rect(image, recv_rect, incoming,

@@ -31,7 +31,7 @@ Ownership BsbrsCompositor::composite(mp::Comm& comm, img::Image& image,
     const auto received = comm.sendrecv(partner, k, buf.bytes());
 
     img::UnpackBuffer in(received);
-    const img::Rect recv_rect = img::from_wire(in.get<img::WireRect>());
+    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
     if (!recv_rect.empty()) {
       const img::SpanImage incoming = wire::parse_spans(in, recv_rect);
       wire::composite_spans(image, incoming, order.incoming_in_front(comm.rank(), bit),

@@ -61,7 +61,7 @@ Ownership DirectSendCompositor::composite(mp::Comm& comm, img::Image& image,
     img::UnpackBuffer in(inbox[static_cast<std::size_t>(contributor)]);
     img::Rect rect = my_band;
     if (sparse_) {
-      rect = img::from_wire(in.get<img::WireRect>());
+      rect = wire::parse_rect(in, result.bounds());
       if (rect.empty()) continue;
     }
     // `result` holds everything nearer than `contributor`, so the incoming

@@ -59,7 +59,7 @@ Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
     const int member = rank + 1;  // groups are 1 or 2 consecutive slabs
     const auto bytes = comm.recv(member, kFoldTag);
     img::UnpackBuffer in(bytes);
-    const img::Rect rect = img::from_wire(in.get<img::WireRect>());
+    const img::Rect rect = wire::parse_rect(in, image.bounds());
     if (!rect.empty()) {
       const img::Rle incoming = wire::parse_rle(in, rect.area());
       // The member is the deeper slab when slab order ascends toward the

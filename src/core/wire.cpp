@@ -1,6 +1,7 @@
 #include "core/wire.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace slspvr::core::wire {
 
@@ -66,10 +67,25 @@ img::Rle parse_rle(img::UnpackBuffer& buf, std::int64_t expected_length) {
     blank = !blank;
   }
   if (total != expected_length) {
-    throw std::runtime_error("parse_rle: codes overshoot the expected length");
+    throw img::DecodeError("parse_rle: codes overshoot the expected length (" +
+                           std::to_string(total) + " > " + std::to_string(expected_length) +
+                           ")");
   }
   rle.pixels = buf.get_vector<img::Pixel>(static_cast<std::size_t>(foreground));
   return rle;
+}
+
+img::Rect parse_rect(img::UnpackBuffer& buf, const img::Rect& bounds) {
+  const img::Rect rect = img::from_wire(buf.get<img::WireRect>());
+  if (rect.empty()) return img::kEmptyRect;
+  if (!bounds.contains(rect)) {
+    throw img::DecodeError("parse_rect: rectangle [" + std::to_string(rect.x0) + "," +
+                           std::to_string(rect.y0) + "," + std::to_string(rect.x1) + "," +
+                           std::to_string(rect.y1) + ") escapes the frame [" +
+                           std::to_string(bounds.x0) + "," + std::to_string(bounds.y0) + "," +
+                           std::to_string(bounds.x1) + "," + std::to_string(bounds.y1) + ")");
+  }
+  return rect;
 }
 
 void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle& rle,
@@ -124,6 +140,14 @@ img::SpanImage parse_spans(img::UnpackBuffer& buf, const img::Rect& rect) {
   std::size_t total_spans = 0;
   for (const auto c : spans.row_counts) total_spans += c;
   spans.spans = buf.get_vector<img::Span>(total_spans);
+  // A corrupted span must not index outside the rectangle when composited.
+  for (const img::Span& s : spans.spans) {
+    if (static_cast<int>(s.x) + static_cast<int>(s.len) > rect.width()) {
+      throw img::DecodeError("parse_spans: span [" + std::to_string(s.x) + "+" +
+                             std::to_string(s.len) + "] exceeds rectangle width " +
+                             std::to_string(rect.width()));
+    }
+  }
   std::size_t total_pixels = 0;
   for (const auto& s : spans.spans) total_pixels += s.len;
   spans.pixels = buf.get_vector<img::Pixel>(total_pixels);

@@ -39,7 +39,15 @@ void unpack_composite_rect(img::Image& image, const img::Rect& rect, img::Unpack
 void pack_rle(const img::Rle& rle, img::PackBuffer& buf);
 
 /// Parse an Rle representing `expected_length` pixels from `buf`.
+/// Throws img::DecodeError when the codes overshoot the expected sequence
+/// length or the buffer is truncated — never reads out of bounds.
 [[nodiscard]] img::Rle parse_rle(img::UnpackBuffer& buf, std::int64_t expected_length);
+
+/// Parse an 8-byte wire rectangle and validate it against `bounds`: the
+/// rectangle must be empty or well-formed and fully inside `bounds`.
+/// Throws img::DecodeError otherwise (a corrupted or hostile header must
+/// not drive out-of-bounds pixel writes in the compositing loops).
+[[nodiscard]] img::Rect parse_rect(img::UnpackBuffer& buf, const img::Rect& bounds);
 
 /// Composite an Rle whose sequence is the row-major scan of `rect`.
 /// Only non-blank pixels are composited (one over op each).

@@ -15,6 +15,15 @@
 
 namespace slspvr::img {
 
+/// Typed error for malformed wire data: truncated buffers, counts that do
+/// not fit the payload, rectangles outside the frame. Receivers must treat
+/// it as a peer-supplied-garbage event, never as memory corruption — every
+/// decoder bounds-checks before touching pixels.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Sequential writer of trivially-copyable values into a byte buffer.
 class PackBuffer {
  public:
@@ -61,6 +70,13 @@ class UnpackBuffer {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::vector<T> get_vector(std::size_t count) {
+    // Bounds-check before allocating: a corrupted count field must fail
+    // with DecodeError, not attempt a multi-gigabyte allocation.
+    if (count > remaining() / sizeof(T)) {
+      throw DecodeError("UnpackBuffer: short read (want " +
+                        std::to_string(count * sizeof(T)) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+    }
     std::vector<T> values(count);
     read(values.data(), count * sizeof(T));
     return values;
@@ -72,8 +88,8 @@ class UnpackBuffer {
  private:
   void read(void* dst, std::size_t n) {
     if (n > remaining()) {
-      throw std::out_of_range("UnpackBuffer: short read (want " + std::to_string(n) +
-                              ", have " + std::to_string(remaining()) + ")");
+      throw DecodeError("UnpackBuffer: short read (want " + std::to_string(n) +
+                        ", have " + std::to_string(remaining()) + ")");
     }
     std::memcpy(dst, data_.data() + cursor_, n);
     cursor_ += n;

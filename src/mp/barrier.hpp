@@ -4,11 +4,18 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <string>
+
+#include "mp/errors.hpp"
 
 namespace slspvr::mp {
 
 /// Classic generation-counting cyclic barrier. Safe for repeated use by a
 /// fixed set of `parties` threads.
+///
+/// Like the mailboxes, the barrier can be *poisoned* when a rank fails: a
+/// dead rank will never arrive, so every blocked and future waiter throws
+/// PeerFailedError instead of waiting out the run.
 class CyclicBarrier {
  public:
   explicit CyclicBarrier(std::size_t parties) : parties_(parties), waiting_(0) {}
@@ -16,9 +23,11 @@ class CyclicBarrier {
   CyclicBarrier(const CyclicBarrier&) = delete;
   CyclicBarrier& operator=(const CyclicBarrier&) = delete;
 
-  /// Block until all parties have arrived.
+  /// Block until all parties have arrived. Throws PeerFailedError once the
+  /// barrier is poisoned.
   void arrive_and_wait() {
     std::unique_lock lock(mutex_);
+    if (poisoned_) throw PeerFailedError(failed_rank_, failed_stage_, poison_reason_);
     const std::uint64_t generation = generation_;
     if (++waiting_ == parties_) {
       waiting_ = 0;
@@ -26,7 +35,25 @@ class CyclicBarrier {
       cv_.notify_all();
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    cv_.wait(lock, [&] { return generation_ != generation || poisoned_; });
+    if (generation_ == generation && poisoned_) {
+      throw PeerFailedError(failed_rank_, failed_stage_, poison_reason_);
+    }
+  }
+
+  /// Wake every waiter with PeerFailedError and fail all future arrivals.
+  /// Idempotent — the first failure's details win.
+  void poison(int failed_rank, int failed_stage, const std::string& reason) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (!poisoned_) {
+        poisoned_ = true;
+        failed_rank_ = failed_rank;
+        failed_stage_ = failed_stage;
+        poison_reason_ = reason;
+      }
+    }
+    cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
@@ -35,6 +62,10 @@ class CyclicBarrier {
   const std::size_t parties_;
   std::size_t waiting_;
   std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+  int failed_rank_ = -1;
+  int failed_stage_ = -1;
+  std::string poison_reason_;
   std::mutex mutex_;
   std::condition_variable cv_;
 };

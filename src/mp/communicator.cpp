@@ -15,7 +15,15 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
-  ctx_->trace.record_send(rank_, real_dest, tag, data.size());
+  if (ctx_->injector != nullptr &&
+      ctx_->injector->on_send(rank_, real_dest, tag, ctx_->trace.stage(rank_), msg.payload)) {
+    // Dropped in transit: the send happened from this rank's perspective,
+    // but nothing is deposited — the receiver's deadline turns the loss
+    // into a RecvTimeoutError instead of a hang.
+    ctx_->trace.record_send(rank_, real_dest, tag, msg.payload.size());
+    return;
+  }
+  ctx_->trace.record_send(rank_, real_dest, tag, msg.payload.size());
   ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
 }
 
@@ -26,7 +34,32 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource) check_rank(source, "recv");
   const int match_source = source == kAnySource ? kAnySource : real(source);
-  Message msg = ctx_->mailboxes[static_cast<std::size_t>(rank_)].match(match_source, tag);
+  Mailbox& box = ctx_->mailboxes[static_cast<std::size_t>(rank_)];
+  Message msg;
+  if (ctx_->recv_timeout.count() > 0) {
+    // Watchdog path: register what we block on so a timeout anywhere can
+    // report the whole wait-for set, then enforce the deadline.
+    WaitSlot& slot = ctx_->wait_slots[static_cast<std::size_t>(rank_)];
+    slot.source.store(match_source, std::memory_order_relaxed);
+    slot.tag.store(tag, std::memory_order_relaxed);
+    slot.waiting.store(true, std::memory_order_relaxed);
+    std::optional<Message> got;
+    try {
+      got = box.match_for(match_source, tag, ctx_->recv_timeout);
+    } catch (...) {
+      slot.waiting.store(false, std::memory_order_relaxed);
+      throw;
+    }
+    if (!got) {
+      const std::string wait_set = ctx_->waiting_summary();
+      slot.waiting.store(false, std::memory_order_relaxed);
+      throw RecvTimeoutError(rank_, match_source, tag, wait_set);
+    }
+    slot.waiting.store(false, std::memory_order_relaxed);
+    msg = std::move(*got);
+  } else {
+    msg = box.match(match_source, tag);
+  }
   ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size());
   // Report the sender in (sub)communicator coordinates when possible.
   const int v = virt(msg.source);
@@ -54,16 +87,37 @@ void Comm::barrier() {
 }
 
 Comm Comm::subgroup(std::vector<int> members) const {
+  if (members.empty()) {
+    throw std::invalid_argument("Comm::subgroup: members list is empty");
+  }
+  for (const int m : members) {
+    if (m < 0 || m >= size()) {
+      throw std::invalid_argument("Comm::subgroup: member rank " + std::to_string(m) +
+                                  " out of range [0," + std::to_string(size()) + ")");
+    }
+  }
   if (!group_.empty()) {
     // Nested subgroups: translate member ids (given in this comm's ranks)
     // back to world ranks.
     for (int& m : members) m = real(m);
   }
+  // Duplicate world ranks would alias two subgroup ranks onto one mailbox
+  // and silently corrupt (source, tag) matching — reject them loudly.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (members[i] == members[j]) {
+        throw std::invalid_argument("Comm::subgroup: duplicate world rank " +
+                                    std::to_string(members[i]) + " in members list");
+      }
+    }
+  }
   Comm sub(ctx_, rank_);
   sub.group_ = std::move(members);
   sub.my_virtual_ = sub.virt(rank_);
   if (sub.my_virtual_ < 0) {
-    throw std::invalid_argument("Comm::subgroup: calling rank is not a member");
+    throw std::invalid_argument(
+        "Comm::subgroup: calling rank " + std::to_string(rank_) +
+        " is not in the members list (every member must pass its own rank)");
   }
   return sub;
 }

@@ -6,6 +6,8 @@
 // complete set of operations the compositing algorithms use.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <span>
@@ -15,20 +17,59 @@
 #include <vector>
 
 #include "mp/barrier.hpp"
+#include "mp/errors.hpp"
+#include "mp/fault.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/message.hpp"
 #include "mp/trace.hpp"
 
 namespace slspvr::mp {
 
+/// Watchdog bookkeeping: what a rank is currently blocked on. Only written
+/// when a recv deadline is configured, so the fault-free path pays nothing.
+struct WaitSlot {
+  std::atomic<bool> waiting{false};
+  std::atomic<int> source{0};
+  std::atomic<int> tag{0};
+};
+
 /// Shared state behind all ranks of one run (owned by the Runtime).
 struct CommContext {
   explicit CommContext(int ranks)
-      : mailboxes(ranks), barrier(static_cast<std::size_t>(ranks)), trace(ranks) {}
+      : mailboxes(ranks), barrier(static_cast<std::size_t>(ranks)), trace(ranks),
+        wait_slots(static_cast<std::size_t>(ranks)) {}
 
   std::vector<Mailbox> mailboxes;
   CyclicBarrier barrier;
   TrafficTrace trace;
+
+  /// Fault-injection hook (not owned; null in fault-free runs).
+  FaultInjector* injector = nullptr;
+  /// Deadline for every blocking receive; zero means wait forever.
+  std::chrono::milliseconds recv_timeout{0};
+  std::vector<WaitSlot> wait_slots;
+
+  /// Deadlock-free abort: poison every mailbox and the barrier so ranks
+  /// blocked (now or later) on the failed rank wake with PeerFailedError.
+  void fail(int failed_rank, int failed_stage, const std::string& reason) {
+    for (Mailbox& box : mailboxes) box.poison(failed_rank, failed_stage, reason);
+    barrier.poison(failed_rank, failed_stage, reason);
+  }
+
+  /// The watchdog's wait-for set: every rank currently blocked in a receive
+  /// and the (source, tag) it is waiting on ("rank 2 <- (source=3, tag=1)").
+  [[nodiscard]] std::string waiting_summary() const {
+    std::string out;
+    for (std::size_t r = 0; r < wait_slots.size(); ++r) {
+      if (!wait_slots[r].waiting.load(std::memory_order_relaxed)) continue;
+      if (!out.empty()) out += ", ";
+      out += "rank " + std::to_string(r) + " <- (source=" +
+             std::to_string(wait_slots[r].source.load(std::memory_order_relaxed)) +
+             ", tag=" + std::to_string(wait_slots[r].tag.load(std::memory_order_relaxed)) +
+             " at stage " + std::to_string(trace.stage(static_cast<int>(r))) + ")";
+    }
+    return out;
+  }
 };
 
 /// Per-rank handle onto the shared context. Cheap to copy within a rank's
@@ -51,7 +92,12 @@ class Comm {
   [[nodiscard]] Comm subgroup(std::vector<int> members) const;
 
   /// Mark the algorithm stage for traffic accounting (compositing stage k).
-  void set_stage(int stage) { ctx_->trace.set_stage(rank_, stage); }
+  /// With a FaultInjector plugged in, this is also the kill point: a rank
+  /// configured to die at stage k throws InjectedKillError here.
+  void set_stage(int stage) {
+    ctx_->trace.set_stage(rank_, stage);
+    if (ctx_->injector != nullptr) ctx_->injector->on_stage(rank_, stage);
+  }
 
   /// Blocking (buffered) send of raw bytes.
   void send(int dest, int tag, std::span<const std::byte> data);

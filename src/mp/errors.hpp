@@ -1,0 +1,69 @@
+// Typed errors for the fault-tolerance layer of the mp runtime.
+//
+// The compositing methods are rendezvous protocols: every stage blocks on a
+// partner, so one failed PE used to wedge the whole run. These exceptions
+// carry enough structure (who failed, at which compositing stage) for the
+// pipeline above to abort deterministically and fold the failed PE out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slspvr::mp {
+
+/// Base class for every failure the fault-tolerance layer raises.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised on the configured rank when the FaultInjector kills it at the
+/// configured compositing stage.
+class InjectedKillError : public FaultError {
+ public:
+  InjectedKillError(int killed_rank, int killed_stage)
+      : FaultError("injected kill: rank " + std::to_string(killed_rank) + " at stage " +
+                   std::to_string(killed_stage)),
+        rank(killed_rank),
+        stage(killed_stage) {}
+
+  int rank;
+  int stage;
+};
+
+/// Raised in peers that were (or would become) blocked on a rank that has
+/// failed: the runtime poisons every mailbox and the barrier so nobody waits
+/// on a dead partner forever.
+class PeerFailedError : public FaultError {
+ public:
+  PeerFailedError(int peer_rank, int peer_stage, const std::string& detail)
+      : FaultError("peer failed: rank " + std::to_string(peer_rank) + " at stage " +
+                   std::to_string(peer_stage) + (detail.empty() ? "" : " (" + detail + ")")),
+        failed_rank(peer_rank),
+        failed_stage(peer_stage) {}
+
+  int failed_rank;
+  int failed_stage;
+};
+
+/// Raised when a blocking receive exceeds the configured deadline. The
+/// message includes the watchdog's wait-for set: every rank still blocked
+/// and the (source, tag) it is waiting on.
+class RecvTimeoutError : public FaultError {
+ public:
+  RecvTimeoutError(int blocked_rank, int blocked_source, int blocked_tag,
+                   const std::string& wait_for_set)
+      : FaultError("recv timeout: rank " + std::to_string(blocked_rank) +
+                   " waiting on (source=" + std::to_string(blocked_source) +
+                   ", tag=" + std::to_string(blocked_tag) + ")" +
+                   (wait_for_set.empty() ? "" : "; wait-for set: " + wait_for_set)),
+        rank(blocked_rank),
+        source(blocked_source),
+        tag(blocked_tag) {}
+
+  int rank;
+  int source;
+  int tag;
+};
+
+}  // namespace slspvr::mp

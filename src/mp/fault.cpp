@@ -1,0 +1,107 @@
+#include "mp/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace slspvr::mp {
+
+namespace {
+
+bool rule_matches(int rule, int value) noexcept {
+  return rule == kAnyRankRule || rule == value;
+}
+
+bool endpoint_matches(int rule_source, int rule_dest, int rule_tag, int rule_stage,
+                      int source, int dest, int tag, int stage) noexcept {
+  return rule_matches(rule_source, source) && rule_matches(rule_dest, dest) &&
+         rule_matches(rule_tag, tag) && rule_matches(rule_stage, stage);
+}
+
+/// splitmix64: tiny, deterministic, well-distributed — the corruption stream.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      drops_fired_(plan_.drops.size(), 0),
+      corrupts_fired_(plan_.corruptions.size(), 0),
+      delays_fired_(plan_.delays.size(), 0) {}
+
+void FaultInjector::on_stage(int rank, int stage) {
+  for (const KillRule& rule : plan_.kills) {
+    if (rule_matches(rule.rank, rank) && rule_matches(rule.stage, stage)) {
+      {
+        const std::lock_guard lock(mutex_);
+        ++stats_.kills_fired;
+      }
+      throw InjectedKillError(rank, stage);
+    }
+  }
+}
+
+bool FaultInjector::on_send(int source, int dest, int tag, int stage,
+                            std::vector<std::byte>& payload) {
+  std::chrono::milliseconds sleep_for{0};
+  bool drop = false;
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < plan_.drops.size(); ++i) {
+      const DropRule& rule = plan_.drops[i];
+      if (drops_fired_[i] < rule.max_count &&
+          endpoint_matches(rule.source, rule.dest, rule.tag, rule.stage, source, dest, tag,
+                           stage)) {
+        ++drops_fired_[i];
+        ++stats_.messages_dropped;
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) {
+      for (std::size_t i = 0; i < plan_.corruptions.size(); ++i) {
+        const CorruptRule& rule = plan_.corruptions[i];
+        if (corrupts_fired_[i] < rule.max_count &&
+            endpoint_matches(rule.source, rule.dest, rule.tag, rule.stage, source, dest, tag,
+                             stage)) {
+          ++corrupts_fired_[i];
+          ++stats_.messages_corrupted;
+          if (rule.truncate_bytes > 0) {
+            const std::size_t cut =
+                std::min(payload.size(), static_cast<std::size_t>(rule.truncate_bytes));
+            payload.resize(payload.size() - cut);
+          }
+          for (int b = 0; b < rule.flip_bytes && !payload.empty(); ++b) {
+            const std::uint64_t r = splitmix64(plan_.seed ^ corrupt_counter_++);
+            const std::size_t pos = static_cast<std::size_t>(r % payload.size());
+            payload[pos] ^= static_cast<std::byte>((r >> 32) | 1);  // never a no-op flip
+          }
+        }
+      }
+      for (std::size_t i = 0; i < plan_.delays.size(); ++i) {
+        const DelayRule& rule = plan_.delays[i];
+        if (delays_fired_[i] < rule.max_count &&
+            endpoint_matches(rule.source, rule.dest, rule.tag, rule.stage, source, dest, tag,
+                             stage)) {
+          ++delays_fired_[i];
+          ++stats_.messages_delayed;
+          sleep_for += rule.delay;
+        }
+      }
+    }
+  }
+  if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+  return drop;
+}
+
+FaultStats FaultInjector::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace slspvr::mp

@@ -1,0 +1,119 @@
+// Deterministic, seed-driven fault injection for the mp runtime.
+//
+// A FaultInjector is plugged into the CommContext (via Runtime::RunOptions)
+// and consulted on every stage transition and every send. It can kill a PE
+// at a chosen (rank, stage), drop or delay messages in transit, and corrupt
+// or truncate payload bytes — the failure modes a real compositing cluster
+// sees (node death, packet loss, bit rot). All decisions are rule-driven and
+// the corruption bytes derive from a splitmix64 stream seeded by the plan,
+// so every fault scenario replays exactly.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mp/errors.hpp"
+
+namespace slspvr::mp {
+
+/// Wildcard for rule fields matching any rank / any stage / any tag.
+inline constexpr int kAnyRankRule = -1;
+inline constexpr int kAnyStageRule = -1;
+inline constexpr int kAnyTagRule = -1;
+
+/// Kill `rank` when it marks compositing stage `stage` (Comm::set_stage):
+/// the rank throws InjectedKillError before doing that stage's exchange.
+struct KillRule {
+  int rank = kAnyRankRule;
+  int stage = kAnyStageRule;
+};
+
+/// Silently drop up to `max_count` matching messages in transit.
+struct DropRule {
+  int source = kAnyRankRule;
+  int dest = kAnyRankRule;
+  int tag = kAnyTagRule;
+  int stage = kAnyStageRule;  ///< sender's stage when the message leaves
+  int max_count = 1;
+};
+
+/// Corrupt up to `max_count` matching messages: flip `flip_bytes` bytes at
+/// seed-derived positions and/or truncate the last `truncate_bytes` bytes.
+struct CorruptRule {
+  int source = kAnyRankRule;
+  int dest = kAnyRankRule;
+  int tag = kAnyTagRule;
+  int stage = kAnyStageRule;
+  int flip_bytes = 0;
+  int truncate_bytes = 0;
+  int max_count = 1;
+};
+
+/// Delay up to `max_count` matching messages by sleeping the sender.
+struct DelayRule {
+  int source = kAnyRankRule;
+  int dest = kAnyRankRule;
+  int tag = kAnyTagRule;
+  int stage = kAnyStageRule;
+  std::chrono::milliseconds delay{0};
+  int max_count = 1;
+};
+
+/// A full fault scenario: what to inject, plus the recv deadline that turns
+/// a dropped message into a structured RecvTimeoutError instead of a hang.
+struct FaultPlan {
+  std::uint64_t seed = 0x515053'56'52ULL;  // deterministic corruption stream
+  std::vector<KillRule> kills;
+  std::vector<DropRule> drops;
+  std::vector<CorruptRule> corruptions;
+  std::vector<DelayRule> delays;
+  /// Deadline for every blocking receive; zero means wait forever.
+  std::chrono::milliseconds recv_timeout{0};
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kills.empty() && drops.empty() && corruptions.empty() && delays.empty() &&
+           recv_timeout.count() == 0;
+  }
+};
+
+/// What the injector actually did during a run (read after the join).
+struct FaultStats {
+  int kills_fired = 0;
+  int messages_dropped = 0;
+  int messages_corrupted = 0;
+  int messages_delayed = 0;
+};
+
+/// Thread-safe injector shared by all PE threads of one run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Called by Comm::set_stage; throws InjectedKillError on a kill match.
+  void on_stage(int rank, int stage);
+
+  /// Called by Comm::send with the outgoing payload. May corrupt/truncate
+  /// `payload` in place and may sleep (delay rules). Returns true when the
+  /// message must be dropped (never deposited).
+  [[nodiscard]] bool on_send(int source, int dest, int tag, int stage,
+                             std::vector<std::byte>& payload);
+
+  [[nodiscard]] std::chrono::milliseconds recv_timeout() const noexcept {
+    return plan_.recv_timeout;
+  }
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::vector<int> drops_fired_;     // per drop rule
+  std::vector<int> corrupts_fired_;  // per corrupt rule
+  std::vector<int> delays_fired_;    // per delay rule
+  std::uint64_t corrupt_counter_ = 0;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace slspvr::mp

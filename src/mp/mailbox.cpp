@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "mp/errors.hpp"
+
 namespace slspvr::mp {
 
 void Mailbox::deposit(Message msg) {
@@ -13,18 +15,55 @@ void Mailbox::deposit(Message msg) {
   cv_.notify_all();
 }
 
+std::optional<Message> Mailbox::try_pop(int source, int tag) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Message& m) { return matches(m, source, tag); });
+  if (it == queue_.end()) return std::nullopt;
+  Message out = std::move(*it);
+  queue_.erase(it);
+  return out;
+}
+
+void Mailbox::throw_poisoned() const {
+  throw PeerFailedError(failed_rank_, failed_stage_, poison_reason_);
+}
+
 Message Mailbox::match(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    const auto it = std::find_if(queue_.begin(), queue_.end(),
-                                 [&](const Message& m) { return matches(m, source, tag); });
-    if (it != queue_.end()) {
-      Message out = std::move(*it);
-      queue_.erase(it);
-      return out;
-    }
+    if (poisoned_) throw_poisoned();
+    if (auto msg = try_pop(source, tag)) return std::move(*msg);
     cv_.wait(lock);
   }
+}
+
+std::optional<Message> Mailbox::match_for(int source, int tag,
+                                          std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw_poisoned();
+    if (auto msg = try_pop(source, tag)) return msg;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-check once: a deposit and the deadline can race.
+      if (poisoned_) throw_poisoned();
+      if (auto msg = try_pop(source, tag)) return msg;
+      return std::nullopt;
+    }
+  }
+}
+
+void Mailbox::poison(int failed_rank, int failed_stage, const std::string& reason) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (!poisoned_) {
+      poisoned_ = true;
+      failed_rank_ = failed_rank;
+      failed_stage_ = failed_stage;
+      poison_reason_ = reason;
+    }
+  }
+  cv_.notify_all();
 }
 
 bool Mailbox::probe(int source, int tag) const {

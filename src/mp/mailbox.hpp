@@ -1,9 +1,12 @@
 // Per-rank mailbox: an unbounded MPSC queue with MPI-style matching.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <string>
 
 #include "mp/message.hpp"
 
@@ -15,6 +18,10 @@ namespace slspvr::mp {
 /// protocol for the message sizes this system uses). `match` blocks until a
 /// message matching (source, tag) is available and removes the *first* such
 /// message, preserving per-(source, tag) FIFO order as MPI requires.
+///
+/// A mailbox can be *poisoned* when some rank fails: every blocked and
+/// future `match` throws PeerFailedError instead of waiting on a partner
+/// that will never send — the deadlock-free abort path of the runtime.
 class Mailbox {
  public:
   Mailbox() = default;
@@ -25,8 +32,19 @@ class Mailbox {
   void deposit(Message msg);
 
   /// Block until a message matching (source, tag) arrives, then return it.
-  /// `source` may be kAnySource and `tag` may be kAnyTag.
+  /// `source` may be kAnySource and `tag` may be kAnyTag. Throws
+  /// PeerFailedError once the mailbox is poisoned.
   [[nodiscard]] Message match(int source, int tag);
+
+  /// Like `match` but gives up after `timeout`, returning nullopt (the
+  /// caller turns that into a RecvTimeoutError with watchdog context).
+  [[nodiscard]] std::optional<Message> match_for(int source, int tag,
+                                                 std::chrono::milliseconds timeout);
+
+  /// Poison the mailbox: wake every waiter and make all matches throw
+  /// PeerFailedError carrying the failed rank/stage. Idempotent — the first
+  /// failure's details win.
+  void poison(int failed_rank, int failed_stage, const std::string& reason);
 
   /// Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag) const;
@@ -40,9 +58,17 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
+  /// Pops a matching message if present; requires the lock to be held.
+  [[nodiscard]] std::optional<Message> try_pop(int source, int tag);
+  [[noreturn]] void throw_poisoned() const;  // requires the lock to be held
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  bool poisoned_ = false;
+  int failed_rank_ = -1;
+  int failed_stage_ = -1;
+  std::string poison_reason_;
 };
 
 }  // namespace slspvr::mp

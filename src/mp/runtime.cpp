@@ -4,35 +4,70 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace slspvr::mp {
 
-RunResult Runtime::run(int ranks, const RankFn& fn) {
+RunResult Runtime::run_tolerant(int ranks, const RankFn& fn, const RunOptions& opts) {
   if (ranks <= 0) throw std::invalid_argument("Runtime::run: ranks must be positive");
 
   auto ctx = std::make_unique<CommContext>(ranks);
+  ctx->injector = opts.injector;
+  ctx->recv_timeout =
+      opts.recv_timeout.count() > 0
+          ? opts.recv_timeout
+          : (opts.injector != nullptr ? opts.injector->recv_timeout()
+                                      : std::chrono::milliseconds{0});
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::vector<RankFailure> failures;
+  std::mutex failure_mutex;
 
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(ctx.get(), r);
       try {
         fn(comm);
+      } catch (const PeerFailedError& e) {
+        // Secondary abort: this rank was woken by the poison mechanism
+        // after another rank already failed. Record, don't re-poison.
+        const std::lock_guard lock(failure_mutex);
+        failures.push_back(
+            {r, ctx->trace.stage(r), /*primary=*/false, e.what(), std::current_exception()});
+      } catch (const std::exception& e) {
+        // Primary failure: poison everything so blocked peers wake instead
+        // of waiting on this rank forever.
+        const int stage = ctx->trace.stage(r);
+        {
+          const std::lock_guard lock(failure_mutex);
+          failures.push_back({r, stage, /*primary=*/true, e.what(), std::current_exception()});
+        }
+        ctx->fail(r, stage, e.what());
       } catch (...) {
-        const std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const int stage = ctx->trace.stage(r);
+        {
+          const std::lock_guard lock(failure_mutex);
+          failures.push_back(
+              {r, stage, /*primary=*/true, "unknown exception", std::current_exception()});
+        }
+        ctx->fail(r, stage, "unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
-  return RunResult(std::move(ctx));
+  return RunResult(std::move(ctx), std::move(failures));
+}
+
+RunResult Runtime::run(int ranks, const RankFn& fn) {
+  RunResult result = run_tolerant(ranks, fn);
+  for (const RankFailure& f : result.failures()) {
+    if (f.primary) std::rethrow_exception(f.error);
+  }
+  if (!result.ok()) std::rethrow_exception(result.failures().front().error);
+  return result;
 }
 
 }  // namespace slspvr::mp

@@ -1,5 +1,6 @@
 #include "pvr/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
@@ -82,11 +83,22 @@ img::Image Experiment::reference() const {
   return core::composite_reference(subimages_, order_.front_to_back);
 }
 
-MethodResult run_compositing(const core::Compositor& method,
-                             const std::vector<img::Image>& subimages,
-                             const core::SwapOrder& order, const core::CostModel& model) {
-  const int ranks = static_cast<int>(subimages.size());
+namespace {
+
+struct Attempt {
   MethodResult result;
+  std::vector<mp::RankFailure> failures;
+};
+
+/// One SPMD execution under the given runtime options. On failure the
+/// MethodResult is partial (no final image, partial counters) — callers
+/// either rethrow or fold the failed ranks out and retry.
+Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image>& subimages,
+                    const core::SwapOrder& order, const core::CostModel& model,
+                    const mp::RunOptions& opts) {
+  const int ranks = static_cast<int>(subimages.size());
+  Attempt attempt;
+  MethodResult& result = attempt.result;
   result.method = std::string(method.name());
   result.per_rank.assign(static_cast<std::size_t>(ranks), core::Counters{});
 
@@ -94,7 +106,7 @@ MethodResult run_compositing(const core::Compositor& method,
   std::mutex final_mutex;
 
   const auto t0 = std::chrono::steady_clock::now();
-  const mp::RunResult run = mp::Runtime::run(ranks, [&](mp::Comm& comm) {
+  const mp::RunResult run = mp::Runtime::run_tolerant(ranks, [&](mp::Comm& comm) {
     const int rank = comm.rank();
     img::Image local = subimages[static_cast<std::size_t>(rank)];  // methods mutate
     core::Counters& counters = result.per_rank[static_cast<std::size_t>(rank)];
@@ -104,8 +116,11 @@ MethodResult run_compositing(const core::Compositor& method,
       const std::lock_guard lock(final_mutex);
       final_image = std::move(gathered);
     }
-  });
+  }, opts);
   const auto t1 = std::chrono::steady_clock::now();
+
+  attempt.failures = run.failures();
+  if (!attempt.failures.empty()) return attempt;
 
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.times = model.critical_path(result.per_rank, run.trace());
@@ -117,7 +132,137 @@ MethodResult run_compositing(const core::Compositor& method,
         core::received_message_bytes(run.trace(), r);
   }
   result.final_image = std::move(final_image);
-  return result;
+  return attempt;
+}
+
+}  // namespace
+
+MethodResult run_compositing(const core::Compositor& method,
+                             const std::vector<img::Image>& subimages,
+                             const core::SwapOrder& order, const core::CostModel& model) {
+  Attempt attempt = run_attempt(method, subimages, order, model, {});
+  // Preserve the historical contract: a rank failure in the plain entry
+  // point rethrows the original (primary) exception after the join.
+  for (const mp::RankFailure& f : attempt.failures) {
+    if (f.primary) std::rethrow_exception(f.error);
+  }
+  if (!attempt.failures.empty()) std::rethrow_exception(attempt.failures.front().error);
+  return std::move(attempt.result);
+}
+
+std::string FaultReport::summary() const {
+  if (!faulted) return "no faults";
+  std::string out = std::to_string(failed_ranks.size()) + " PE(s) failed (rank";
+  for (const int r : failed_ranks) out += " " + std::to_string(r);
+  out += "), " + std::to_string(pixels_lost) + " rendered pixel(s) lost, " +
+         std::to_string(retries) + " retry round(s): " +
+         (degraded ? "finished degraded from the survivors" : "frame lost");
+  return out;
+}
+
+FtMethodResult run_compositing_ft(const core::Compositor& method,
+                                  const std::vector<img::Image>& subimages,
+                                  const core::SwapOrder& order, const mp::FaultPlan& faults,
+                                  const core::CostModel& model) {
+  const int ranks = static_cast<int>(subimages.size());
+  FtMethodResult out;
+
+  mp::FaultInjector injector(faults);
+  mp::RunOptions opts;
+  if (!faults.empty()) {
+    opts.injector = &injector;
+    opts.recv_timeout = faults.recv_timeout;
+  }
+  Attempt first = run_attempt(method, subimages, order, model, opts);
+  if (first.failures.empty()) {
+    out.result = std::move(first.result);
+    return out;
+  }
+
+  out.report.faulted = true;
+  std::vector<bool> failed(static_cast<std::size_t>(ranks), false);
+  // `to_original[r]` maps an attempt-local rank to its original id.
+  const auto absorb = [&](const std::vector<mp::RankFailure>& failures,
+                          const std::vector<int>& to_original, int attempt_no) {
+    for (const mp::RankFailure& f : failures) {
+      const int original =
+          to_original.empty() ? f.rank : to_original[static_cast<std::size_t>(f.rank)];
+      out.report.events.push_back({original, f.stage, f.primary, attempt_no, f.what});
+      if (f.primary) failed[static_cast<std::size_t>(original)] = true;
+    }
+  };
+  absorb(first.failures, {}, 0);
+
+  // Depth order of the original ranks (identity when the order carries no
+  // explicit traversal, e.g. hand-built test orders).
+  std::vector<int> depth_order(order.front_to_back.begin(), order.front_to_back.end());
+  if (static_cast<int>(depth_order.size()) != ranks) {
+    depth_order.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) depth_order[static_cast<std::size_t>(r)] = r;
+  }
+
+  // Degraded mode: fold the failed PEs out and recomposite the survivors in
+  // their original depth order. The fold extension accepts any survivor
+  // count; front-to-back survivor index i is simply slab i of the retry.
+  const core::FoldCompositor folded(method);
+  for (;;) {
+    ++out.report.retries;
+    std::vector<int> survivors;  // original ids, front to back
+    for (const int r : depth_order) {
+      if (!failed[static_cast<std::size_t>(r)]) survivors.push_back(r);
+    }
+    if (survivors.empty()) {
+      // Every PE lost: deliver a structured report and a blank frame.
+      out.result.method = std::string(method.name());
+      out.result.final_image =
+          img::Image(subimages.front().width(), subimages.front().height());
+      break;
+    }
+
+    std::vector<img::Image> degraded_subs;
+    degraded_subs.reserve(survivors.size());
+    for (const int r : survivors) degraded_subs.push_back(subimages[static_cast<std::size_t>(r)]);
+    const float view_dir[3] = {1.0f, 0.0f, 0.0f};  // ascending = front to back
+    const core::SwapOrder degraded_order =
+        core::make_fold_order(static_cast<int>(survivors.size()), /*axis=*/0, view_dir);
+
+    // Retries run without the injector: the fault already materialised, and
+    // re-applying rank-keyed rules to the renumbered survivors would be
+    // meaningless. A retry can still fail (it reuses the full stack), in
+    // which case its primary ranks are folded out too.
+    Attempt retry = run_attempt(folded, degraded_subs, degraded_order, model, {});
+    if (retry.failures.empty()) {
+      out.report.degraded = true;
+      out.result = std::move(retry.result);
+      out.result.method = std::string(method.name()) + " [degraded]";
+      break;
+    }
+    absorb(retry.failures, survivors, out.report.retries);
+    const bool any_primary =
+        std::any_of(retry.failures.begin(), retry.failures.end(),
+                    [](const mp::RankFailure& f) { return f.primary; });
+    if (!any_primary) {
+      // Cannot make progress (should not happen: every failed retry has a
+      // primary). Surface the original error rather than looping.
+      std::rethrow_exception(retry.failures.front().error);
+    }
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    if (!failed[static_cast<std::size_t>(r)]) continue;
+    out.report.failed_ranks.push_back(r);
+    out.report.pixels_lost += img::count_non_blank(subimages[static_cast<std::size_t>(r)],
+                                                   subimages[static_cast<std::size_t>(r)].bounds());
+  }
+  return out;
+}
+
+FtMethodResult Experiment::run_ft(const core::Compositor& method,
+                                  const mp::FaultPlan& faults) const {
+  const core::FoldCompositor folded(method);
+  const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
+                                               : &method;
+  return run_compositing_ft(*compositor, subimages_, order_, faults, config_.cost_model);
 }
 
 MethodResult Experiment::run(const core::Compositor& method) const {

@@ -19,6 +19,8 @@
 #include "core/cost_model.hpp"
 #include "core/timeline.hpp"
 #include "core/order.hpp"
+#include "mp/fault.hpp"
+#include "mp/runtime.hpp"
 #include "volume/datasets.hpp"
 #include "volume/partition.hpp"
 
@@ -41,6 +43,33 @@ struct ExperimentConfig {
   core::CostModel cost_model = core::CostModel::sp2();
 };
 
+/// One observed failure during a fault-tolerant run. Ranks are reported in
+/// the *original* (attempt-0) numbering, including failures seen during
+/// degraded retries.
+struct FaultEvent {
+  int rank = -1;
+  int stage = 0;        ///< compositing stage the rank had reached
+  bool primary = false; ///< original fault vs. poison-propagated abort
+  int attempt = 0;      ///< 0 = the faulted full run, 1.. = degraded retries
+  std::string what;
+};
+
+/// Structured outcome of a fault-tolerant compositing run, emitted alongside
+/// the traffic trace: which PEs were folded out, how far they got, how many
+/// rendered (non-blank) pixels their subimages contributed, and how many
+/// retry rounds the frame needed.
+struct FaultReport {
+  bool faulted = false;   ///< at least one rank failed
+  bool degraded = false;  ///< the frame was finished from the survivors
+  int retries = 0;        ///< degraded recompositing rounds
+  std::vector<int> failed_ranks;   ///< original ranks folded out, ascending
+  std::vector<FaultEvent> events;  ///< every failure observed, all attempts
+  std::int64_t pixels_lost = 0;    ///< non-blank pixels of the lost subimages
+
+  /// One-line human-readable digest ("2 PE(s) failed ... finished degraded").
+  [[nodiscard]] std::string summary() const;
+};
+
 struct MethodResult {
   std::string method;
   core::ModelTimes times;   ///< critical-path modelled T_comp / T_comm (ms)
@@ -50,6 +79,13 @@ struct MethodResult {
   img::Image final_image;   ///< gathered at rank 0
   std::vector<core::Counters> per_rank;
   std::vector<std::uint64_t> received_bytes_per_rank;  ///< m_i per rank
+};
+
+/// Result of a fault-tolerant run: the (possibly degraded) frame plus the
+/// structured fault report.
+struct FtMethodResult {
+  MethodResult result;
+  FaultReport report;
 };
 
 class Experiment {
@@ -82,6 +118,13 @@ class Experiment {
   /// Execute one compositing method over the rendered subimages.
   [[nodiscard]] MethodResult run(const core::Compositor& method) const;
 
+  /// Fault-tolerant variant: runs `method` under the given fault plan; on
+  /// PE failure the frame is finished from the survivors (degraded mode)
+  /// and the FaultReport says what was lost. With an empty plan this is
+  /// behaviourally identical to run().
+  [[nodiscard]] FtMethodResult run_ft(const core::Compositor& method,
+                                      const mp::FaultPlan& faults) const;
+
  private:
   ExperimentConfig config_;
   std::vector<vol::Brick> bricks_;
@@ -100,6 +143,17 @@ class Experiment {
                                            const std::vector<img::Image>& subimages,
                                            const core::SwapOrder& order,
                                            const core::CostModel& model = core::CostModel::sp2());
+
+/// Fault-tolerant workhorse: execute `method` under `faults` (injected
+/// kills, drops, corruption, recv deadline). If any rank fails, the run is
+/// aborted deadlock-free, the failed PEs are folded out, and the frame is
+/// recomposited from the surviving subimages in their original depth order
+/// (non-power-of-two survivor counts use the fold extension). The degraded
+/// frame equals the sequential reference composited over the survivors.
+[[nodiscard]] FtMethodResult run_compositing_ft(
+    const core::Compositor& method, const std::vector<img::Image>& subimages,
+    const core::SwapOrder& order, const mp::FaultPlan& faults,
+    const core::CostModel& model = core::CostModel::sp2());
 
 /// All four of the paper's methods, in Table 1 column order.
 struct MethodSet {

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "pvr/experiment.hpp"
+
 namespace slspvr::pvr {
 
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -52,6 +54,20 @@ std::string fmt_bytes(std::uint64_t bytes) {
     ++count;
   }
   return {out.rbegin(), out.rend()};
+}
+
+void print_fault_report(std::ostream& os, const FaultReport& report) {
+  if (!report.faulted) {
+    os << "faults   : none\n";
+    return;
+  }
+  os << "faults   : " << report.summary() << "\n";
+  TextTable table({"rank", "stage", "attempt", "kind", "error"});
+  for (const FaultEvent& e : report.events) {
+    table.add_row({std::to_string(e.rank), std::to_string(e.stage),
+                   std::to_string(e.attempt), e.primary ? "primary" : "secondary", e.what});
+  }
+  table.print(os);
 }
 
 }  // namespace slspvr::pvr

@@ -31,4 +31,11 @@ class TextTable {
 /// Format a byte count with thousands separators.
 [[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
 
+struct FaultReport;  // pvr/experiment.hpp
+
+/// Print the structured outcome of a fault-tolerant run: the one-line
+/// summary plus a per-event table (rank, stage, attempt, primary/secondary,
+/// error text). No-op styled as "faults   : none" when the run was clean.
+void print_fault_report(std::ostream& os, const FaultReport& report);
+
 }  // namespace slspvr::pvr

@@ -65,6 +65,14 @@ Volume read_raw(const std::string& path) {
   std::int32_t hdr[3];
   in.read(reinterpret_cast<char*>(hdr), sizeof(hdr));
   if (!in) throw std::runtime_error("truncated header: " + path);
+  // A corrupt header must not drive a giant (or negative) allocation.
+  constexpr std::int32_t kMaxExtent = 1 << 14;  // 16K per axis, 4 TiB worst case
+  for (const std::int32_t extent : hdr) {
+    if (extent <= 0 || extent > kMaxExtent) {
+      throw std::runtime_error("corrupt SLSVOL1 header (bad extent " +
+                               std::to_string(extent) + "): " + path);
+    }
+  }
   Volume volume(Dims{hdr[0], hdr[1], hdr[2]});
   in.read(reinterpret_cast<char*>(volume.data().data()),
           static_cast<std::streamsize>(volume.data().size()));

@@ -185,5 +185,5 @@ TEST(Pack, ShortReadThrows) {
   img::PackBuffer buf;
   buf.put(std::int16_t{1});
   img::UnpackBuffer in(buf.bytes());
-  EXPECT_THROW((void)in.get<std::int64_t>(), std::out_of_range);
+  EXPECT_THROW((void)in.get<std::int64_t>(), img::DecodeError);
 }

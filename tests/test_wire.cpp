@@ -126,7 +126,7 @@ TEST(Wire, ParseRleRejectsTruncation) {
   img::PackBuffer buf;
   wire::pack_rle(rle, buf);
   img::UnpackBuffer in(buf.bytes());
-  EXPECT_THROW((void)wire::parse_rle(in, 3), std::out_of_range);
+  EXPECT_THROW((void)wire::parse_rle(in, 3), img::DecodeError);
 }
 
 TEST(Wire, EmptyRectIsFree) {

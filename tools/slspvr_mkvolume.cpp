@@ -16,7 +16,9 @@
 
 namespace vol = slspvr::vol;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_tool(int argc, char** argv) {
   std::optional<vol::DatasetKind> dataset;
   std::optional<std::string> import_path;
   vol::Dims dims{};
@@ -71,6 +73,10 @@ int main(int argc, char** argv) {
               << "       slspvr_mkvolume --import <raw> --dims NX,NY,NZ --out <file.vol>\n";
     return 2;
   }
+  if (!(scale > 0.0)) {
+    std::cerr << "--scale must be > 0 (got " << scale << ")\n";
+    return 2;
+  }
 
   if (dataset) {
     const auto ds = vol::make_dataset(*dataset, scale);
@@ -80,8 +86,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (dims.voxel_count() <= 0) {
-    std::cerr << "--import needs --dims\n";
+  if (dims.nx <= 0 || dims.ny <= 0 || dims.nz <= 0) {
+    std::cerr << "--import needs --dims with three positive extents (got " << dims.nx << ","
+              << dims.ny << "," << dims.nz << ")\n";
     return 2;
   }
   std::ifstream in(*import_path, std::ios::binary);
@@ -99,4 +106,18 @@ int main(int argc, char** argv) {
   vol::write_raw(volume, out);
   std::cout << "wrote " << out << "\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "slspvr_mkvolume: error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "slspvr_mkvolume: error: unknown exception\n";
+    return 1;
+  }
 }

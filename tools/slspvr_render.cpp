@@ -20,11 +20,16 @@
 //                                into <p> (single-node preview path)
 //     --out <path.pgm>           output image (default out/render.pgm)
 //     --stats                    print per-rank counters
+//     --fault-kill <r,s>         inject a PE kill at rank r, stage s
+//                                (repeatable; runs fault-tolerant/degraded)
+//     --recv-timeout <ms>        receive deadline + blocked-rank watchdog
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/binary_swap.hpp"
 #include "core/binary_tree.hpp"
@@ -36,6 +41,7 @@
 #include "core/parallel_pipeline.hpp"
 #include "image/compare.hpp"
 #include "image/image_io.hpp"
+#include "mp/fault.hpp"
 #include "pvr/experiment.hpp"
 #include "pvr/report.hpp"
 #include "render/shear_warp.hpp"
@@ -62,6 +68,7 @@ struct Args {
   std::optional<std::string> shear_warp_preview;
   std::string out = "out/render.pgm";
   bool stats = false;
+  slspvr::mp::FaultPlan faults;
 };
 
 [[noreturn]] void usage(int code) {
@@ -122,10 +129,48 @@ Args parse(int argc, char** argv) {
       args.out = next();
     } else if (a == "--stats") {
       args.stats = true;
+    } else if (a == "--fault-kill") {
+      const std::string spec = next();
+      int r = -1, s = -1;
+      if (std::sscanf(spec.c_str(), "%d,%d", &r, &s) != 2 || r < 0 || s < 0) {
+        std::cerr << "--fault-kill expects rank,stage (non-negative)\n";
+        usage(2);
+      }
+      args.faults.kills.push_back({r, s});
+    } else if (a == "--recv-timeout") {
+      const int ms = std::atoi(next());
+      if (ms <= 0) {
+        std::cerr << "--recv-timeout expects a positive millisecond count\n";
+        usage(2);
+      }
+      args.faults.recv_timeout = std::chrono::milliseconds(ms);
     } else if (a == "--help" || a == "-h") {
       usage(0);
     } else {
       std::cerr << "unknown option " << a << "\n";
+      usage(2);
+    }
+  }
+  if (args.ranks < 1) {
+    std::cerr << "--ranks must be >= 1 (got " << args.ranks << ")\n";
+    usage(2);
+  }
+  if (args.image < 1) {
+    std::cerr << "--image must be >= 1 (got " << args.image << ")\n";
+    usage(2);
+  }
+  if (!(args.scale > 0.0)) {
+    std::cerr << "--scale must be > 0 (got " << args.scale << ")\n";
+    usage(2);
+  }
+  if (args.renderer != "raycast" && args.renderer != "splat") {
+    std::cerr << "unknown renderer " << args.renderer << " (raycast|splat)\n";
+    usage(2);
+  }
+  for (const auto& kill : args.faults.kills) {
+    if (kill.rank >= args.ranks) {
+      std::cerr << "--fault-kill rank " << kill.rank << " out of range for --ranks "
+                << args.ranks << "\n";
       usage(2);
     }
   }
@@ -145,11 +190,7 @@ std::unique_ptr<core::Compositor> make_method(const std::string& name) {
   usage(2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-
+int run_tool(const Args& args) {
   if (const auto parent = std::filesystem::path(args.out).parent_path(); !parent.empty()) {
     std::filesystem::create_directories(parent);
   }
@@ -178,12 +219,20 @@ int main(int argc, char** argv) {
   const auto method = make_method(args.method);
 
   pvr::MethodResult result;
+  pvr::FaultReport fault_report;
+  const auto execute = [&](const pvr::Experiment& experiment) {
+    if (args.faults.empty()) {
+      result = experiment.run(*method);
+    } else {
+      pvr::FtMethodResult ft = experiment.run_ft(*method, args.faults);
+      result = std::move(ft.result);
+      fault_report = std::move(ft.report);
+    }
+  };
   if (user_dataset) {
-    const pvr::Experiment experiment(*user_dataset, config);
-    result = experiment.run(*method);
+    execute(pvr::Experiment(*user_dataset, config));
   } else {
-    const pvr::Experiment experiment(config);
-    result = experiment.run(*method);
+    execute(pvr::Experiment(config));
   }
 
   img::write_pgm(result.final_image, args.out);
@@ -194,6 +243,7 @@ int main(int argc, char** argv) {
             << "T_total  : " << pvr::fmt_ms(result.times.total_ms()) << " ms\n"
             << "M_max    : " << pvr::fmt_bytes(result.m_max) << " bytes\n"
             << "wall     : " << pvr::fmt_ms(result.wall_ms) << " ms\n";
+  if (!args.faults.empty()) pvr::print_fault_report(std::cout, fault_report);
 
   if (args.stats) {
     pvr::TextTable table({"rank", "over ops", "encoded px", "rect scanned", "codes",
@@ -222,4 +272,18 @@ int main(int argc, char** argv) {
               << " dB)\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "slspvr_render: error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "slspvr_render: error: unknown exception\n";
+    return 1;
+  }
 }
