@@ -1,0 +1,180 @@
+#include "check/trace_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace slspvr::check {
+
+namespace {
+
+using mp::MessageRecord;
+
+/// clock a happened-before-or-equals clock b, componentwise.
+bool dominated(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+std::string event_str(int rank, const MessageRecord& rec, bool is_send) {
+  std::ostringstream out;
+  out << (is_send ? "send " : "recv ") << "rank " << rank << (is_send ? " -> " : " <- ")
+      << rec.peer << " tag " << rec.tag << " seq " << rec.seq << " stage " << rec.stage
+      << " (" << rec.bytes << " bytes, event " << rec.index << ")";
+  return out.str();
+}
+
+/// Merge a rank's sends and receives back into program order by event index.
+std::vector<std::pair<const MessageRecord*, bool>> merged_stream(const mp::TrafficTrace& trace,
+                                                                 int rank) {
+  std::vector<std::pair<const MessageRecord*, bool>> events;  // (record, is_send)
+  for (const auto& rec : trace.sent(rank)) {
+    if (rec.tag >= 0) events.emplace_back(&rec, true);
+  }
+  for (const auto& rec : trace.received(rank)) {
+    if (rec.tag >= 0) events.emplace_back(&rec, false);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first->index < b.first->index; });
+  return events;
+}
+
+}  // namespace
+
+bool TraceCheckResult::has(Diagnostic::Code code) const {
+  return std::any_of(errors.begin(), errors.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string TraceCheckResult::summary() const {
+  if (errors.empty()) return "ok";
+  std::ostringstream out;
+  for (const Diagnostic& d : errors) {
+    out << "[" << diagnostic_code_name(d.code) << "] " << d.message << "\n";
+  }
+  return out.str();
+}
+
+TraceCheckResult check_happens_before(const mp::TrafficTrace& trace) {
+  TraceCheckResult result;
+  const int ranks = trace.ranks();
+
+  // Index every send by its (source, dest, tag, seq) identity.
+  std::map<std::tuple<int, int, int, std::uint64_t>, const MessageRecord*> sends;
+  std::map<std::tuple<int, int, int>, std::int64_t> balance;
+  for (int r = 0; r < ranks; ++r) {
+    for (const MessageRecord& rec : trace.sent(r)) {
+      if (rec.tag < 0) continue;  // runtime-internal barrier traffic
+      sends[{r, rec.peer, rec.tag, rec.seq}] = &rec;
+      ++balance[{r, rec.peer, rec.tag}];
+    }
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    std::map<std::pair<int, int>, std::uint64_t> last_seq;  // channel -> last seq + 1
+    std::map<std::pair<int, int>, bool> seen;
+    for (const MessageRecord& rec : trace.received(r)) {
+      if (rec.tag < 0) continue;
+      --balance[{rec.peer, r, rec.tag}];
+      const auto it = sends.find({rec.peer, r, rec.tag, rec.seq});
+      if (it == sends.end()) {
+        result.errors.push_back(
+            {Diagnostic::Code::kUnmatchedRecv, r, rec.peer, rec.tag, rec.stage,
+             event_str(r, rec, false) + ": no send record with this identity exists"});
+        continue;
+      }
+      const MessageRecord& send = *it->second;
+      // The mailbox handoff must order the send before the receive: the
+      // sender's clock at deposit time is dominated by the receiver's clock
+      // after the merge. Anything else means the buffer changed PEs without
+      // synchronisation.
+      if (!dominated(send.clock, rec.clock)) {
+        result.errors.push_back(
+            {Diagnostic::Code::kRace, r, rec.peer, rec.tag, rec.stage,
+             "unsynchronized cross-PE handoff: " + event_str(r, rec, false) +
+                 " does not causally follow its " + event_str(rec.peer, send, true)});
+      }
+      // FIFO per channel: sequence numbers must arrive in send order.
+      const std::pair<int, int> channel{rec.peer, rec.tag};
+      if (seen[channel] && rec.seq <= last_seq[channel]) {
+        result.errors.push_back(
+            {Diagnostic::Code::kTagCollision, r, rec.peer, rec.tag, rec.stage,
+             "out-of-order delivery on channel " + std::to_string(rec.peer) + " -> " +
+                 std::to_string(r) + " tag " + std::to_string(rec.tag) + ": seq " +
+                 std::to_string(rec.seq) + " after seq " + std::to_string(last_seq[channel])});
+      }
+      last_seq[channel] = rec.seq;
+      seen[channel] = true;
+    }
+  }
+
+  for (const auto& [channel, diff] : balance) {
+    if (diff > 0) {
+      result.errors.push_back(
+          {Diagnostic::Code::kUnmatchedSend, std::get<0>(channel), std::get<1>(channel),
+           std::get<2>(channel), 0,
+           "channel " + std::to_string(std::get<0>(channel)) + " -> " +
+               std::to_string(std::get<1>(channel)) + " tag " +
+               std::to_string(std::get<2>(channel)) + ": " + std::to_string(diff) +
+               " message(s) sent but never received"});
+    }
+  }
+  return result;
+}
+
+TraceCheckResult check_trace_conformance(const mp::TrafficTrace& trace,
+                                         const CommSchedule& schedule, int width,
+                                         int height) {
+  TraceCheckResult result;
+  if (trace.ranks() != schedule.ranks) {
+    result.errors.push_back({Diagnostic::Code::kBadEvent, -1, -1, 0, 0,
+                             "trace has " + std::to_string(trace.ranks()) +
+                                 " ranks, schedule expects " +
+                                 std::to_string(schedule.ranks)});
+    return result;
+  }
+  for (int r = 0; r < schedule.ranks; ++r) {
+    const auto observed = merged_stream(trace, r);
+    const auto& expected = schedule.per_rank[static_cast<std::size_t>(r)];
+    const std::size_t n = std::min(observed.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [rec, is_send] = observed[i];
+      const ScheduleEvent& want = expected[i];
+      const bool want_send = want.kind == EventKind::kSend;
+      if (is_send != want_send || rec->peer != want.peer || rec->tag != want.tag ||
+          rec->stage != want.stage) {
+        result.errors.push_back(
+            {Diagnostic::Code::kBadEvent, r, want.peer, want.tag, want.stage,
+             "rank " + std::to_string(r) + " event " + std::to_string(i) + ": observed " +
+                 event_str(r, *rec, is_send) + " but schedule expects " +
+                 (want_send ? "send to " : "recv from ") + std::to_string(want.peer) +
+                 " tag " + std::to_string(want.tag) + " stage " + std::to_string(want.stage)});
+        continue;
+      }
+      if (is_send) {
+        const std::uint64_t bound = max_message_bytes(want.bound, width, height);
+        if (rec->bytes > bound) {
+          result.errors.push_back(
+              {Diagnostic::Code::kBadEvent, r, want.peer, want.tag, want.stage,
+               "rank " + std::to_string(r) + " event " + std::to_string(i) + ": " +
+                   event_str(r, *rec, true) + " exceeds the symbolic worst-case bound of " +
+                   std::to_string(bound) + " bytes (" +
+                   std::string(payload_class_name(want.bound.payload)) + " payload)"});
+        }
+      }
+    }
+    if (observed.size() != expected.size()) {
+      result.errors.push_back(
+          {Diagnostic::Code::kBadEvent, r, -1, 0, 0,
+           "rank " + std::to_string(r) + ": observed " + std::to_string(observed.size()) +
+               " events, schedule expects " + std::to_string(expected.size())});
+    }
+  }
+  return result;
+}
+
+}  // namespace slspvr::check

@@ -1,0 +1,49 @@
+// Dynamic happens-before checking: validate an observed TrafficTrace
+// against the vector clocks stamped by the mp runtime and against the
+// method's static CommSchedule.
+//
+// This is the "did the run actually follow the proven schedule" half of
+// slspvr-check, and a lightweight race detector tuned to the mailbox
+// protocol (complementing TSan, which sees the locks but not the protocol):
+//   * every receive must causally follow its matching send (the send's
+//     vector clock must be dominated by the receiver's post-merge clock) —
+//     a violation means a buffer crossed PEs without passing through the
+//     synchronised mailbox handoff;
+//   * per-channel delivery must be FIFO in sequence-number order, so two
+//     same-tag messages between one pair can never be swapped;
+//   * the merged per-rank event stream (sends + receives ordered by the
+//     monotonic event index) must replay the static schedule exactly —
+//     same kinds, peers, tags and stage markers — with every payload inside
+//     its symbolic worst-case size bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "check/verify.hpp"
+#include "mp/trace.hpp"
+
+namespace slspvr::check {
+
+struct TraceCheckResult {
+  std::vector<Diagnostic> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] bool has(Diagnostic::Code code) const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Protocol-level race detection on any completed trace (no schedule
+/// needed): send/recv clock dominance, FIFO sequence order per channel, and
+/// unreceived-message accounting.
+[[nodiscard]] TraceCheckResult check_happens_before(const mp::TrafficTrace& trace);
+
+/// Replay the trace against the static schedule for a width x height frame.
+/// The schedule should include the final gather (append_final_gather) when
+/// the traced run gathered at a root.
+[[nodiscard]] TraceCheckResult check_trace_conformance(const mp::TrafficTrace& trace,
+                                                       const CommSchedule& schedule,
+                                                       int width, int height);
+
+}  // namespace slspvr::check

@@ -1,0 +1,384 @@
+#include "check/verify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace slspvr::check {
+
+namespace {
+
+using Channel = std::tuple<int, int, int>;  // (source, dest, tag)
+
+std::string channel_str(const Channel& c) {
+  return std::to_string(std::get<0>(c)) + " -> " + std::to_string(std::get<1>(c)) +
+         " tag " + std::to_string(std::get<2>(c));
+}
+
+/// Validate event shapes: peers in range, no self-messages, no reserved
+/// (negative) user tags — the runtime keeps negatives for its own barriers.
+void check_structure(const CommSchedule& s, std::vector<Diagnostic>& errors) {
+  for (int r = 0; r < s.ranks; ++r) {
+    for (const ScheduleEvent& e : s.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.kind == EventKind::kBarrier) continue;
+      if (e.peer < 0 || e.peer >= s.ranks) {
+        errors.push_back({Diagnostic::Code::kBadEvent, r, e.peer, e.tag, e.stage,
+                          "rank " + std::to_string(r) + ": peer " + std::to_string(e.peer) +
+                              " out of range [0," + std::to_string(s.ranks) + ")"});
+      } else if (e.peer == r) {
+        errors.push_back({Diagnostic::Code::kBadEvent, r, e.peer, e.tag, e.stage,
+                          "rank " + std::to_string(r) + ": self-message (tag " +
+                              std::to_string(e.tag) + ")"});
+      }
+      if (e.tag < 0) {
+        errors.push_back({Diagnostic::Code::kBadEvent, r, e.peer, e.tag, e.stage,
+                          "rank " + std::to_string(r) + ": negative tag " +
+                              std::to_string(e.tag) + " is reserved for the runtime"});
+      }
+    }
+  }
+}
+
+/// Per-channel send/recv multiset matching.
+void check_matching(const CommSchedule& s, std::vector<Diagnostic>& errors) {
+  std::map<Channel, std::int64_t> balance;  // sends minus recvs
+  for (int r = 0; r < s.ranks; ++r) {
+    for (const ScheduleEvent& e : s.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.peer < 0 || e.peer >= s.ranks || e.peer == r) continue;  // kBadEvent already
+      if (e.kind == EventKind::kSend) ++balance[{r, e.peer, e.tag}];
+      if (e.kind == EventKind::kRecv) --balance[{e.peer, r, e.tag}];
+    }
+  }
+  for (const auto& [channel, diff] : balance) {
+    if (diff > 0) {
+      errors.push_back({Diagnostic::Code::kUnmatchedSend, std::get<0>(channel),
+                        std::get<1>(channel), std::get<2>(channel), 0,
+                        "channel " + channel_str(channel) + ": " + std::to_string(diff) +
+                            " message(s) sent but never received"});
+    } else if (diff < 0) {
+      errors.push_back({Diagnostic::Code::kUnmatchedRecv, std::get<1>(channel),
+                        std::get<0>(channel), std::get<2>(channel), 0,
+                        "channel " + channel_str(channel) + ": " + std::to_string(-diff) +
+                            " receive(s) with no matching send"});
+    }
+  }
+}
+
+/// Binary-swap-family promise: every stage's sends pair ranks symmetrically.
+void check_pairwise(const CommSchedule& s, std::vector<Diagnostic>& errors) {
+  std::map<int, std::map<std::tuple<int, int, int>, int>> stages;  // stage -> (a,b,tag) -> count
+  for (int r = 0; r < s.ranks; ++r) {
+    for (const ScheduleEvent& e : s.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.kind != EventKind::kSend || e.stage == 0) continue;
+      ++stages[e.stage][{r, e.peer, e.tag}];
+    }
+  }
+  for (const auto& [stage, sends] : stages) {
+    for (const auto& [key, count] : sends) {
+      const auto [a, b, tag] = key;
+      const auto mirror = sends.find({b, a, tag});
+      const int mirrored = mirror == sends.end() ? 0 : mirror->second;
+      if (mirrored != count) {
+        errors.push_back({Diagnostic::Code::kAsymmetry, a, b, tag, stage,
+                          "stage " + std::to_string(stage) + ": rank " + std::to_string(a) +
+                              " sends to " + std::to_string(b) + " (tag " + std::to_string(tag) +
+                              ") " + std::to_string(count) + "x but the reverse happens " +
+                              std::to_string(mirrored) + "x"});
+      }
+    }
+  }
+}
+
+struct PendingMessage {
+  int stage = 0;
+};
+
+/// Execute the schedule with eager (buffered) sends and blocking receives.
+/// Detects concurrent same-channel messages (tag collisions) on deposit and
+/// extracts the wait-for cycle when no rank can make progress.
+void simulate(const CommSchedule& s, std::vector<Diagnostic>& errors) {
+  const std::size_t ranks = static_cast<std::size_t>(s.ranks);
+  std::vector<std::size_t> pc(ranks, 0);
+  std::map<Channel, std::deque<PendingMessage>> in_flight;
+
+  const auto done = [&](std::size_t r) { return pc[r] >= s.per_rank[r].size(); };
+  const auto at_barrier = [&](std::size_t r) {
+    return !done(r) && s.per_rank[r][pc[r]].kind == EventKind::kBarrier;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Barriers: release only when every unfinished rank has arrived.
+    bool all_at_barrier = false;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (at_barrier(r)) all_at_barrier = true;
+    }
+    if (all_at_barrier) {
+      bool everyone = true;
+      for (std::size_t r = 0; r < ranks; ++r) {
+        if (!done(r) && !at_barrier(r)) everyone = false;
+      }
+      if (everyone) {
+        for (std::size_t r = 0; r < ranks; ++r) {
+          if (at_barrier(r)) ++pc[r];
+        }
+        progress = true;
+        continue;
+      }
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+      while (!done(r)) {
+        const ScheduleEvent& e = s.per_rank[r][pc[r]];
+        if (e.kind == EventKind::kSend) {
+          if (e.peer < 0 || e.peer >= s.ranks || e.peer == static_cast<int>(r)) {
+            ++pc[r];  // malformed, already diagnosed; skip so the sim terminates
+            continue;
+          }
+          auto& queue = in_flight[{static_cast<int>(r), e.peer, e.tag}];
+          if (!queue.empty()) {
+            errors.push_back(
+                {Diagnostic::Code::kTagCollision, static_cast<int>(r), e.peer, e.tag, e.stage,
+                 "channel " + std::to_string(r) + " -> " + std::to_string(e.peer) + " tag " +
+                     std::to_string(e.tag) + ": message of stage " + std::to_string(e.stage) +
+                     " deposited while the stage-" + std::to_string(queue.front().stage) +
+                     " message is still in flight — (source, tag) matching is ambiguous"});
+          }
+          queue.push_back({e.stage});
+          ++pc[r];
+          progress = true;
+        } else if (e.kind == EventKind::kRecv) {
+          if (e.peer < 0 || e.peer >= s.ranks || e.peer == static_cast<int>(r)) {
+            ++pc[r];
+            continue;
+          }
+          auto& queue = in_flight[{e.peer, static_cast<int>(r), e.tag}];
+          if (queue.empty()) break;  // blocked
+          queue.pop_front();
+          ++pc[r];
+          progress = true;
+        } else {
+          break;  // barrier: handled at the top of the pass
+        }
+      }
+    }
+  }
+
+  bool any_blocked = false;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (!done(r)) any_blocked = true;
+  }
+  if (!any_blocked) return;
+
+  // Wait-for graph over the blocked ranks; walk the single-successor recv
+  // edges from each blocked rank to find a cycle.
+  std::vector<int> waits_on(ranks, -1);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (done(r)) continue;
+    const ScheduleEvent& e = s.per_rank[r][pc[r]];
+    if (e.kind == EventKind::kRecv) waits_on[r] = e.peer;
+  }
+  std::vector<int> state(ranks, 0);  // 0 unvisited, 1 on path, 2 finished
+  bool cycle_reported = false;
+  for (std::size_t start = 0; start < ranks && !cycle_reported; ++start) {
+    if (state[start] != 0 || waits_on[start] < 0) continue;
+    std::vector<int> path;
+    int cur = static_cast<int>(start);
+    while (cur >= 0 && state[static_cast<std::size_t>(cur)] == 0) {
+      state[static_cast<std::size_t>(cur)] = 1;
+      path.push_back(cur);
+      cur = waits_on[static_cast<std::size_t>(cur)];
+    }
+    if (cur >= 0 && state[static_cast<std::size_t>(cur)] == 1) {
+      // Found a cycle: report it from `cur` around.
+      std::ostringstream out;
+      out << "cyclic wait: ";
+      const auto begin = std::find(path.begin(), path.end(), cur);
+      for (auto it = begin; it != path.end(); ++it) {
+        const ScheduleEvent& e =
+            s.per_rank[static_cast<std::size_t>(*it)][pc[static_cast<std::size_t>(*it)]];
+        out << "rank " << *it << " waits on rank " << e.peer << " (recv tag " << e.tag
+            << ", stage " << e.stage << ") -> ";
+      }
+      out << "rank " << cur;
+      const ScheduleEvent& e =
+          s.per_rank[static_cast<std::size_t>(cur)][pc[static_cast<std::size_t>(cur)]];
+      errors.push_back({Diagnostic::Code::kDeadlock, cur, e.peer, e.tag, e.stage, out.str()});
+      cycle_reported = true;
+    }
+    for (const int r : path) state[static_cast<std::size_t>(r)] = 2;
+  }
+  if (!cycle_reported) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (done(r)) continue;
+      const ScheduleEvent& e = s.per_rank[r][pc[r]];
+      const std::string what =
+          e.kind == EventKind::kRecv
+              ? "recv from rank " + std::to_string(e.peer) + " tag " + std::to_string(e.tag)
+              : "barrier";
+      errors.push_back({Diagnostic::Code::kStuck, static_cast<int>(r), e.peer, e.tag, e.stage,
+                        "rank " + std::to_string(r) + " blocks forever on " + what +
+                            " at stage " + std::to_string(e.stage) +
+                            " (event " + std::to_string(pc[r]) + ")"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view diagnostic_code_name(Diagnostic::Code code) {
+  switch (code) {
+    case Diagnostic::Code::kBadEvent: return "bad-event";
+    case Diagnostic::Code::kUnmatchedSend: return "unmatched-send";
+    case Diagnostic::Code::kUnmatchedRecv: return "unmatched-recv";
+    case Diagnostic::Code::kTagCollision: return "tag-collision";
+    case Diagnostic::Code::kDeadlock: return "deadlock";
+    case Diagnostic::Code::kStuck: return "stuck";
+    case Diagnostic::Code::kAsymmetry: return "asymmetry";
+    case Diagnostic::Code::kRace: return "race";
+  }
+  return "?";
+}
+
+bool VerifyResult::has(Diagnostic::Code code) const {
+  return std::any_of(errors.begin(), errors.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string VerifyResult::summary() const {
+  if (errors.empty()) return "ok";
+  std::ostringstream out;
+  for (const Diagnostic& d : errors) {
+    out << "[" << diagnostic_code_name(d.code) << "] " << d.message << "\n";
+  }
+  return out.str();
+}
+
+VerifyResult verify_schedule(const CommSchedule& schedule) {
+  VerifyResult result;
+  if (schedule.ranks <= 0 ||
+      schedule.per_rank.size() != static_cast<std::size_t>(schedule.ranks)) {
+    result.errors.push_back({Diagnostic::Code::kBadEvent, -1, -1, 0, 0,
+                             "schedule has " + std::to_string(schedule.per_rank.size()) +
+                                 " rank programs but declares ranks=" +
+                                 std::to_string(schedule.ranks)});
+    return result;
+  }
+  check_structure(schedule, result.errors);
+  check_matching(schedule, result.errors);
+  if (schedule.pairwise) check_pairwise(schedule, result.errors);
+  simulate(schedule, result.errors);
+  return result;
+}
+
+namespace {
+
+/// Linear form c_full + c_rect*beta + c_nb*gamma over the payload-fraction
+/// unknowns (beta = bounding-rect fraction, gamma = non-blank fraction).
+struct PayloadForm {
+  Rational full{0, 1}, rect{0, 1}, nb{0, 1};
+
+  [[nodiscard]] Rational at(bool beta, bool gamma) const {
+    Rational v = full;
+    if (beta) v = v + rect;
+    if (gamma) v = v + nb;
+    return v;
+  }
+  [[nodiscard]] std::string str() const {
+    return full.str() + "*A + " + rect.str() + "*beta*A + " + nb.str() + "*gamma*A";
+  }
+};
+
+/// Worst-case payload received per rank (in pixels, as fractions of A),
+/// plus the total fixed overhead bytes the form excludes.
+struct MethodForm {
+  std::vector<PayloadForm> per_rank;
+  std::int64_t max_fixed_bytes = 0;
+  [[nodiscard]] Rational max_at(bool beta, bool gamma) const {
+    Rational best{0, 1};
+    for (const PayloadForm& f : per_rank) {
+      const Rational v = f.at(beta, gamma);
+      if (best < v) best = v;
+    }
+    return best;
+  }
+};
+
+MethodForm received_payload_form(const CommSchedule& s) {
+  MethodForm form;
+  form.per_rank.resize(static_cast<std::size_t>(s.ranks));
+  // Match the i-th recv on a channel to the i-th send (FIFO), then charge
+  // the send's symbolic bound to the *receiver*.
+  std::map<Channel, std::deque<const SizeBound*>> sends;
+  for (int r = 0; r < s.ranks; ++r) {
+    for (const ScheduleEvent& e : s.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.kind == EventKind::kSend && e.stage != 0) {
+        sends[{r, e.peer, e.tag}].push_back(&e.bound);
+      }
+    }
+  }
+  std::vector<std::int64_t> fixed(static_cast<std::size_t>(s.ranks), 0);
+  for (int r = 0; r < s.ranks; ++r) {
+    for (const ScheduleEvent& e : s.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.kind != EventKind::kRecv || e.stage == 0) continue;
+      auto& queue = sends[{e.peer, r, e.tag}];
+      if (queue.empty()) continue;  // unmatched; verify_schedule reports it
+      const SizeBound* bound = queue.front();
+      queue.pop_front();
+      PayloadForm& f = form.per_rank[static_cast<std::size_t>(r)];
+      const Rational area = bound->region.area_fraction();
+      switch (bound->payload) {
+        case PayloadClass::kFullRegion: f.full = f.full + area; break;
+        case PayloadClass::kBoundingRect: f.rect = f.rect + area; break;
+        case PayloadClass::kNonBlank: f.nb = f.nb + area; break;
+        case PayloadClass::kNone: break;
+      }
+      fixed[static_cast<std::size_t>(r)] += bound->fixed_bytes;
+    }
+  }
+  form.max_fixed_bytes = *std::max_element(fixed.begin(), fixed.end());
+  return form;
+}
+
+}  // namespace
+
+Eq9Report verify_eq9(const CommSchedule& bs, const CommSchedule& bsbr,
+                     const CommSchedule& bsbrc, const CommSchedule& bslc) {
+  const CommSchedule* chain[4] = {&bs, &bsbr, &bsbrc, &bslc};
+  MethodForm forms[4];
+  for (int i = 0; i < 4; ++i) forms[i] = received_payload_form(*chain[i]);
+
+  // The domain {1 >= beta >= gamma >= 0} is the triangle with vertices
+  // (0,0), (1,0), (1,1); a linear form is >= another everywhere iff it is
+  // at all three vertices.
+  constexpr bool kVertices[3][2] = {{false, false}, {true, false}, {true, true}};
+  std::ostringstream detail;
+  bool holds = true;
+  for (int i = 0; i < 4; ++i) {
+    detail << chain[i]->method << ": max received payload (pixels) = "
+           << forms[i].per_rank.front().str()
+           << "; excluded fixed overhead <= " << forms[i].max_fixed_bytes << " bytes\n";
+  }
+  for (int i = 0; i + 1 < 4; ++i) {
+    for (const auto& v : kVertices) {
+      const Rational lhs = forms[i].max_at(v[0], v[1]);
+      const Rational rhs = forms[i + 1].max_at(v[0], v[1]);
+      if (lhs < rhs) {
+        holds = false;
+        detail << "VIOLATION: M_" << chain[i]->method << " < M_" << chain[i + 1]->method
+               << " at (beta=" << v[0] << ", gamma=" << v[1] << "): " << lhs.str() << " < "
+               << rhs.str() << "\n";
+      }
+    }
+  }
+  if (holds) {
+    detail << "Eq. (9) chain M_" << bs.method << " >= M_" << bsbr.method << " >= M_"
+           << bsbrc.method << " >= M_" << bslc.method
+           << " holds at every vertex of {1 >= beta >= gamma >= 0}\n";
+  }
+  return Eq9Report{holds, detail.str()};
+}
+
+}  // namespace slspvr::check

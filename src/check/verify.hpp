@@ -1,0 +1,76 @@
+// Static verifier for communication schedules (the "prover" half of
+// slspvr-check).
+//
+// Given a CommSchedule it proves, without running a frame:
+//   * send/recv matching — every message sent is received and vice versa,
+//     per (source, dest, tag) channel;
+//   * deadlock freedom — an eager-send execution of the schedule always
+//     terminates; when it cannot, the wait-for graph is extracted and the
+//     blocking cycle reported rank by rank;
+//   * tag uniqueness — no two messages are ever concurrently in flight on
+//     the same (source, dest, tag) channel, so (source, tag) matching is
+//     unambiguous even across interacting phases (fold pre-stage vs the
+//     inner binary-swap stages vs the final gather);
+//   * per-stage partner symmetry for the binary-swap family (pairwise
+//     schedules): every stage's sends form a perfect matching of mutually
+//     exchanging pairs with equal tags.
+//
+// verify_eq9 proves the paper's Eq. (9) worst-case message-size ordering
+// M_BS >= M_BSBR >= M_BSBRC >= M_BSLC symbolically: each method's maximum
+// received payload is a linear form c_full + c_rect*beta + c_nb*gamma in
+// the unknown bounding-rect / non-blank fractions (1 >= beta >= gamma >= 0),
+// and a linear form is ordered over that triangle iff it is ordered at the
+// three vertices — checked with exact rational arithmetic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+
+namespace slspvr::check {
+
+struct Diagnostic {
+  enum class Code {
+    kBadEvent,       ///< malformed event: peer out of range, self-message
+    kUnmatchedSend,  ///< message sent but never received (leak)
+    kUnmatchedRecv,  ///< receive with no matching send (blocks forever)
+    kTagCollision,   ///< two messages concurrently in flight on one channel
+    kDeadlock,       ///< cyclic wait (the cycle is in `message`)
+    kStuck,          ///< no progress, no cycle: blocked on a missing send
+    kAsymmetry,      ///< pairwise stage symmetry violated
+    kRace,           ///< dynamic: handoff without a happens-before edge
+  };
+  Code code = Code::kBadEvent;
+  int rank = -1;
+  int peer = -1;
+  int tag = 0;
+  int stage = 0;
+  std::string message;
+};
+
+[[nodiscard]] std::string_view diagnostic_code_name(Diagnostic::Code code);
+
+struct VerifyResult {
+  std::vector<Diagnostic> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] bool has(Diagnostic::Code code) const;
+  /// Multi-line human-readable report ("ok" when clean).
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] VerifyResult verify_schedule(const CommSchedule& schedule);
+
+struct Eq9Report {
+  bool holds = false;
+  std::string detail;
+};
+
+/// Prove M_BS >= M_BSBR >= M_BSBRC >= M_BSLC on the schedules' symbolic
+/// payload bounds (fixed header/code overheads are excluded — they are the
+/// paper's known small-P inversion source and reported in `detail`).
+[[nodiscard]] Eq9Report verify_eq9(const CommSchedule& bs, const CommSchedule& bsbr,
+                                   const CommSchedule& bsbrc, const CommSchedule& bslc);
+
+}  // namespace slspvr::check

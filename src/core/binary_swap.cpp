@@ -34,4 +34,11 @@ Ownership BinarySwapCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_rect(region);
 }
 
+
+check::CommSchedule BinarySwapCompositor::schedule(int ranks) const {
+  // Raw full-region halves: 16 B/pixel, no headers.
+  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kFullRegion,
+                                            16, 0, false);
+}
+
 }  // namespace slspvr::core

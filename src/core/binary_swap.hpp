@@ -17,6 +17,8 @@ class BinarySwapCompositor final : public Compositor {
 
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
+
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 };
 
 }  // namespace slspvr::core

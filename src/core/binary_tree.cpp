@@ -44,4 +44,9 @@ Ownership BinaryTreeCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_at_root();
 }
 
+
+check::CommSchedule BinaryTreeCompositor::schedule(int ranks) const {
+  return check::binary_tree_schedule(name(), ranks);
+}
+
 }  // namespace slspvr::core

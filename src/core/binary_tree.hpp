@@ -20,6 +20,8 @@ class BinaryTreeCompositor final : public Compositor {
 
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
+
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 };
 
 }  // namespace slspvr::core

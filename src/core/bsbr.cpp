@@ -47,4 +47,11 @@ Ownership BsbrCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_rect(region);
 }
 
+
+check::CommSchedule BsbrCompositor::schedule(int ranks) const {
+  // Bounding-rectangle clipped raw pixels behind an 8 B WireRect header.
+  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kBoundingRect,
+                                            16, 8, false);
+}
+
 }  // namespace slspvr::core

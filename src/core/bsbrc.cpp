@@ -58,4 +58,11 @@ Ownership BsbrcCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_rect(region);
 }
 
+
+check::CommSchedule BsbrcCompositor::schedule(int ranks) const {
+  // WireRect (8 B) + code-count header (4 B) + RLE worst case 18 B/pixel.
+  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
+                                            18, 12, false);
+}
+
 }  // namespace slspvr::core

@@ -28,6 +28,8 @@ class BsbrcCompositor final : public Compositor {
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
 
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
  private:
   bool tight_rescan_;
 };

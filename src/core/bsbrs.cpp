@@ -46,4 +46,12 @@ Ownership BsbrsCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_rect(region);
 }
 
+
+check::CommSchedule BsbrsCompositor::schedule(int ranks) const {
+  // WireRect (8 B) + (4 + 16) B per single-pixel span + a 2 B span count
+  // per rectangle row, paid even for rows with no spans.
+  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
+                                            20, 12, false, 2);
+}
+
 }  // namespace slspvr::core

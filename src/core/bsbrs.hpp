@@ -21,6 +21,8 @@ class BsbrsCompositor final : public Compositor {
 
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
+
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 };
 
 }  // namespace slspvr::core

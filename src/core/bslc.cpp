@@ -49,4 +49,13 @@ Ownership BslcCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::interleaved(range);
 }
 
+
+check::CommSchedule BslcCompositor::schedule(int ranks) const {
+  // RLE over the rank's pixel progression: worst case one 2 B code per
+  // 16 B pixel, behind the 4 B code-count header. The region is a scalar
+  // pixel count (interleaved assignment), not a rectangle.
+  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
+                                            18, 4, true);
+}
+
 }  // namespace slspvr::core

@@ -27,6 +27,8 @@ class BslcCompositor final : public Compositor {
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
 
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
  private:
   bool interleaved_;
 };

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "check/schedule.hpp"
 #include "core/counters.hpp"
 #include "core/order.hpp"
 #include "image/image.hpp"
@@ -52,6 +53,14 @@ class Compositor {
 
   virtual Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                               Counters& counters) const = 0;
+
+  /// The method's static communication schedule for `ranks` PEs: the exact
+  /// per-rank send/recv/stage program `composite` will execute, with
+  /// symbolic worst-case payload bounds. Ring-structured methods (pipeline)
+  /// emit the identity depth order; any other order is the same pattern
+  /// with ranks relabelled. slspvr-check proves deadlock-freedom, matching
+  /// and tag uniqueness on this schedule before any frame is rendered.
+  [[nodiscard]] virtual check::CommSchedule schedule(int ranks) const = 0;
 };
 
 /// Assemble the final image at `root` from each rank's owned piece. Traffic

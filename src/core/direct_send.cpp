@@ -74,4 +74,9 @@ Ownership DirectSendCompositor::composite(mp::Comm& comm, img::Image& image,
   return Ownership::full_rect(my_band);
 }
 
+
+check::CommSchedule DirectSendCompositor::schedule(int ranks) const {
+  return check::direct_send_schedule(name(), ranks, sparse_);
+}
+
 }  // namespace slspvr::core

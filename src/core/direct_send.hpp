@@ -25,6 +25,8 @@ class DirectSendCompositor final : public Compositor {
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
 
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
   /// The horizontal band owned by `rank` out of `ranks` for `bounds`.
   [[nodiscard]] static img::Rect band_of(const img::Rect& bounds, int rank, int ranks);
 

@@ -87,4 +87,10 @@ Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
   return inner_.composite(sub, image, inner_order, counters);
 }
 
+
+check::CommSchedule FoldCompositor::schedule(int ranks) const {
+  const FoldPlan plan = make_fold_plan(ranks);
+  return check::fold_schedule(name_, ranks, inner_.schedule(plan.groups));
+}
+
 }  // namespace slspvr::core

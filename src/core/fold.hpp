@@ -54,6 +54,8 @@ class FoldCompositor final : public Compositor {
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
                       Counters& counters) const override;
 
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
  private:
   const Compositor& inner_;
   std::string name_;

@@ -134,4 +134,9 @@ Ownership ParallelPipelineCompositor::composite(mp::Comm& comm, img::Image& imag
   return Ownership::full_rect(my_band);
 }
 
+
+check::CommSchedule ParallelPipelineCompositor::schedule(int ranks) const {
+  return check::pipeline_schedule(name(), ranks);
+}
+
 }  // namespace slspvr::core

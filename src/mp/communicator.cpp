@@ -15,15 +15,18 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
-  if (ctx_->injector != nullptr &&
-      ctx_->injector->on_send(rank_, real_dest, tag, ctx_->trace.stage(rank_), msg.payload)) {
+  const bool dropped =
+      ctx_->injector != nullptr &&
+      ctx_->injector->on_send(rank_, real_dest, tag, ctx_->trace.stage(rank_), msg.payload);
+  auto stamp = ctx_->trace.record_send(rank_, real_dest, tag, msg.payload.size());
+  if (dropped) {
     // Dropped in transit: the send happened from this rank's perspective,
     // but nothing is deposited — the receiver's deadline turns the loss
     // into a RecvTimeoutError instead of a hang.
-    ctx_->trace.record_send(rank_, real_dest, tag, msg.payload.size());
     return;
   }
-  ctx_->trace.record_send(rank_, real_dest, tag, msg.payload.size());
+  msg.seq = stamp.seq;
+  msg.clock = std::move(stamp.clock);
   ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
 }
 
@@ -60,7 +63,8 @@ Message Comm::recv_message(int source, int tag) {
   } else {
     msg = box.match(match_source, tag);
   }
-  ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size());
+  ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size(), msg.seq,
+                             msg.clock);
   // Report the sender in (sub)communicator coordinates when possible.
   const int v = virt(msg.source);
   if (v >= 0) msg.source = v;
@@ -74,6 +78,14 @@ std::vector<std::byte> Comm::sendrecv(int peer, int tag, std::span<const std::by
 
 void Comm::barrier() {
   if (group_.empty()) {
+    // Vector-clock join: publish this rank's clock, synchronise, fold in
+    // everyone else's. The second arrive keeps a slow reader safe from the
+    // next barrier round overwriting the slots it is still reading.
+    ctx_->barrier_clocks[static_cast<std::size_t>(rank_)] = ctx_->trace.tick(rank_);
+    ctx_->barrier.arrive_and_wait();
+    for (const auto& published : ctx_->barrier_clocks) {
+      ctx_->trace.merge_clock(rank_, published);
+    }
     ctx_->barrier.arrive_and_wait();
     return;
   }

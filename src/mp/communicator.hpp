@@ -37,11 +37,16 @@ struct WaitSlot {
 struct CommContext {
   explicit CommContext(int ranks)
       : mailboxes(ranks), barrier(static_cast<std::size_t>(ranks)), trace(ranks),
+        barrier_clocks(static_cast<std::size_t>(ranks)),
         wait_slots(static_cast<std::size_t>(ranks)) {}
 
   std::vector<Mailbox> mailboxes;
   CyclicBarrier barrier;
   TrafficTrace trace;
+  /// Vector-clock exchange slots for the world barrier: each rank publishes
+  /// its clock before arriving and joins everyone's after release (a second
+  /// barrier keeps slow readers safe from the next round's writes).
+  std::vector<std::vector<std::uint64_t>> barrier_clocks;
 
   /// Fault-injection hook (not owned; null in fault-free runs).
   FaultInjector* injector = nullptr;

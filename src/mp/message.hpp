@@ -23,6 +23,13 @@ struct Message {
   int tag = 0;                      ///< user tag, matched on receive
   std::vector<std::byte> payload;   ///< opaque bytes
 
+  /// Per-(source, dest, tag) channel sequence number assigned at send time;
+  /// disambiguates same-tag messages for the trace replay / race checker.
+  std::uint64_t seq = 0;
+  /// Sender's vector clock at send time (slspvr-check happens-before
+  /// tracking); empty only for hand-built messages in tests.
+  std::vector<std::uint64_t> clock;
+
   [[nodiscard]] std::size_t size_bytes() const noexcept { return payload.size(); }
 };
 

@@ -5,11 +5,25 @@
 // and the M_max metric of Section 4 is the maximum over PEs of total
 // received bytes. The trace records exactly those quantities while the real
 // algorithms run; the cost model in core/ turns them into modelled time.
+//
+// For slspvr-check (check/) every record additionally carries:
+//   * a per-(source, dest, tag) channel sequence number, so two same-tag
+//     messages between the same pair in one stage stay distinguishable;
+//   * a monotonic per-rank event index, so a rank's sends and receives can
+//     be merged back into their real program order for replay; and
+//   * a vector-clock snapshot, maintained Lamport-style (tick on send,
+//     merge + tick on receive, all-join on barriers), which lets the
+//     post-run checker prove every cross-PE buffer handoff was synchronized
+//     through the mailbox protocol.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace slspvr::mp {
@@ -20,24 +34,84 @@ struct MessageRecord {
   int tag = 0;            ///< message tag
   std::uint64_t bytes = 0;///< payload size
   int stage = 0;          ///< user-defined stage marker (compositing stage k)
+  std::uint64_t seq = 0;  ///< channel (source, dest, tag) sequence number
+  std::uint64_t index = 0;///< per-rank monotonic event index (program order)
+  std::vector<std::uint64_t> clock;  ///< rank's vector clock after the event
 };
 
 /// Per-rank send/receive log. Each rank appends only to its own slot, so no
 /// synchronisation is needed while PEs run; readers must wait for the
-/// runtime to join (Runtime::run returns) before consuming the trace.
+/// runtime to join (Runtime::run returns) before consuming the trace. The
+/// one cross-rank read — the watchdog's waiting_summary looking at other
+/// ranks' stage markers — goes through the atomic stage slots.
 class TrafficTrace {
  public:
-  explicit TrafficTrace(int ranks) : sent_(ranks), received_(ranks), stage_(ranks, 0) {}
+  explicit TrafficTrace(int ranks)
+      : sent_(ranks), received_(ranks), stage_(static_cast<std::size_t>(ranks)),
+        clock_(static_cast<std::size_t>(ranks),
+               std::vector<std::uint64_t>(static_cast<std::size_t>(ranks), 0)),
+        next_index_(ranks, 0), next_seq_(ranks) {}
 
   /// Set the current stage marker for `rank`; subsequent records carry it.
-  void set_stage(int rank, int stage) { stage_[rank] = stage; }
-  [[nodiscard]] int stage(int rank) const { return stage_[rank]; }
-
-  void record_send(int rank, int dest, int tag, std::uint64_t bytes) {
-    sent_[rank].push_back({dest, tag, bytes, stage_[rank]});
+  void set_stage(int rank, int stage) {
+    stage_[static_cast<std::size_t>(rank)].store(stage, std::memory_order_relaxed);
   }
-  void record_receive(int rank, int source, int tag, std::uint64_t bytes) {
-    received_[rank].push_back({source, tag, bytes, stage_[rank]});
+  [[nodiscard]] int stage(int rank) const {
+    return stage_[static_cast<std::size_t>(rank)].load(std::memory_order_relaxed);
+  }
+
+  /// What a send must carry so the receive side can stamp its record.
+  struct SendStamp {
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> clock;
+  };
+
+  /// Record a send: assigns the channel sequence number and event index,
+  /// ticks the sender's vector clock, and returns the stamp to attach to
+  /// the outgoing message.
+  SendStamp record_send(int rank, int dest, int tag, std::uint64_t bytes) {
+    const std::uint64_t seq = next_seq_[static_cast<std::size_t>(rank)][{dest, tag}]++;
+    auto& clock = tick(rank);
+    sent_[static_cast<std::size_t>(rank)].push_back(
+        {dest, tag, bytes, stage(rank), seq, next_index(rank), clock});
+    return SendStamp{seq, clock};
+  }
+
+  /// Record a receive: merges the sender's clock (when stamped), ticks the
+  /// receiver's, and logs seq + index for replay.
+  void record_receive(int rank, int source, int tag, std::uint64_t bytes,
+                      std::uint64_t seq = 0,
+                      std::span<const std::uint64_t> sender_clock = {}) {
+    auto& clock = clock_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < clock.size() && i < sender_clock.size(); ++i) {
+      clock[i] = std::max(clock[i], sender_clock[i]);
+    }
+    tick(rank);
+    received_[static_cast<std::size_t>(rank)].push_back(
+        {source, tag, bytes, stage(rank), seq, next_index(rank), clock});
+  }
+
+  /// The rank's current vector clock. Safe to read for `rank` on its own
+  /// thread while running, for any rank after the runtime joins.
+  [[nodiscard]] const std::vector<std::uint64_t>& clock(int rank) const {
+    return clock_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Barrier join: fold another rank's published clock into `rank`'s (the
+  /// caller provides the cross-thread synchronisation, e.g. the barrier).
+  void merge_clock(int rank, std::span<const std::uint64_t> other) {
+    auto& clock = clock_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < clock.size() && i < other.size(); ++i) {
+      clock[i] = std::max(clock[i], other[i]);
+    }
+  }
+
+  /// Advance the rank's own clock component (a local event; used by the
+  /// barrier before publishing).
+  std::vector<std::uint64_t>& tick(int rank) {
+    auto& clock = clock_[static_cast<std::size_t>(rank)];
+    ++clock[static_cast<std::size_t>(rank)];
+    return clock;
   }
 
   [[nodiscard]] const std::vector<MessageRecord>& sent(int rank) const { return sent_[rank]; }
@@ -68,13 +142,25 @@ class TrafficTrace {
   void clear() {
     for (auto& v : sent_) v.clear();
     for (auto& v : received_) v.clear();
-    for (auto& s : stage_) s = 0;
+    for (auto& s : stage_) s.store(0, std::memory_order_relaxed);
+    for (auto& c : clock_) std::fill(c.begin(), c.end(), 0);
+    std::fill(next_index_.begin(), next_index_.end(), 0);
+    for (auto& m : next_seq_) m.clear();
   }
 
  private:
+  [[nodiscard]] std::uint64_t next_index(int rank) {
+    return next_index_[static_cast<std::size_t>(rank)]++;
+  }
+
   std::vector<std::vector<MessageRecord>> sent_;
   std::vector<std::vector<MessageRecord>> received_;
-  std::vector<int> stage_;
+  std::vector<std::atomic<int>> stage_;
+  std::vector<std::vector<std::uint64_t>> clock_;  ///< per-rank vector clocks
+  std::vector<std::uint64_t> next_index_;
+  /// Per-rank (dest, tag) -> next sequence number; each rank touches only
+  /// its own map.
+  std::vector<std::map<std::pair<int, int>, std::uint64_t>> next_seq_;
 };
 
 }  // namespace slspvr::mp
