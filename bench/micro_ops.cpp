@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/bsbrc.hpp"
+#include "core/engine.hpp"
 #include "core/order.hpp"
 #include "core/wire.hpp"
 #include "image/value_rle.hpp"
@@ -110,6 +111,34 @@ void BM_PackRectPixels(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * rect.area() * 16);
 }
 BENCHMARK(BM_PackRectPixels);
+
+// The engine's arena reuse (scratch_pack_buffer) versus a fresh PackBuffer
+// per message — the allocation/zeroing cost every stage of every frame pays
+// without the per-rank scratch arena. Compare against BM_PackReusedArena.
+void BM_PackFreshBuffer(benchmark::State& state) {
+  const img::Image image = test_image(384, 0.5);
+  const img::Rect rect{32, 32, 352, 352};
+  for (auto _ : state) {
+    img::PackBuffer buf;  // fresh allocation every message
+    core::wire::pack_rect_pixels(image, rect, buf);
+    benchmark::DoNotOptimize(buf.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * rect.area() * 16);
+}
+BENCHMARK(BM_PackFreshBuffer);
+
+void BM_PackReusedArena(benchmark::State& state) {
+  const img::Image image = test_image(384, 0.5);
+  const img::Rect rect{32, 32, 352, 352};
+  for (auto _ : state) {
+    img::PackBuffer& buf = core::scratch_pack_buffer();
+    buf.clear();  // keeps capacity: no allocation after the first iteration
+    core::wire::pack_rect_pixels(image, rect, buf);
+    benchmark::DoNotOptimize(buf.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * rect.area() * 16);
+}
+BENCHMARK(BM_PackReusedArena);
 
 void BM_MessageRoundTrip(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));

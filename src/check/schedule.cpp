@@ -8,14 +8,6 @@ namespace slspvr::check {
 
 namespace {
 
-[[nodiscard]] bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
-
-[[nodiscard]] int log2_exact(int n) {
-  int levels = 0;
-  while ((1 << levels) < n) ++levels;
-  return levels;
-}
-
 [[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
@@ -28,6 +20,20 @@ namespace {
   if (halvings == 0) return w * h;
   const std::int64_t via_w = max_halved_rect(ceil_div(w, 2), h, halvings - 1);
   const std::int64_t via_h = max_halved_rect(w, ceil_div(h, 2), halvings - 1);
+  return std::max(via_w, via_h);
+}
+
+/// Mixed-radix analogue of max_halved_rect: at every stage the engine
+/// slices the longer side into radices[i] parts with ceil boundaries, so
+/// a part spans at most ceil(side / radix); enumerate which side each cut
+/// lands on and keep the maximum area.
+[[nodiscard]] std::int64_t max_sliced_rect(std::int64_t w, std::int64_t h,
+                                           const std::vector<int>& radices,
+                                           std::size_t from) {
+  if (from >= radices.size()) return w * h;
+  const std::int64_t k = radices[from];
+  const std::int64_t via_w = max_sliced_rect(ceil_div(w, k), h, radices, from + 1);
+  const std::int64_t via_h = max_sliced_rect(w, ceil_div(h, k), radices, from + 1);
   return std::max(via_w, via_h);
 }
 
@@ -67,7 +73,9 @@ std::string Rational::str() const {
 }
 
 Rational RegionSpec::area_fraction() const {
-  return Rational::of(1, (std::int64_t{1} << halvings) * bands);
+  std::int64_t parts = std::int64_t{1} << halvings;
+  for (const int k : radices) parts *= k;
+  return Rational::of(1, parts * bands);
 }
 
 std::string_view payload_class_name(PayloadClass c) {
@@ -84,13 +92,18 @@ std::int64_t max_region_pixels(const RegionSpec& region, int width, int height) 
   const std::int64_t w = width;
   const std::int64_t h = height;
   if (region.scalar) {
-    // Interleaved progressions split pixel *counts*: repeated ceil-halving
-    // of A composes to a single ceil division.
+    // Interleaved progressions split pixel *counts*: each stage keeps at
+    // most ceil(count / radix) elements, so the stages compose to iterated
+    // ceil divisions (halvings are just radix-2 stages).
     std::int64_t count = ceil_div(w * h, std::int64_t{1} << region.halvings);
+    for (const int k : region.radices) count = ceil_div(count, k);
     if (region.bands > 1) count = ceil_div(count, region.bands);
     return count;
   }
   std::int64_t area = max_halved_rect(w, h, region.halvings);
+  if (!region.radices.empty()) {
+    area = max_sliced_rect(w, h, region.radices, 0);
+  }
   if (region.bands > 1) {
     // Horizontal bands of the (possibly halved) region: band_of uses floor
     // ratios, so a band spans at most ceil(h/bands) + 1 rows; stay safe.
@@ -102,6 +115,8 @@ std::int64_t max_region_pixels(const RegionSpec& region, int width, int height) 
 std::int64_t max_region_rows(const RegionSpec& region, int height) {
   if (region.scalar) return 0;
   if (region.bands > 1) return ceil_div(height, region.bands) + 1;
+  // Mixed-radix slices may always cut the width, so the row bound stays H
+  // (same as the halvings case).
   return height;
 }
 
@@ -113,126 +128,6 @@ std::uint64_t max_message_bytes(const SizeBound& bound, int width, int height) {
   const std::int64_t rows = max_region_rows(bound.region, height);
   return static_cast<std::uint64_t>(bound.fixed_bytes + bound.per_pixel_bytes * pixels +
                                     bound.per_row_bytes * rows);
-}
-
-CommSchedule binary_swap_family_schedule(std::string_view method, int ranks,
-                                         PayloadClass payload, std::int64_t per_pixel_bytes,
-                                         std::int64_t fixed_bytes, bool scalar_regions,
-                                         std::int64_t per_row_bytes) {
-  if (!is_power_of_two(ranks)) {
-    throw std::invalid_argument(std::string(method) +
-                                ": binary-swap schedules need a power-of-two rank count, got " +
-                                std::to_string(ranks) + " (wrap in Fold)");
-  }
-  const int levels = log2_exact(ranks);
-  CommSchedule s;
-  s.method = method;
-  s.ranks = ranks;
-  s.pairwise = true;
-  s.per_rank.resize(static_cast<std::size_t>(ranks));
-  s.final_gather.resize(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    auto& events = s.per_rank[static_cast<std::size_t>(r)];
-    for (int k = 1; k <= levels; ++k) {
-      const int partner = r ^ (1 << (k - 1));
-      SizeBound bound{payload, RegionSpec{k, 1, scalar_regions}, fixed_bytes, per_pixel_bytes,
-                      per_row_bytes};
-      events.push_back({EventKind::kSend, partner, k, k, bound});
-      events.push_back({EventKind::kRecv, partner, k, k, {}});
-    }
-    // Final ownership: the 1/2^levels piece, shipped raw in the gather.
-    s.final_gather[static_cast<std::size_t>(r)] =
-        SizeBound{PayloadClass::kFullRegion, RegionSpec{levels, 1, scalar_regions}, 64, 16};
-  }
-  return s;
-}
-
-CommSchedule direct_send_schedule(std::string_view method, int ranks, bool sparse) {
-  if (ranks <= 0) throw std::invalid_argument("direct_send_schedule: ranks must be positive");
-  CommSchedule s;
-  s.method = method;
-  s.ranks = ranks;
-  s.per_rank.resize(static_cast<std::size_t>(ranks));
-  s.final_gather.resize(static_cast<std::size_t>(ranks));
-  const SizeBound bound{sparse ? PayloadClass::kBoundingRect : PayloadClass::kFullRegion,
-                        RegionSpec{0, ranks, false}, sparse ? std::int64_t{8} : std::int64_t{0},
-                        16};
-  for (int r = 0; r < ranks; ++r) {
-    auto& events = s.per_rank[static_cast<std::size_t>(r)];
-    for (int peer = 0; peer < ranks; ++peer) {
-      if (peer == r) continue;
-      events.push_back({EventKind::kSend, peer, 1, 1, bound});
-    }
-    for (int peer = 0; peer < ranks; ++peer) {
-      if (peer == r) continue;
-      events.push_back({EventKind::kRecv, peer, 1, 1, {}});
-    }
-    s.final_gather[static_cast<std::size_t>(r)] =
-        SizeBound{PayloadClass::kFullRegion, RegionSpec{0, ranks, false}, 64, 16};
-  }
-  return s;
-}
-
-CommSchedule binary_tree_schedule(std::string_view method, int ranks) {
-  if (!is_power_of_two(ranks)) {
-    throw std::invalid_argument(std::string(method) +
-                                ": binary-tree schedules need a power-of-two rank count, got " +
-                                std::to_string(ranks));
-  }
-  const int levels = log2_exact(ranks);
-  CommSchedule s;
-  s.method = method;
-  s.ranks = ranks;
-  s.per_rank.resize(static_cast<std::size_t>(ranks));
-  s.final_gather.resize(static_cast<std::size_t>(ranks));
-  // Value-RLE of the rank's full frame: worst case one 20-byte run per pixel.
-  const SizeBound bound{PayloadClass::kFullRegion, RegionSpec{0, 1, true}, 0, 20};
-  for (int r = 0; r < ranks; ++r) {
-    auto& events = s.per_rank[static_cast<std::size_t>(r)];
-    for (int k = 1; k <= levels; ++k) {
-      const int bit = k - 1;
-      const int low = r & ((1 << k) - 1);
-      if (low == 0) {
-        events.push_back({EventKind::kRecv, r | (1 << bit), k, k, {}});
-      } else if (low == (1 << bit)) {
-        events.push_back({EventKind::kSend, r ^ (1 << bit), k, k, bound});
-        break;  // retired: no further exchanges
-      }
-    }
-    // Root owns the whole image; everyone else gathers a bare header.
-    s.final_gather[static_cast<std::size_t>(r)] =
-        r == 0 ? SizeBound{PayloadClass::kFullRegion, RegionSpec{}, 64, 16}
-               : SizeBound{PayloadClass::kNone, RegionSpec{}, 64, 0};
-  }
-  return s;
-}
-
-CommSchedule pipeline_schedule(std::string_view method, int ranks) {
-  if (ranks <= 0) throw std::invalid_argument("pipeline_schedule: ranks must be positive");
-  CommSchedule s;
-  s.method = method;
-  s.ranks = ranks;
-  s.per_rank.resize(static_cast<std::size_t>(ranks));
-  s.final_gather.resize(static_cast<std::size_t>(ranks));
-  // Two partial segments of one band, as 20-byte explicit-xy records.
-  const SizeBound bound{PayloadClass::kNonBlank, RegionSpec{0, ranks, false}, 8, 40};
-  for (int r = 0; r < ranks; ++r) {
-    auto& events = s.per_rank[static_cast<std::size_t>(r)];
-    const int succ = (r + 1) % ranks;
-    const int pred = (r - 1 + ranks) % ranks;
-    if (ranks > 1) {
-      events.push_back({EventKind::kSend, succ, 1, 1, bound});
-      for (int step = 1; step < ranks; ++step) {
-        events.push_back({EventKind::kRecv, pred, step, step, {}});
-        if (step < ranks - 1) {
-          events.push_back({EventKind::kSend, succ, step + 1, step + 1, bound});
-        }
-      }
-    }
-    s.final_gather[static_cast<std::size_t>(r)] =
-        SizeBound{PayloadClass::kFullRegion, RegionSpec{0, ranks, false}, 64, 16};
-  }
-  return s;
 }
 
 CommSchedule fold_schedule(std::string_view method, int ranks, const CommSchedule& inner) {

@@ -47,6 +47,12 @@ struct RegionSpec {
   int halvings = 0;
   int bands = 1;
   bool scalar = false;
+  /// Mixed-radix split factors for k-ary group exchanges: the region is
+  /// sliced into radices[0] parts, each part into radices[1] parts, and so
+  /// on (ceil rounding per cut, like the centerline split). Empty means
+  /// "use `halvings`" — power-of-two schedules keep the legacy encoding so
+  /// Eq. (9) payload forms and existing bounds stay byte-identical.
+  std::vector<int> radices;
 
   /// Nominal area as a fraction of the full frame area A.
   [[nodiscard]] Rational area_fraction() const;
@@ -114,32 +120,13 @@ struct CommSchedule {
 };
 
 // ---- canonical schedule builders -----------------------------------------
-// Shared by the core compositors' schedule(P) emitters and by the defect-
-// seeding tests (which take a correct schedule and break it).
-
-/// The common binary-swap pattern: at stage k = 1..log2(P), rank r
-/// exchanges (send, then recv — sends are eager) with partner r XOR 2^(k-1)
-/// under tag k. Payload class / overheads distinguish BS, BSBR, BSLC,
-/// BSBRC and BSBRS. Throws std::invalid_argument unless P is a power of two.
-[[nodiscard]] CommSchedule binary_swap_family_schedule(std::string_view method, int ranks,
-                                                       PayloadClass payload,
-                                                       std::int64_t per_pixel_bytes,
-                                                       std::int64_t fixed_bytes,
-                                                       bool scalar_regions,
-                                                       std::int64_t per_row_bytes = 0);
-
-/// Direct send: one stage; every rank sends its contribution to each band
-/// owner (tag 1), then receives P-1 contributions for its own band.
-[[nodiscard]] CommSchedule direct_send_schedule(std::string_view method, int ranks,
-                                                bool sparse);
-
-/// Binary tree: at stage k the rank with low bits 2^(k-1) ships its
-/// value-RLE image to partner (rank XOR 2^(k-1)) and retires.
-[[nodiscard]] CommSchedule binary_tree_schedule(std::string_view method, int ranks);
-
-/// Parallel pipeline over the identity depth order: ring step s carries
-/// tag s from each rank to its successor (rank + 1 mod P).
-[[nodiscard]] CommSchedule pipeline_schedule(std::string_view method, int ranks);
+// The per-method swap/tree/direct-send/pipeline builders that used to live
+// here are gone: those schedules are now *derived* from the same
+// core::ExchangePlan object the compositing engine executes
+// (core::derive_schedule in src/core/plan.hpp), so the static model can
+// never drift from the code path that runs. Only the fold wrapper — which
+// composes another method's schedule — and the gather appender remain
+// hand-written.
 
 /// Fold wrapper: each non-leader ships its BSBRC-encoded subimage to its
 /// group leader (tag 800, stage 1); `inner` — the wrapped method's schedule

@@ -1,44 +1,20 @@
 #include "core/binary_swap.hpp"
 
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
 Ownership BinarySwapCompositor::composite(mp::Comm& comm, img::Image& image,
                                           const SwapOrder& order,
                                           Counters& counters) const {
-  img::Rect region = image.bounds();
-  for (int k = 1; k <= order.levels; ++k) {
-    comm.set_stage(k);
-    const int bit = k - 1;
-    const int partner = comm.rank() ^ (1 << bit);
-    const bool keep_low = ((comm.rank() >> bit) & 1) == 0;
-
-    const auto halves = img::split_centerline(region);
-    const img::Rect keep = keep_low ? halves[0] : halves[1];
-    const img::Rect give = keep_low ? halves[1] : halves[0];
-
-    img::PackBuffer buf;
-    buf.reserve(static_cast<std::size_t>(give.area()) * sizeof(img::Pixel));
-    wire::pack_rect_pixels(image, give, buf);
-    counters.pixels_sent += give.area();
-
-    const auto received = comm.sendrecv(partner, k, buf.bytes());
-    img::UnpackBuffer in(received);
-    wire::unpack_composite_rect(image, keep, in, order.incoming_in_front(comm.rank(), bit),
-                                counters);
-    region = keep;
-    counters.mark_stage();
-  }
-  comm.set_stage(0);
-  return Ownership::full_rect(region);
+  return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kFullPixel),
+                        TrackerKind::kNone, comm, image, order, counters);
 }
 
 
 check::CommSchedule BinarySwapCompositor::schedule(int ranks) const {
-  // Raw full-region halves: 16 B/pixel, no headers.
-  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kFullRegion,
-                                            16, 0, false);
+  return derive_schedule(binary_swap_plan(ranks),
+                         codec_for(CodecKind::kFullPixel).traits(), name());
 }
 
 }  // namespace slspvr::core

@@ -1,5 +1,6 @@
 #include "core/binary_tree.hpp"
 
+#include "core/plan.hpp"
 #include "image/pack.hpp"
 #include "image/value_rle.hpp"
 
@@ -46,7 +47,12 @@ Ownership BinaryTreeCompositor::composite(mp::Comm& comm, img::Image& image,
 
 
 check::CommSchedule BinaryTreeCompositor::schedule(int ranks) const {
-  return check::binary_tree_schedule(name(), ranks);
+  // Value-RLE of the rank's full frame: worst case one 20-byte run per
+  // pixel. The composite above keeps its compressed-domain merge, but its
+  // exchange structure is the shared tree plan.
+  return derive_schedule(binary_tree_plan(ranks),
+                         WireTraits{check::PayloadClass::kFullRegion, 0, 20, 0, true},
+                         name());
 }
 
 }  // namespace slspvr::core

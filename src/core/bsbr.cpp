@@ -1,57 +1,19 @@
 #include "core/bsbr.hpp"
 
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
 Ownership BsbrCompositor::composite(mp::Comm& comm, img::Image& image,
                                     const SwapOrder& order, Counters& counters) const {
-  img::Rect region = image.bounds();
-  // First-stage O(A) scan for the local bounding rectangle (T_bound).
-  img::Rect local_rect = img::bounding_rect_of(image, region, &counters.rect_scanned);
-
-  for (int k = 1; k <= order.levels; ++k) {
-    comm.set_stage(k);
-    const int bit = k - 1;
-    const int partner = comm.rank() ^ (1 << bit);
-    const bool keep_low = ((comm.rank() >> bit) & 1) == 0;
-
-    const auto halves = img::split_centerline(region);
-    const img::Rect keep = keep_low ? halves[0] : halves[1];
-    const img::Rect give = keep_low ? halves[1] : halves[0];
-
-    // Sending bounding rectangle: the part of our rectangle we give away.
-    const img::Rect send_rect = img::intersect(local_rect, give);
-
-    img::PackBuffer buf;
-    buf.put(img::to_wire(send_rect));
-    if (!send_rect.empty()) {
-      wire::pack_rect_pixels(image, send_rect, buf);
-      counters.pixels_sent += send_rect.area();
-    }
-
-    const auto received = comm.sendrecv(partner, k, buf.bytes());
-    img::UnpackBuffer in(received);
-    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
-    if (!recv_rect.empty()) {
-      wire::unpack_composite_rect(image, recv_rect, in,
-                                  order.incoming_in_front(comm.rank(), bit), counters);
-    }
-
-    // New local rectangle: kept portion combined with what arrived (O(1)).
-    local_rect = img::bounding_union(img::intersect(local_rect, keep), recv_rect);
-    region = keep;
-    counters.mark_stage();
-  }
-  comm.set_stage(0);
-  return Ownership::full_rect(region);
+  return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kBoundingRect),
+                        TrackerKind::kUnion, comm, image, order, counters);
 }
 
 
 check::CommSchedule BsbrCompositor::schedule(int ranks) const {
-  // Bounding-rectangle clipped raw pixels behind an 8 B WireRect header.
-  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kBoundingRect,
-                                            16, 8, false);
+  return derive_schedule(binary_swap_plan(ranks),
+                         codec_for(CodecKind::kBoundingRect).traits(), name());
 }
 
 }  // namespace slspvr::core

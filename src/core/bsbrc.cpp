@@ -1,68 +1,22 @@
 #include "core/bsbrc.hpp"
 
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
 Ownership BsbrcCompositor::composite(mp::Comm& comm, img::Image& image,
                                      const SwapOrder& order, Counters& counters) const {
-  img::Rect region = image.bounds();
-  // Algorithm lines 2-4: find the local bounding rectangle (T_bound scan).
-  img::Rect local_rect = img::bounding_rect_of(image, region, &counters.rect_scanned);
-
-  for (int k = 1; k <= order.levels; ++k) {  // line 5
-    comm.set_stage(k);
-    const int bit = k - 1;
-    const int partner = comm.rank() ^ (1 << bit);
-    const bool keep_low = ((comm.rank() >> bit) & 1) == 0;
-
-    // Line 6: centerline split into new-local and sending halves.
-    const auto halves = img::split_centerline(region);
-    const img::Rect keep = keep_low ? halves[0] : halves[1];
-    const img::Rect give = keep_low ? halves[1] : halves[0];
-    const img::Rect send_rect = img::intersect(local_rect, give);
-
-    // Lines 7-12: RLE the sending rectangle, pack header + codes + pixels.
-    img::PackBuffer buf;
-    buf.put(img::to_wire(send_rect));
-    if (!send_rect.empty()) {
-      const img::Rle rle = wire::encode_rect(image, send_rect, counters);
-      counters.pixels_sent += rle.non_blank_count();
-      wire::pack_rle(rle, buf);
-    }
-
-    // Lines 13-14: exchange with the paired PE.
-    const auto received = comm.sendrecv(partner, k, buf.bytes());
-
-    // Lines 15-20: unpack, composite non-blank pixels per the codes.
-    img::UnpackBuffer in(received);
-    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
-    if (!recv_rect.empty()) {
-      const img::Rle incoming = wire::parse_rle(in, recv_rect.area());
-      wire::composite_rle_rect(image, recv_rect, incoming,
-                               order.incoming_in_front(comm.rank(), bit), counters);
-    }
-
-    // Line 21: new local rectangle = kept portion U received rectangle
-    // (O(1)); the tight-rescan ablation variant rescans the kept region for
-    // an exact rectangle instead.
-    if (tight_rescan_) {
-      local_rect = img::bounding_rect_of(image, keep, &counters.rect_scanned);
-    } else {
-      local_rect = img::bounding_union(img::intersect(local_rect, keep), recv_rect);
-    }
-    region = keep;
-    counters.mark_stage();
-  }
-  comm.set_stage(0);
-  return Ownership::full_rect(region);
+  // Paper method: O(1) rectangle update (algorithm line 21); the tight
+  // ablation rescans the kept region each stage for an exact rectangle.
+  return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kRleRect),
+                        tight_rescan_ ? TrackerKind::kRescan : TrackerKind::kUnion, comm,
+                        image, order, counters);
 }
 
 
 check::CommSchedule BsbrcCompositor::schedule(int ranks) const {
-  // WireRect (8 B) + code-count header (4 B) + RLE worst case 18 B/pixel.
-  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
-                                            18, 12, false);
+  return derive_schedule(binary_swap_plan(ranks), codec_for(CodecKind::kRleRect).traits(),
+                         name());
 }
 
 }  // namespace slspvr::core

@@ -1,57 +1,19 @@
 #include "core/bsbrs.hpp"
 
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
 Ownership BsbrsCompositor::composite(mp::Comm& comm, img::Image& image,
                                      const SwapOrder& order, Counters& counters) const {
-  img::Rect region = image.bounds();
-  img::Rect local_rect = img::bounding_rect_of(image, region, &counters.rect_scanned);
-
-  for (int k = 1; k <= order.levels; ++k) {
-    comm.set_stage(k);
-    const int bit = k - 1;
-    const int partner = comm.rank() ^ (1 << bit);
-    const bool keep_low = ((comm.rank() >> bit) & 1) == 0;
-
-    const auto halves = img::split_centerline(region);
-    const img::Rect keep = keep_low ? halves[0] : halves[1];
-    const img::Rect give = keep_low ? halves[1] : halves[0];
-    const img::Rect send_rect = img::intersect(local_rect, give);
-
-    img::PackBuffer buf;
-    buf.put(img::to_wire(send_rect));
-    if (!send_rect.empty()) {
-      const img::SpanImage spans = wire::encode_spans(image, send_rect, counters);
-      counters.pixels_sent += spans.non_blank_count();
-      wire::pack_spans(spans, buf);
-    }
-
-    const auto received = comm.sendrecv(partner, k, buf.bytes());
-
-    img::UnpackBuffer in(received);
-    const img::Rect recv_rect = wire::parse_rect(in, image.bounds());
-    if (!recv_rect.empty()) {
-      const img::SpanImage incoming = wire::parse_spans(in, recv_rect);
-      wire::composite_spans(image, incoming, order.incoming_in_front(comm.rank(), bit),
-                            counters);
-    }
-
-    local_rect = img::bounding_union(img::intersect(local_rect, keep), recv_rect);
-    region = keep;
-    counters.mark_stage();
-  }
-  comm.set_stage(0);
-  return Ownership::full_rect(region);
+  return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kSpanRect),
+                        TrackerKind::kUnion, comm, image, order, counters);
 }
 
 
 check::CommSchedule BsbrsCompositor::schedule(int ranks) const {
-  // WireRect (8 B) + (4 + 16) B per single-pixel span + a 2 B span count
-  // per rectangle row, paid even for rows with no spans.
-  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
-                                            20, 12, false, 2);
+  return derive_schedule(binary_swap_plan(ranks), codec_for(CodecKind::kSpanRect).traits(),
+                         name());
 }
 
 }  // namespace slspvr::core

@@ -1,61 +1,26 @@
 #include "core/bslc.hpp"
 
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
 Ownership BslcCompositor::composite(mp::Comm& comm, img::Image& image,
                                     const SwapOrder& order, Counters& counters) const {
-  img::InterleavedRange range = img::InterleavedRange::whole(image.pixel_count());
-
-  for (int k = 1; k <= order.levels; ++k) {
-    comm.set_stage(k);
-    const int bit = k - 1;
-    const int partner = comm.rank() ^ (1 << bit);
-    const bool keep_even = ((comm.rank() >> bit) & 1) == 0;
-
-    img::InterleavedRange keep, give;
-    if (interleaved_) {
-      const auto halves = range.split();  // even / odd interleaved sections
-      keep = keep_even ? halves[0] : halves[1];
-      give = keep_even ? halves[1] : halves[0];
-    } else {
-      // Ablation mode: contiguous halves of the progression, no balancing.
-      const std::int64_t half = (range.count + 1) / 2;
-      const img::InterleavedRange lowr{range.offset, range.stride, half};
-      const img::InterleavedRange highr{range.offset + half * range.stride, range.stride,
-                                        range.count - half};
-      keep = keep_even ? lowr : highr;
-      give = keep_even ? highr : lowr;
-    }
-
-    // Run-length encode the entire sent half (T_encode * A/2^k of Eq. 5).
-    const img::Rle rle = wire::encode_strided(image, give, counters);
-    counters.pixels_sent += rle.non_blank_count();
-
-    img::PackBuffer buf;
-    buf.reserve(static_cast<std::size_t>(rle.wire_bytes()));
-    wire::pack_rle(rle, buf);
-
-    const auto received = comm.sendrecv(partner, k, buf.bytes());
-    img::UnpackBuffer in(received);
-    const img::Rle incoming = wire::parse_rle(in, keep.count);
-    wire::composite_rle_strided(image, keep, incoming,
-                                order.incoming_in_front(comm.rank(), bit), counters);
-    range = keep;
-    counters.mark_stage();
-  }
-  comm.set_stage(0);
-  return Ownership::interleaved(range);
+  // Interleaved (Figure 6) splits balance non-blank pixels across PEs; the
+  // ablation mode degrades to contiguous halves of the progression.
+  return plan_composite(
+      binary_swap_plan(comm.size(),
+                       interleaved_ ? SplitRule::kBalanced : SplitRule::kContiguous),
+      codec_for(CodecKind::kInterleavedRle), TrackerKind::kNone, comm, image, order,
+      counters);
 }
 
 
 check::CommSchedule BslcCompositor::schedule(int ranks) const {
-  // RLE over the rank's pixel progression: worst case one 2 B code per
-  // 16 B pixel, behind the 4 B code-count header. The region is a scalar
-  // pixel count (interleaved assignment), not a rectangle.
-  return check::binary_swap_family_schedule(name(), ranks, check::PayloadClass::kNonBlank,
-                                            18, 4, true);
+  return derive_schedule(
+      binary_swap_plan(ranks,
+                       interleaved_ ? SplitRule::kBalanced : SplitRule::kContiguous),
+      codec_for(CodecKind::kInterleavedRle).traits(), name());
 }
 
 }  // namespace slspvr::core

@@ -1,0 +1,156 @@
+#include "core/codec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/wire.hpp"
+
+namespace slspvr::core {
+
+void PayloadCodec::encode_rect(const img::Image&, const img::Rect&, const img::Rect&,
+                               img::PackBuffer&, Counters&) const {
+  throw std::logic_error(std::string(name()) + ": codec does not encode rectangles");
+}
+
+img::Rect PayloadCodec::decode_rect(img::Image&, const img::Rect&, img::UnpackBuffer&, bool,
+                                    Counters&) const {
+  throw std::logic_error(std::string(name()) + ": codec does not decode rectangles");
+}
+
+void PayloadCodec::encode_range(const img::Image&, const img::InterleavedRange&,
+                                img::PackBuffer&, Counters&) const {
+  throw std::logic_error(std::string(name()) + ": codec does not encode progressions");
+}
+
+void PayloadCodec::decode_range(img::Image&, const img::InterleavedRange&, img::UnpackBuffer&,
+                                bool, Counters&) const {
+  throw std::logic_error(std::string(name()) + ": codec does not decode progressions");
+}
+
+namespace {
+
+/// Raw region pixels, no header: 16 B/pixel over the whole part.
+class FullPixelCodec final : public PayloadCodec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "full-pixel"; }
+  [[nodiscard]] WireTraits traits() const override {
+    return WireTraits{check::PayloadClass::kFullRegion, 0, 16, 0, false};
+  }
+  void encode_rect(const img::Image& image, const img::Rect& part, const img::Rect&,
+                   img::PackBuffer& buf, Counters& counters) const override {
+    buf.reserve(buf.size() + static_cast<std::size_t>(part.area()) * sizeof(img::Pixel));
+    wire::pack_rect_pixels(image, part, buf);
+    counters.pixels_sent += part.area();
+  }
+  img::Rect decode_rect(img::Image& image, const img::Rect& part, img::UnpackBuffer& in,
+                        bool incoming_in_front, Counters& counters) const override {
+    wire::unpack_composite_rect(image, part, in, incoming_in_front, counters);
+    return part;
+  }
+};
+
+/// WireRect header + raw pixels of the clipped rectangle (BSBR).
+class BoundingRectCodec final : public PayloadCodec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bounding-rect"; }
+  [[nodiscard]] WireTraits traits() const override {
+    return WireTraits{check::PayloadClass::kBoundingRect, 8, 16, 0, false};
+  }
+  [[nodiscard]] bool tracks_rect() const override { return true; }
+  void encode_rect(const img::Image& image, const img::Rect&, const img::Rect& clip,
+                   img::PackBuffer& buf, Counters& counters) const override {
+    wire::pack_raw_rect(image, clip, buf, counters);
+  }
+  img::Rect decode_rect(img::Image& image, const img::Rect&, img::UnpackBuffer& in,
+                        bool incoming_in_front, Counters& counters) const override {
+    return wire::unpack_composite_raw_rect(image, in, image.bounds(), incoming_in_front,
+                                           counters);
+  }
+};
+
+/// WireRect header + row-major RLE of the clipped rectangle (BSBRC).
+class RleRectCodec final : public PayloadCodec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rle-rect"; }
+  [[nodiscard]] WireTraits traits() const override {
+    // WireRect (8 B) + code-count headroom (4 B) + RLE worst case 18 B/pixel.
+    return WireTraits{check::PayloadClass::kNonBlank, 12, 18, 0, false};
+  }
+  [[nodiscard]] bool tracks_rect() const override { return true; }
+  void encode_rect(const img::Image& image, const img::Rect&, const img::Rect& clip,
+                   img::PackBuffer& buf, Counters& counters) const override {
+    wire::pack_rle_rect(image, clip, buf, counters);
+  }
+  img::Rect decode_rect(img::Image& image, const img::Rect&, img::UnpackBuffer& in,
+                        bool incoming_in_front, Counters& counters) const override {
+    return wire::unpack_composite_rle_rect(image, in, image.bounds(), incoming_in_front,
+                                           counters);
+  }
+};
+
+/// WireRect header + scanline spans of the clipped rectangle (BSBRS).
+class SpanRectCodec final : public PayloadCodec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "span-rect"; }
+  [[nodiscard]] WireTraits traits() const override {
+    // WireRect + 4 B span-count headroom, 20 B per single-pixel span, 2 B
+    // span-count per rectangle row (paid even when the row is blank).
+    return WireTraits{check::PayloadClass::kNonBlank, 12, 20, 2, false};
+  }
+  [[nodiscard]] bool tracks_rect() const override { return true; }
+  void encode_rect(const img::Image& image, const img::Rect&, const img::Rect& clip,
+                   img::PackBuffer& buf, Counters& counters) const override {
+    wire::pack_span_rect(image, clip, buf, counters);
+  }
+  img::Rect decode_rect(img::Image& image, const img::Rect&, img::UnpackBuffer& in,
+                        bool incoming_in_front, Counters& counters) const override {
+    return wire::unpack_composite_span_rect(image, in, image.bounds(), incoming_in_front,
+                                            counters);
+  }
+};
+
+/// RLE over an interleaved pixel progression, no header (BSLC).
+class InterleavedRleCodec final : public PayloadCodec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "interleaved-rle"; }
+  [[nodiscard]] WireTraits traits() const override {
+    // Worst case one 2 B code per 16 B pixel, behind a 4 B count headroom.
+    return WireTraits{check::PayloadClass::kNonBlank, 4, 18, 0, true};
+  }
+  [[nodiscard]] bool scalar() const override { return true; }
+  void encode_range(const img::Image& image, const img::InterleavedRange& part,
+                    img::PackBuffer& buf, Counters& counters) const override {
+    const img::Rle rle = wire::encode_strided(image, part, counters);
+    counters.pixels_sent += rle.non_blank_count();
+    buf.reserve(buf.size() + static_cast<std::size_t>(rle.wire_bytes()));
+    wire::pack_rle(rle, buf);
+  }
+  void decode_range(img::Image& image, const img::InterleavedRange& part,
+                    img::UnpackBuffer& in, bool incoming_in_front,
+                    Counters& counters) const override {
+    const img::Rle incoming = wire::parse_rle(in, part.count);
+    wire::composite_rle_strided(image, part, incoming, incoming_in_front, counters);
+  }
+};
+
+}  // namespace
+
+const PayloadCodec& codec_for(CodecKind kind) {
+  static const FullPixelCodec full;
+  static const BoundingRectCodec brect;
+  static const RleRectCodec rle;
+  static const SpanRectCodec span;
+  static const InterleavedRleCodec strided;
+  switch (kind) {
+    case CodecKind::kFullPixel: return full;
+    case CodecKind::kBoundingRect: return brect;
+    case CodecKind::kRleRect: return rle;
+    case CodecKind::kSpanRect: return span;
+    case CodecKind::kInterleavedRle: return strided;
+  }
+  throw std::invalid_argument("codec_for: unknown codec kind");
+}
+
+std::string_view codec_name(CodecKind kind) { return codec_for(kind).name(); }
+
+}  // namespace slspvr::core

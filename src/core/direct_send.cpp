@@ -1,8 +1,6 @@
 #include "core/direct_send.hpp"
 
-#include <vector>
-
-#include "core/wire.hpp"
+#include "core/engine.hpp"
 
 namespace slspvr::core {
 
@@ -16,67 +14,19 @@ img::Rect DirectSendCompositor::band_of(const img::Rect& bounds, int rank, int r
 Ownership DirectSendCompositor::composite(mp::Comm& comm, img::Image& image,
                                           const SwapOrder& order,
                                           Counters& counters) const {
-  const int ranks = comm.size();
-  const int rank = comm.rank();
-  const img::Rect my_band = band_of(image.bounds(), rank, ranks);
-
-  // In the sparse variant, clip each outgoing contribution to our bounding
-  // rectangle (one O(A) scan, like BSBR's first stage).
-  img::Rect local_rect = image.bounds();
-  if (sparse_) {
-    local_rect = img::bounding_rect_of(image, image.bounds(), &counters.rect_scanned);
-  }
-
-  comm.set_stage(1);  // the buffered case has a single exchange "stage"
-  for (int peer = 0; peer < ranks; ++peer) {
-    if (peer == rank) continue;
-    const img::Rect band = band_of(image.bounds(), peer, ranks);
-    const img::Rect send_rect = sparse_ ? img::intersect(local_rect, band) : band;
-    img::PackBuffer buf;
-    if (sparse_) buf.put(img::to_wire(send_rect));
-    if (!send_rect.empty()) {
-      wire::pack_rect_pixels(image, send_rect, buf);
-      counters.pixels_sent += send_rect.area();
-    }
-    comm.send(peer, 1, buf.bytes());
-  }
-
-  // Buffer all n-1 contributions, then composite in depth order: front-most
-  // first into a fresh accumulation of our band.
-  std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(ranks));
-  for (int peer = 0; peer < ranks; ++peer) {
-    if (peer == rank) continue;
-    inbox[static_cast<std::size_t>(peer)] = comm.recv(peer, 1);
-  }
-  comm.set_stage(0);
-
-  img::Image result(image.width(), image.height());
-  for (const int contributor : order.front_to_back) {
-    if (contributor == rank) {
-      // Composite our own band pixels in place.
-      counters.over_ops +=
-          img::composite_region(result, image, my_band, /*incoming_in_front=*/false);
-      continue;
-    }
-    img::UnpackBuffer in(inbox[static_cast<std::size_t>(contributor)]);
-    img::Rect rect = my_band;
-    if (sparse_) {
-      rect = wire::parse_rect(in, result.bounds());
-      if (rect.empty()) continue;
-    }
-    // `result` holds everything nearer than `contributor`, so the incoming
-    // pixels are behind: local over incoming.
-    wire::unpack_composite_rect(result, rect, in, /*incoming_in_front=*/false, counters);
-  }
-
-  counters.mark_stage();
-  image = std::move(result);
-  return Ownership::full_rect(my_band);
+  // Sparse clips each outgoing band to the sender's bounding rectangle (one
+  // O(A) scan, like BSBR's first stage); full ships whole bands raw.
+  return plan_composite(
+      direct_send_plan(comm.size()),
+      codec_for(sparse_ ? CodecKind::kBoundingRect : CodecKind::kFullPixel),
+      sparse_ ? TrackerKind::kUnion : TrackerKind::kNone, comm, image, order, counters);
 }
 
 
 check::CommSchedule DirectSendCompositor::schedule(int ranks) const {
-  return check::direct_send_schedule(name(), ranks, sparse_);
+  return derive_schedule(
+      direct_send_plan(ranks),
+      codec_for(sparse_ ? CodecKind::kBoundingRect : CodecKind::kFullPixel).traits(), name());
 }
 
 }  // namespace slspvr::core

@@ -1,0 +1,35 @@
+// PlanEngine: one stage loop that executes any (plan, codec, tracker) triple.
+//
+// plan_composite replaces the five near-identical per-method stage loops the
+// binary-swap family used to carry: it walks an ExchangePlan stage by stage,
+// splits the rank's current region per the plan's SplitRule, encodes the
+// outgoing parts with the PayloadCodec (clipped by the RegionTracker for
+// sparse codecs), exchanges them, and composites the incoming contributions
+// per the plan's FrontRule. derive_schedule lowers the same plan object to
+// the static model slspvr-check verifies, so the checked schedule is by
+// construction the program this loop runs.
+#pragma once
+
+#include "core/codec.hpp"
+#include "core/compositor.hpp"
+#include "core/plan.hpp"
+#include "core/region_tracker.hpp"
+
+namespace slspvr::core {
+
+/// Execute `plan` with `codec` payloads. Runs SPMD on every rank, exactly
+/// like Compositor::composite. Requirements:
+///  * plan.ranks == comm.size();
+///  * kSwapBit plans pair on rank bit s at stage s (binary swap, tree);
+///  * kDepthOrder plans need `order.front_to_back` to cover every rank;
+///  * ring plans are schedule-only and rejected here.
+Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
+                         TrackerKind tracker_kind, mp::Comm& comm, img::Image& image,
+                         const SwapOrder& order, Counters& counters);
+
+/// The engine's per-rank scratch send buffer: one arena per thread, reused
+/// across sends, stages and frames (clear() keeps the capacity), instead of
+/// a fresh allocation every stage. Safe because a rank is one thread.
+[[nodiscard]] img::PackBuffer& scratch_pack_buffer();
+
+}  // namespace slspvr::core

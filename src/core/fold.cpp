@@ -43,12 +43,7 @@ Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
     const img::Rect rect =
         img::bounding_rect_of(image, image.bounds(), &counters.rect_scanned);
     img::PackBuffer buf;
-    buf.put(img::to_wire(rect));
-    if (!rect.empty()) {
-      const img::Rle rle = wire::encode_rect(image, rect, counters);
-      counters.pixels_sent += rle.non_blank_count();
-      wire::pack_rle(rle, buf);
-    }
+    wire::pack_rle_rect(image, rect, buf, counters);
     comm.send(plan.leader_of(rank), kFoldTag, buf.bytes());
     comm.set_stage(0);
     return Ownership::full_rect(img::kEmptyRect);
@@ -59,14 +54,10 @@ Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
     const int member = rank + 1;  // groups are 1 or 2 consecutive slabs
     const auto bytes = comm.recv(member, kFoldTag);
     img::UnpackBuffer in(bytes);
-    const img::Rect rect = wire::parse_rect(in, image.bounds());
-    if (!rect.empty()) {
-      const img::Rle incoming = wire::parse_rle(in, rect.area());
-      // The member is the deeper slab when slab order ascends toward the
-      // back, so its pixels are behind exactly when ascending_front.
-      wire::composite_rle_rect(image, rect, incoming,
-                               /*incoming_in_front=*/!ascending_front, counters);
-    }
+    // The member is the deeper slab when slab order ascends toward the
+    // back, so its pixels are behind exactly when ascending_front.
+    (void)wire::unpack_composite_rle_rect(image, in, image.bounds(),
+                                          /*incoming_in_front=*/!ascending_front, counters);
   }
 
   // Leaders run the inner method among themselves.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/direct_send.hpp"
+#include "core/plan.hpp"
 #include "image/pack.hpp"
 
 namespace slspvr::core {
@@ -136,7 +137,11 @@ Ownership ParallelPipelineCompositor::composite(mp::Comm& comm, img::Image& imag
 
 
 check::CommSchedule ParallelPipelineCompositor::schedule(int ranks) const {
-  return check::pipeline_schedule(name(), ranks);
+  // Two partial segments of one band, as 20-byte explicit-xy records behind
+  // the two 4-byte counts. The composite above keeps its two-segment ring
+  // loop, but its exchange structure is the shared ring plan.
+  return derive_schedule(ring_plan(ranks),
+                         WireTraits{check::PayloadClass::kNonBlank, 8, 40, 0, false}, name());
 }
 
 }  // namespace slspvr::core

@@ -1,0 +1,30 @@
+#include "core/plan_compositor.hpp"
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+
+namespace slspvr::core {
+
+ExchangePlan PlanCompositor::plan_for(int ranks) const {
+  const SplitRule split = SplitRule::kBalanced;
+  switch (family_) {
+    case PlanFamily::kBinarySwap: return binary_swap_plan(ranks, split);
+    case PlanFamily::kKary: return kary_plan(ranks, split);
+    case PlanFamily::kDirectSend: return direct_send_plan(ranks);
+    case PlanFamily::kBinaryTree: return binary_tree_plan(ranks);
+  }
+  throw std::invalid_argument("PlanCompositor: unknown plan family");
+}
+
+Ownership PlanCompositor::composite(mp::Comm& comm, img::Image& image,
+                                    const SwapOrder& order, Counters& counters) const {
+  return plan_composite(plan_for(comm.size()), codec_for(codec_), tracker_, comm, image,
+                        order, counters);
+}
+
+check::CommSchedule PlanCompositor::schedule(int ranks) const {
+  return derive_schedule(plan_for(ranks), codec_for(codec_).traits(), name_);
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,49 @@
+// PlanCompositor: a Compositor assembled from a (plan family, codec,
+// tracker) triple instead of a hand-written stage loop.
+//
+// This is the payoff of the plan × codec decomposition: any exchange family
+// can carry any compatible payload, so method combinations the paper never
+// named — a k-ary exchange with BSBRC's RLE-in-rect payload, a binary tree
+// shipping bounding rectangles, direct send with RLE — are one constructor
+// call (see docs/architecture.md for the worked example).
+#pragma once
+
+#include <string>
+
+#include "core/codec.hpp"
+#include "core/compositor.hpp"
+#include "core/region_tracker.hpp"
+
+namespace slspvr::core {
+
+/// Which ExchangePlan builder backs the method.
+enum class PlanFamily {
+  kBinarySwap,  ///< radix-2 pairing, power-of-two P (binary_swap_plan)
+  kKary,        ///< mixed-radix group exchange, any P (kary_plan)
+  kDirectSend,  ///< one-stage banded all-to-all (direct_send_plan)
+  kBinaryTree,  ///< reduction to rank 0 (binary_tree_plan)
+};
+
+class PlanCompositor final : public Compositor {
+ public:
+  PlanCompositor(std::string name, PlanFamily family, CodecKind codec,
+                 TrackerKind tracker)
+      : name_(std::move(name)), family_(family), codec_(codec), tracker_(tracker) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const override;
+
+  [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
+ private:
+  [[nodiscard]] ExchangePlan plan_for(int ranks) const;
+
+  std::string name_;
+  PlanFamily family_;
+  CodecKind codec_;
+  TrackerKind tracker_;
+};
+
+}  // namespace slspvr::core

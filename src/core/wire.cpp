@@ -115,6 +115,67 @@ void composite_rle_strided(img::Image& image, const img::InterleavedRange& range
   counters.pixels_received += composited;
 }
 
+void pack_raw_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                   Counters& counters) {
+  buf.put(img::to_wire(rect));
+  if (!rect.empty()) {
+    pack_rect_pixels(image, rect, buf);
+    counters.pixels_sent += rect.area();
+  }
+}
+
+img::Rect unpack_composite_raw_rect(img::Image& image, img::UnpackBuffer& buf,
+                                    const img::Rect& bounds, bool incoming_in_front,
+                                    Counters& counters) {
+  const img::Rect rect = parse_rect(buf, bounds);
+  if (!rect.empty()) {
+    unpack_composite_rect(image, rect, buf, incoming_in_front, counters);
+  }
+  return rect;
+}
+
+void pack_rle_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                   Counters& counters) {
+  buf.put(img::to_wire(rect));
+  if (!rect.empty()) {
+    const img::Rle rle = encode_rect(image, rect, counters);
+    counters.pixels_sent += rle.non_blank_count();
+    pack_rle(rle, buf);
+  }
+}
+
+img::Rect unpack_composite_rle_rect(img::Image& image, img::UnpackBuffer& buf,
+                                    const img::Rect& bounds, bool incoming_in_front,
+                                    Counters& counters) {
+  const img::Rect rect = parse_rect(buf, bounds);
+  if (!rect.empty()) {
+    const img::Rle incoming = parse_rle(buf, rect.area());
+    composite_rle_rect(image, rect, incoming, incoming_in_front, counters);
+  }
+  return rect;
+}
+
+void pack_span_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                    Counters& counters) {
+  buf.put(img::to_wire(rect));
+  if (!rect.empty()) {
+    const img::SpanImage spans = encode_spans(image, rect, counters);
+    counters.pixels_sent += spans.non_blank_count();
+    pack_spans(spans, buf);
+  }
+}
+
+img::Rect unpack_composite_span_rect(img::Image& image, img::UnpackBuffer& buf,
+                                     const img::Rect& bounds, bool incoming_in_front,
+                                     Counters& counters) {
+  const img::Rect rect = parse_rect(buf, bounds);
+  if (!rect.empty()) {
+    const img::SpanImage incoming = parse_spans(buf, rect);
+    composite_spans(image, incoming, incoming_in_front, counters);
+  }
+  return rect;
+}
+
 img::SpanImage encode_spans(const img::Image& image, const img::Rect& rect,
                             Counters& counters) {
   std::int64_t scanned = 0;

@@ -58,6 +58,42 @@ void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle
 void composite_rle_strided(img::Image& image, const img::InterleavedRange& range,
                            const img::Rle& rle, bool incoming_in_front, Counters& counters);
 
+// ---- header + payload sequences ------------------------------------------
+// The WireRect-then-payload pack/parse sequences BSBR/BSBRC/BSBRS/Fold used
+// to each spell out inline. One shared copy keeps the header handling (and
+// its bounds checks) identical across every method that ships a rectangle.
+
+/// BSBR wire format: 8 B WireRect, then the rectangle's raw pixels (nothing
+/// when the rectangle is empty). Adds rect.area() to pixels_sent.
+void pack_raw_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                   Counters& counters);
+
+/// Parse a pack_raw_rect message and composite it into `image`. The header
+/// rectangle is validated against `bounds` before any pixel is touched.
+/// Returns the received rectangle (empty when the sender had nothing).
+[[nodiscard]] img::Rect unpack_composite_raw_rect(img::Image& image, img::UnpackBuffer& buf,
+                                                  const img::Rect& bounds,
+                                                  bool incoming_in_front, Counters& counters);
+
+/// BSBRC wire format: 8 B WireRect, then the rectangle's row-major RLE
+/// (codes + non-blank pixels). Adds the non-blank count to pixels_sent.
+void pack_rle_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                   Counters& counters);
+
+/// Parse a pack_rle_rect message and composite its non-blank pixels.
+[[nodiscard]] img::Rect unpack_composite_rle_rect(img::Image& image, img::UnpackBuffer& buf,
+                                                  const img::Rect& bounds,
+                                                  bool incoming_in_front, Counters& counters);
+
+/// BSBRS wire format: 8 B WireRect, then the rectangle's scanline spans.
+void pack_span_rect(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf,
+                    Counters& counters);
+
+/// Parse a pack_span_rect message and composite its span pixels.
+[[nodiscard]] img::Rect unpack_composite_span_rect(img::Image& image, img::UnpackBuffer& buf,
+                                                   const img::Rect& bounds,
+                                                   bool incoming_in_front, Counters& counters);
+
 // ---- scanline-span codec (future-work encoding; see image/spans.hpp) -----
 
 /// Span-encode the pixels of `rect`; counts rect.area() encoded pixels and

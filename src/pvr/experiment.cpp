@@ -14,6 +14,7 @@
 #include "core/direct_send.hpp"
 #include "core/fold.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "core/plan_compositor.hpp"
 #include "core/reference.hpp"
 #include "mp/runtime.hpp"
 #include "pvr/distribute.hpp"
@@ -296,6 +297,27 @@ std::vector<std::unique_ptr<core::Compositor>> MethodSet::all_methods() {
   methods.push_back(std::make_unique<core::DirectSendCompositor>(false));
   methods.push_back(std::make_unique<core::DirectSendCompositor>(true));
   methods.push_back(std::make_unique<core::ParallelPipelineCompositor>());
+  return methods;
+}
+
+std::vector<std::unique_ptr<core::Compositor>> MethodSet::plan_combinations() {
+  using core::CodecKind;
+  using core::PlanCompositor;
+  using core::PlanFamily;
+  using core::TrackerKind;
+  std::vector<std::unique_ptr<core::Compositor>> methods;
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "KaryBS", PlanFamily::kKary, CodecKind::kFullPixel, TrackerKind::kNone));
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "KaryBR", PlanFamily::kKary, CodecKind::kBoundingRect, TrackerKind::kUnion));
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "KaryBRC", PlanFamily::kKary, CodecKind::kRleRect, TrackerKind::kUnion));
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "KaryLC", PlanFamily::kKary, CodecKind::kInterleavedRle, TrackerKind::kNone));
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "Tree-BRC", PlanFamily::kBinaryTree, CodecKind::kRleRect, TrackerKind::kUnion));
+  methods.push_back(std::make_unique<PlanCompositor>(
+      "DirectSend-BRC", PlanFamily::kDirectSend, CodecKind::kRleRect, TrackerKind::kUnion));
   return methods;
 }
 

@@ -162,6 +162,10 @@ struct MethodSet {
   [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> proposed_methods();
   /// Everything in the library, including related-work baselines.
   [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> all_methods();
+  /// Cross-bred (plan, codec) combinations the decomposition makes free:
+  /// k-ary group exchanges (any P, no Fold wrapper) carrying each paper
+  /// payload, plus tree and direct-send re-bound to BSBRC's RLE-in-rect.
+  [[nodiscard]] static std::vector<std::unique_ptr<core::Compositor>> plan_combinations();
 };
 
 }  // namespace slspvr::pvr

@@ -27,6 +27,7 @@
 #include "core/direct_send.hpp"
 #include "core/fold.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "core/plan_compositor.hpp"
 
 namespace {
 
@@ -100,12 +101,28 @@ int main(int argc, char** argv) {
   const ParallelPipelineCompositor pipeline;
   const FoldCompositor fold_bs(bs), fold_bsbr(bsbr), fold_bslc(bslc), fold_bsbrc(bsbrc),
       fold_bsbrs(bsbrs);
+  // Cross-bred (plan, codec) combinations: k-ary group exchanges verify at
+  // EVERY P without the Fold wrapper; tree/direct-send carry RLE payloads.
+  const PlanCompositor kary_bs("KaryBS", PlanFamily::kKary, CodecKind::kFullPixel,
+                               TrackerKind::kNone);
+  const PlanCompositor kary_br("KaryBR", PlanFamily::kKary, CodecKind::kBoundingRect,
+                               TrackerKind::kUnion);
+  const PlanCompositor kary_brc("KaryBRC", PlanFamily::kKary, CodecKind::kRleRect,
+                                TrackerKind::kUnion);
+  const PlanCompositor kary_lc("KaryLC", PlanFamily::kKary, CodecKind::kInterleavedRle,
+                               TrackerKind::kNone);
+  const PlanCompositor tree_brc("Tree-BRC", PlanFamily::kBinaryTree, CodecKind::kRleRect,
+                                TrackerKind::kUnion);
+  const PlanCompositor ds_brc("DirectSend-BRC", PlanFamily::kDirectSend, CodecKind::kRleRect,
+                              TrackerKind::kUnion);
 
   const std::vector<MethodEntry> methods = {
       {&bs, &fold_bs},           {&bsbr, &fold_bsbr},   {&bslc, &fold_bslc},
       {&bslc_flat, nullptr},     {&bsbrc, &fold_bsbrc}, {&bsbrc_tight, nullptr},
       {&bsbrs, &fold_bsbrs},     {&ds_full, nullptr},   {&ds_sparse, nullptr},
-      {&tree, nullptr},          {&pipeline, nullptr},
+      {&tree, nullptr},          {&pipeline, nullptr},  {&kary_bs, nullptr},
+      {&kary_br, nullptr},       {&kary_brc, nullptr},  {&kary_lc, nullptr},
+      {&tree_brc, nullptr},      {&ds_brc, nullptr},
   };
 
   int verified = 0;
