@@ -20,6 +20,10 @@ class BsbrCompositor final : public Compositor {
                       Counters& counters) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
+
+  [[nodiscard]] std::optional<ExchangePlan> resume_plan(int ranks) const override {
+    return binary_swap_plan(ranks);
+  }
 };
 
 }  // namespace slspvr::core

@@ -30,6 +30,10 @@ class BsbrcCompositor final : public Compositor {
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 
+  [[nodiscard]] std::optional<ExchangePlan> resume_plan(int ranks) const override {
+    return binary_swap_plan(ranks);
+  }
+
  private:
   bool tight_rescan_;
 };

@@ -1,11 +1,13 @@
 // Compositor interface: the contract every compositing method implements.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "check/schedule.hpp"
 #include "core/counters.hpp"
 #include "core/order.hpp"
+#include "core/plan.hpp"
 #include "image/image.hpp"
 #include "image/interleave.hpp"
 #include "mp/communicator.hpp"
@@ -61,6 +63,16 @@ class Compositor {
   /// with ranks relabelled. slspvr-check proves deadlock-freedom, matching
   /// and tag uniqueness on this schedule before any frame is rendered.
   [[nodiscard]] virtual check::CommSchedule schedule(int ranks) const = 0;
+
+  /// The balanced rect ExchangePlan this method executes for `ranks` PEs,
+  /// when it has one — the handle mid-frame repair needs to replay the
+  /// protocol state (plan_epoch_state) and re-plan the rest over survivors
+  /// (repair_plan). Methods without per-rank rectangle state (scalar
+  /// interleave, banded direct send, tree, pipeline) return nullopt and
+  /// fall back to the legacy degrade-and-restart recovery.
+  [[nodiscard]] virtual std::optional<ExchangePlan> resume_plan(int /*ranks*/) const {
+    return std::nullopt;
+  }
 };
 
 /// Assemble the final image at `root` from each rank's owned piece. Traffic

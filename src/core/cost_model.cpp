@@ -18,6 +18,11 @@ ModelTimes CostModel::rank_times(const Counters& counters, const mp::TrafficTrac
     if (!in_phase(r)) continue;
     t.comm_ms += ts_ms + tc_ms_per_byte * static_cast<double>(r.bytes);
   }
+  // Every NAK and every retransmit is one extra message on the wire: the
+  // transport's healing work is charged as additional T_s + bytes·T_c, so a
+  // healed run models strictly slower than its fault-free twin.
+  t.comm_ms += ts_ms * static_cast<double>(trace.naks(rank) + trace.retry_messages(rank)) +
+               tc_ms_per_byte * static_cast<double>(trace.retry_bytes(rank));
   return t;
 }
 

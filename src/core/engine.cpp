@@ -10,30 +10,6 @@ namespace slspvr::core {
 
 namespace {
 
-[[nodiscard]] int ceil_div(int a, int b) { return (a + b - 1) / b; }
-
-/// Slice the longer side into `radix` parts with ceil boundaries — the
-/// mixed-radix generalisation of split_centerline (identical at radix 2).
-[[nodiscard]] std::vector<img::Rect> split_rect_parts(const img::Rect& region, int radix) {
-  std::vector<img::Rect> parts(static_cast<std::size_t>(radix));
-  if (region.width() >= region.height()) {
-    const int w = region.width();
-    for (int j = 0; j < radix; ++j) {
-      parts[static_cast<std::size_t>(j)] =
-          img::Rect{region.x0 + ceil_div(w * j, radix), region.y0,
-                    region.x0 + ceil_div(w * (j + 1), radix), region.y1};
-    }
-  } else {
-    const int h = region.height();
-    for (int j = 0; j < radix; ++j) {
-      parts[static_cast<std::size_t>(j)] =
-          img::Rect{region.x0, region.y0 + ceil_div(h * j, radix), region.x1,
-                    region.y0 + ceil_div(h * (j + 1), radix)};
-    }
-  }
-  return parts;
-}
-
 /// Static horizontal bands of the full frame (direct send's floor-ratio
 /// boundaries, matching the historical band_of).
 [[nodiscard]] std::vector<img::Rect> band_parts(const img::Rect& bounds, int radix) {
@@ -70,12 +46,19 @@ namespace {
   return parts;
 }
 
+/// The calling PE thread's snapshot sink (null = retention off).
+thread_local StageSnapshotSink* g_stage_retention = nullptr;
+
 }  // namespace
 
 img::PackBuffer& scratch_pack_buffer() {
   thread_local img::PackBuffer buf;
   return buf;
 }
+
+void set_stage_retention(StageSnapshotSink* sink) noexcept { g_stage_retention = sink; }
+
+StageSnapshotSink* stage_retention() noexcept { return g_stage_retention; }
 
 Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
                          TrackerKind tracker_kind, mp::Comm& comm, img::Image& image,
@@ -217,6 +200,11 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
       region = rs.keep >= 0 ? keep_rect : img::kEmptyRect;
     }
     counters.mark_stage();
+    // Mid-frame repair retention: after each completed stage of a balanced
+    // rect plan, hand the installed sink the partial this rank now owns.
+    if (!scalar && plan.split == SplitRule::kBalanced && g_stage_retention != nullptr) {
+      g_stage_retention->on_stage_complete(rank, st + 1, image, region);
+    }
   }
   comm.set_stage(0);
 

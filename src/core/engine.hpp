@@ -32,4 +32,25 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
 /// a fresh allocation every stage. Safe because a rank is one thread.
 [[nodiscard]] img::PackBuffer& scratch_pack_buffer();
 
+/// Per-stage partial-result retention for mid-frame repair. When a sink is
+/// installed on a PE thread, plan_composite reports the rank's partial
+/// composite and owned rectangle after every completed stage of a balanced
+/// rect plan — the snapshots Experiment::run_ft resumes from when a peer
+/// dies later in the protocol. Scalar/band/gather plans report nothing
+/// (their state is not a rectangle; resume falls back to degrade).
+class StageSnapshotSink {
+ public:
+  virtual ~StageSnapshotSink() = default;
+  /// `stage` is the 1-based stage marker; `image` holds the partial
+  /// composite, valid inside `region`. Called on the rank's own PE thread.
+  virtual void on_stage_complete(int rank, int stage, const img::Image& image,
+                                 const img::Rect& region) = 0;
+};
+
+/// Install / read the calling thread's snapshot sink (thread-local, so each
+/// PE thread of a run can be wired independently; null disables retention —
+/// the default, costing nothing on the fault-free path).
+void set_stage_retention(StageSnapshotSink* sink) noexcept;
+[[nodiscard]] StageSnapshotSink* stage_retention() noexcept;
+
 }  // namespace slspvr::core

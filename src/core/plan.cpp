@@ -195,6 +195,96 @@ ExchangePlan ring_plan(int ranks) {
   return plan;
 }
 
+std::vector<img::Rect> split_rect_parts(const img::Rect& region, int radix) {
+  const auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
+  std::vector<img::Rect> parts(static_cast<std::size_t>(radix));
+  if (region.width() >= region.height()) {
+    const int w = region.width();
+    for (int j = 0; j < radix; ++j) {
+      parts[static_cast<std::size_t>(j)] =
+          img::Rect{region.x0 + ceil_div(w * j, radix), region.y0,
+                    region.x0 + ceil_div(w * (j + 1), radix), region.y1};
+    }
+  } else {
+    const int h = region.height();
+    for (int j = 0; j < radix; ++j) {
+      parts[static_cast<std::size_t>(j)] =
+          img::Rect{region.x0, region.y0 + ceil_div(h * j, radix), region.x1,
+                    region.y0 + ceil_div(h * (j + 1), radix)};
+    }
+  }
+  return parts;
+}
+
+EpochState plan_epoch_state(const ExchangePlan& plan, int completed_stages,
+                            const img::Rect& frame) {
+  require_positive(plan.ranks, "plan_epoch_state");
+  if (plan.split != SplitRule::kBalanced) {
+    throw std::invalid_argument(
+        "plan_epoch_state: only balanced rect plans carry per-rank rectangle state");
+  }
+  if (completed_stages < 0 || completed_stages > plan.stages()) {
+    throw std::invalid_argument("plan_epoch_state: completed_stages " +
+                                std::to_string(completed_stages) + " out of range [0," +
+                                std::to_string(plan.stages()) + "]");
+  }
+  EpochState state;
+  state.region.assign(static_cast<std::size_t>(plan.ranks), frame);
+  state.contributors.resize(static_cast<std::size_t>(plan.ranks));
+  for (int r = 0; r < plan.ranks; ++r) {
+    state.contributors[static_cast<std::size_t>(r)] = {r};
+  }
+  for (int st = 0; st < completed_stages; ++st) {
+    // Contributor closure must read the *pre-stage* sets of every peer, so
+    // work against a frozen copy.
+    const std::vector<std::vector<int>> before = state.contributors;
+    for (int r = 0; r < plan.ranks; ++r) {
+      const RankStage& rs =
+          plan.per_rank[static_cast<std::size_t>(r)][static_cast<std::size_t>(st)];
+      if (rs.sends.empty() && rs.recv_peers.empty()) continue;  // retired
+      auto& mine = state.contributors[static_cast<std::size_t>(r)];
+      for (const int peer : rs.recv_peers) {
+        const auto& theirs = before[static_cast<std::size_t>(peer)];
+        mine.insert(mine.end(), theirs.begin(), theirs.end());
+      }
+      std::sort(mine.begin(), mine.end());
+      mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+      auto& region = state.region[static_cast<std::size_t>(r)];
+      region = rs.keep >= 0
+                   ? split_rect_parts(region, rs.radix)[static_cast<std::size_t>(rs.keep)]
+                   : img::kEmptyRect;
+    }
+  }
+  return state;
+}
+
+ExchangePlan repair_plan(const ExchangePlan& plan, int completed_stages,
+                         const std::vector<int>& survivors) {
+  require_positive(plan.ranks, "repair_plan");
+  if (completed_stages < 0 || completed_stages > plan.stages()) {
+    throw std::invalid_argument("repair_plan: completed_stages " +
+                                std::to_string(completed_stages) + " out of range [0," +
+                                std::to_string(plan.stages()) + "]");
+  }
+  if (survivors.empty()) {
+    throw std::invalid_argument("repair_plan: survivor set is empty");
+  }
+  if (!std::is_sorted(survivors.begin(), survivors.end()) ||
+      std::adjacent_find(survivors.begin(), survivors.end()) != survivors.end()) {
+    throw std::invalid_argument("repair_plan: survivors must be sorted and duplicate-free");
+  }
+  if (survivors.front() < 0 || survivors.back() >= plan.ranks) {
+    throw std::invalid_argument("repair_plan: survivor rank out of range [0," +
+                                std::to_string(plan.ranks) + ")");
+  }
+  // The repair exchange runs over sparse full-frame inputs, so its shape
+  // depends only on how many ranks are left: a k-ary plan over the survivor
+  // count (mixed radices absorb any count — no folding round needed).
+  ExchangePlan repaired = kary_plan(static_cast<int>(survivors.size()), SplitRule::kBalanced);
+  repaired.family = "repair";
+  return repaired;
+}
+
 check::CommSchedule derive_schedule(const ExchangePlan& plan, const WireTraits& traits,
                                     std::string_view method) {
   require_positive(plan.ranks, "derive_schedule");

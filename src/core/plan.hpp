@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "check/schedule.hpp"
+#include "image/rect.hpp"
 
 namespace slspvr::core {
 
@@ -129,5 +130,39 @@ struct WireTraits {
 [[nodiscard]] check::CommSchedule derive_schedule(const ExchangePlan& plan,
                                                   const WireTraits& traits,
                                                   std::string_view method);
+
+// ---- mid-frame repair ------------------------------------------------------
+
+/// Slice the longer side of `region` into `radix` ceil-boundary parts — the
+/// concrete geometry behind SplitRule::kBalanced (== split_centerline at
+/// radix 2). Exposed because the engine (executing plans) and the repair
+/// analysis (replaying them) must agree on it byte-for-byte.
+[[nodiscard]] std::vector<img::Rect> split_rect_parts(const img::Rect& region, int radix);
+
+/// The protocol state after `completed_stages` stages of a rect plan:
+/// `region[r]` is the rectangle rank r owns, and `contributors[r]` (sorted)
+/// lists the ranks whose subimages are already composited into r's partial
+/// over that rectangle. This is what a dead rank takes with it: losing rank
+/// d at epoch e loses exactly the composite of contributors[d]'s subimages
+/// restricted to region[d] — everything else still lives on some survivor.
+struct EpochState {
+  std::vector<img::Rect> region;
+  std::vector<std::vector<int>> contributors;
+};
+
+/// Replay a kBalanced rect plan for `completed_stages` stages without
+/// touching pixels. Throws std::invalid_argument for scalar/band/gather/ring
+/// plans (their state is not a per-rank rectangle) or an out-of-range stage
+/// count.
+[[nodiscard]] EpochState plan_epoch_state(const ExchangePlan& plan, int completed_stages,
+                                          const img::Rect& frame);
+
+/// Rebuild the remaining exchange over the survivor set: the repair plan is
+/// a k-ary group exchange over |survivors| ranks (any count — no folding
+/// needed) run on sparse full-frame inputs assembled by the resume path
+/// from epoch-`completed_stages` partials. `survivors` must be a sorted,
+/// duplicate-free, non-empty subset of the original ranks. Family "repair".
+[[nodiscard]] ExchangePlan repair_plan(const ExchangePlan& plan, int completed_stages,
+                                       const std::vector<int>& survivors);
 
 }  // namespace slspvr::core

@@ -27,4 +27,14 @@ check::CommSchedule PlanCompositor::schedule(int ranks) const {
   return derive_schedule(plan_for(ranks), codec_for(codec_).traits(), name_);
 }
 
+std::optional<ExchangePlan> PlanCompositor::resume_plan(int ranks) const {
+  // Mid-frame repair replays per-rank rectangle state, which only the
+  // balanced-split families with non-scalar payloads carry.
+  const bool balanced_rect =
+      (family_ == PlanFamily::kBinarySwap || family_ == PlanFamily::kKary) &&
+      !codec_for(codec_).scalar();
+  if (!balanced_rect) return std::nullopt;
+  return plan_for(ranks);
+}
+
 }  // namespace slspvr::core

@@ -37,6 +37,8 @@ class PlanCompositor final : public Compositor {
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 
+  [[nodiscard]] std::optional<ExchangePlan> resume_plan(int ranks) const override;
+
  private:
   [[nodiscard]] ExchangePlan plan_for(int ranks) const;
 

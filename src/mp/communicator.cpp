@@ -6,11 +6,50 @@ namespace slspvr::mp {
 
 namespace {
 constexpr int kBarrierTag = -1002;  // reserved internal tag
-}
+
+/// RAII registration of what a rank is blocked on, for the watchdog's
+/// wait-for summary.
+class WaitGuard {
+ public:
+  WaitGuard(WaitSlot& slot, int source, int tag) : slot_(slot) {
+    slot_.source.store(source, std::memory_order_relaxed);
+    slot_.tag.store(tag, std::memory_order_relaxed);
+    slot_.waiting.store(true, std::memory_order_relaxed);
+  }
+  ~WaitGuard() { slot_.waiting.store(false, std::memory_order_relaxed); }
+  WaitGuard(const WaitGuard&) = delete;
+  WaitGuard& operator=(const WaitGuard&) = delete;
+
+ private:
+  WaitSlot& slot_;
+};
+}  // namespace
 
 void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   check_rank(dest, "send");
   const int real_dest = real(dest);
+  if (ctx_->retry.enabled()) {
+    // Reliable path: the trace records the *logical* payload size (the cost
+    // model and schedule conformance never see framing overhead), then the
+    // payload is framed and a pristine copy is parked in the in-flight
+    // buffer *before* the fault injector can drop or corrupt the wire
+    // bytes — that copy is what a NAKing receiver pulls to heal.
+    auto stamp = ctx_->trace.record_send(rank_, real_dest, tag, data.size());
+    Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.seq = stamp.seq;
+    msg.clock = stamp.clock;
+    msg.payload = pack_envelope(stamp.seq, data);
+    ctx_->inflight.put(rank_, real_dest, tag, stamp.seq,
+                       InflightStore::Entry{msg.payload, std::move(stamp.clock)});
+    const bool dropped =
+        ctx_->injector != nullptr &&
+        ctx_->injector->on_send(rank_, real_dest, tag, ctx_->trace.stage(rank_), msg.payload);
+    if (dropped) return;  // receiver heals from the in-flight copy
+    ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
+    return;
+  }
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -37,38 +76,187 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource) check_rank(source, "recv");
   const int match_source = source == kAnySource ? kAnySource : real(source);
+  Message msg = ctx_->retry.enabled() ? recv_reliable(match_source, tag)
+                                      : recv_legacy(match_source, tag);
+  // Report the sender in (sub)communicator coordinates when possible.
+  const int v = virt(msg.source);
+  if (v >= 0) msg.source = v;
+  return msg;
+}
+
+Message Comm::recv_legacy(int match_source, int tag) {
   Mailbox& box = ctx_->mailboxes[static_cast<std::size_t>(rank_)];
   Message msg;
   if (ctx_->recv_timeout.count() > 0) {
     // Watchdog path: register what we block on so a timeout anywhere can
     // report the whole wait-for set, then enforce the deadline.
-    WaitSlot& slot = ctx_->wait_slots[static_cast<std::size_t>(rank_)];
-    slot.source.store(match_source, std::memory_order_relaxed);
-    slot.tag.store(tag, std::memory_order_relaxed);
-    slot.waiting.store(true, std::memory_order_relaxed);
-    std::optional<Message> got;
-    try {
-      got = box.match_for(match_source, tag, ctx_->recv_timeout);
-    } catch (...) {
-      slot.waiting.store(false, std::memory_order_relaxed);
-      throw;
-    }
+    WaitGuard guard(ctx_->wait_slots[static_cast<std::size_t>(rank_)], match_source, tag);
+    std::optional<Message> got = box.match_for(match_source, tag, ctx_->recv_timeout);
     if (!got) {
-      const std::string wait_set = ctx_->waiting_summary();
-      slot.waiting.store(false, std::memory_order_relaxed);
-      throw RecvTimeoutError(rank_, match_source, tag, wait_set);
+      throw RecvTimeoutError(rank_, match_source, tag, ctx_->waiting_summary());
     }
-    slot.waiting.store(false, std::memory_order_relaxed);
     msg = std::move(*got);
   } else {
     msg = box.match(match_source, tag);
   }
   ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size(), msg.seq,
                              msg.clock);
-  // Report the sender in (sub)communicator coordinates when possible.
-  const int v = virt(msg.source);
-  if (v >= 0) msg.source = v;
   return msg;
+}
+
+Message Comm::recv_reliable(int match_source, int tag) {
+  using steady = std::chrono::steady_clock;
+  Mailbox& box = ctx_->mailboxes[static_cast<std::size_t>(rank_)];
+  auto& next_seq = ctx_->recv_next_seq[static_cast<std::size_t>(rank_)];
+  auto& stash = ctx_->recv_stash[static_cast<std::size_t>(rank_)];
+  WaitGuard guard(ctx_->wait_slots[static_cast<std::size_t>(rank_)], match_source, tag);
+
+  // One logical receive may survive several wire events (corrupt arrival,
+  // stale duplicate, gap). `naks` counts actual damage detections; the
+  // deadline runs from the first of them, so a slow-but-healthy peer never
+  // burns the healing budget.
+  int naks = 0;
+  std::optional<steady::time_point> first_nak;
+  const auto note_nak = [&] {
+    ctx_->trace.record_nak(rank_);
+    ++naks;
+    if (!first_nak) first_nak = steady::now();
+  };
+  const auto healing_exhausted = [&] {
+    if (naks >= ctx_->retry.max_attempts) return true;
+    return first_nak && steady::now() - *first_nak >= ctx_->retry.deadline;
+  };
+  const auto give_up = [&]() -> RecvTimeoutError {
+    return RecvTimeoutError(rank_, match_source, tag, ctx_->waiting_summary());
+  };
+
+  // Delivery bookkeeping shared by all paths: advance the channel's expected
+  // sequence number and log the *logical* payload size exactly once.
+  const auto deliver = [&](int src, std::uint64_t seq, std::vector<std::byte> payload,
+                           std::span<const std::uint64_t> sender_clock) {
+    next_seq[{src, tag}] = seq + 1;
+    ctx_->trace.record_receive(rank_, src, tag, payload.size(), seq, sender_clock);
+    Message out;
+    out.source = src;
+    out.tag = tag;
+    out.seq = seq;
+    out.payload = std::move(payload);
+    out.clock.assign(sender_clock.begin(), sender_clock.end());
+    return out;
+  };
+
+  // Pull the pristine retransmit for (src, seq) from the in-flight buffer.
+  // Returns nullopt when the sender has not reached that send yet (or the
+  // bounded window evicted it).
+  const auto heal = [&](int src, std::uint64_t seq) -> std::optional<Message> {
+    auto entry = ctx_->inflight.fetch(src, rank_, tag, seq);
+    if (!entry) return std::nullopt;
+    ParsedEnvelope pristine = parse_envelope(entry->framed);  // pristine: cannot throw
+    ctx_->trace.record_retry(rank_, pristine.payload.size());
+    if (pristine.seq == next_seq[{src, tag}]) {
+      return deliver(src, pristine.seq, std::move(pristine.payload), entry->clock);
+    }
+    // Healed a message that is itself ahead of the channel cursor: stash it.
+    Message ahead;
+    ahead.source = src;
+    ahead.tag = tag;
+    ahead.seq = pristine.seq;
+    ahead.payload = std::move(pristine.payload);
+    ahead.clock = std::move(entry->clock);
+    auto& queue = stash[{src, tag}];
+    queue.insert(std::upper_bound(queue.begin(), queue.end(), ahead,
+                                  [](const Message& a, const Message& b) {
+                                    return a.seq < b.seq;
+                                  }),
+                 std::move(ahead));
+    return std::nullopt;
+  };
+
+  // A stashed message (arrived or healed ahead of a gap) has priority.
+  const auto take_stashed = [&]() -> std::optional<Message> {
+    for (auto& [key, queue] : stash) {
+      const auto [src, stashed_tag] = key;
+      if (stashed_tag != tag || queue.empty()) continue;
+      if (match_source != kAnySource && src != match_source) continue;
+      if (queue.front().seq != next_seq[{src, tag}]) continue;
+      Message msg = std::move(queue.front());
+      queue.pop_front();
+      next_seq[{src, tag}] = msg.seq + 1;
+      ctx_->trace.record_receive(rank_, msg.source, msg.tag, msg.payload.size(), msg.seq,
+                                 msg.clock);
+      return msg;
+    }
+    return std::nullopt;
+  };
+
+  auto slice = std::max(ctx_->retry.base_delay, std::chrono::milliseconds{1});
+  constexpr std::chrono::milliseconds kMaxSlice{64};
+  std::chrono::milliseconds waited{0};
+  for (;;) {
+    if (auto stashed = take_stashed()) return *std::move(stashed);
+    std::optional<Message> got = box.match_for(match_source, tag, slice);
+    if (!got) {
+      waited += slice;
+      // Timed out this slice. If the expected message sits in the in-flight
+      // buffer it was dropped in transit — NAK and heal it. An absent entry
+      // means the sender simply has not sent yet: keep waiting (a genuinely
+      // dead sender unblocks us via mailbox poisoning → PeerFailedError).
+      if (match_source != kAnySource &&
+          ctx_->inflight.fetch(match_source, rank_, tag, next_seq[{match_source, tag}])) {
+        note_nak();
+        if (auto healed = heal(match_source, next_seq[{match_source, tag}])) {
+          return *std::move(healed);
+        }
+      }
+      if (ctx_->recv_timeout.count() > 0 && waited >= ctx_->recv_timeout) throw give_up();
+      if (healing_exhausted()) throw give_up();
+      slice = std::min(slice * 2, kMaxSlice);  // capped exponential backoff
+      continue;
+    }
+    // A framed message arrived (possibly corrupted by the injector).
+    Message msg = std::move(*got);
+    const int src = msg.source;
+    ParsedEnvelope parsed;
+    try {
+      parsed = parse_envelope(msg.payload);
+    } catch (const EnvelopeError&) {
+      // Damaged in transit: NAK the sender and pull the pristine copy. The
+      // out-of-band seq identifies which message this was even though the
+      // framed bytes are garbage.
+      note_nak();
+      if (auto healed = heal(src, msg.seq);
+          healed && (match_source == kAnySource || src == match_source)) {
+        return *std::move(healed);
+      }
+      if (healing_exhausted()) throw give_up();
+      continue;
+    }
+    const std::uint64_t expect = next_seq[{src, tag}];
+    if (parsed.seq < expect) continue;  // stale duplicate of a healed message
+    if (parsed.seq == expect) {
+      return deliver(src, parsed.seq, std::move(parsed.payload), msg.clock);
+    }
+    // parsed.seq > expect: a gap — an earlier message on this FIFO channel
+    // was dropped. Stash this one and heal the gap.
+    Message ahead;
+    ahead.source = src;
+    ahead.tag = tag;
+    ahead.seq = parsed.seq;
+    ahead.payload = std::move(parsed.payload);
+    ahead.clock = std::move(msg.clock);
+    auto& queue = stash[{src, tag}];
+    queue.insert(std::upper_bound(queue.begin(), queue.end(), ahead,
+                                  [](const Message& a, const Message& b) {
+                                    return a.seq < b.seq;
+                                  }),
+                 std::move(ahead));
+    note_nak();
+    if (auto healed = heal(src, expect);
+        healed && (match_source == kAnySource || src == match_source)) {
+      return *std::move(healed);
+    }
+    if (healing_exhausted()) throw give_up();
+  }
 }
 
 std::vector<std::byte> Comm::sendrecv(int peer, int tag, std::span<const std::byte> data) {

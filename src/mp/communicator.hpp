@@ -10,13 +10,20 @@
 #include <chrono>
 #include <cstddef>
 #include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mp/barrier.hpp"
+#include "mp/envelope.hpp"
 #include "mp/errors.hpp"
 #include "mp/fault.hpp"
 #include "mp/mailbox.hpp"
@@ -24,6 +31,56 @@
 #include "mp/trace.hpp"
 
 namespace slspvr::mp {
+
+/// Sender-side retransmit buffer for the reliable transport: every framed
+/// send keeps a pristine copy here *before* the fault injector can touch the
+/// wire bytes, so a receiver that detects loss or corruption can pull the
+/// retransmit directly ("NAK") — the sender thread need not be responsive,
+/// it may already be stages ahead. The buffer is bounded per (source, dest)
+/// channel pair; the compositing protocols keep at most a handful of
+/// messages in flight per pair, so the window never evicts a live entry.
+class InflightStore {
+ public:
+  struct Entry {
+    std::vector<std::byte> framed;     ///< pristine envelope + payload
+    std::vector<std::uint64_t> clock;  ///< sender's vector clock at send time
+  };
+
+  /// Messages retained per (source, dest) pair before the oldest is evicted.
+  static constexpr std::size_t kWindow = 32;
+
+  void put(int source, int dest, int tag, std::uint64_t seq, Entry entry) {
+    std::lock_guard lock(mutex_);
+    entries_[{source, dest, tag, seq}] = std::move(entry);
+    auto& window = windows_[{source, dest}];
+    window.emplace_back(tag, seq);
+    while (window.size() > kWindow) {
+      const auto [old_tag, old_seq] = window.front();
+      window.pop_front();
+      entries_.erase({source, dest, old_tag, old_seq});
+    }
+  }
+
+  [[nodiscard]] std::optional<Entry> fetch(int source, int dest, int tag,
+                                           std::uint64_t seq) const {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find({source, dest, tag, seq});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+    windows_.clear();
+  }
+
+ private:
+  using Key = std::tuple<int, int, int, std::uint64_t>;  // source, dest, tag, seq
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::map<std::pair<int, int>, std::deque<std::pair<int, std::uint64_t>>> windows_;
+};
 
 /// Watchdog bookkeeping: what a rank is currently blocked on. Only written
 /// when a recv deadline is configured, so the fault-free path pays nothing.
@@ -38,7 +95,9 @@ struct CommContext {
   explicit CommContext(int ranks)
       : mailboxes(ranks), barrier(static_cast<std::size_t>(ranks)), trace(ranks),
         barrier_clocks(static_cast<std::size_t>(ranks)),
-        wait_slots(static_cast<std::size_t>(ranks)) {}
+        wait_slots(static_cast<std::size_t>(ranks)),
+        recv_next_seq(static_cast<std::size_t>(ranks)),
+        recv_stash(static_cast<std::size_t>(ranks)) {}
 
   std::vector<Mailbox> mailboxes;
   CyclicBarrier barrier;
@@ -53,6 +112,17 @@ struct CommContext {
   /// Deadline for every blocking receive; zero means wait forever.
   std::chrono::milliseconds recv_timeout{0};
   std::vector<WaitSlot> wait_slots;
+
+  /// Reliable transport (disabled by default — legacy byte-identical path).
+  RetryPolicy retry;
+  /// Pristine framed copies for retransmission.
+  InflightStore inflight;
+  /// Per-receiver (source, tag) -> next expected envelope sequence number;
+  /// each rank touches only its own map.
+  std::vector<std::map<std::pair<int, int>, std::uint64_t>> recv_next_seq;
+  /// Per-receiver out-of-order stash: unframed messages that arrived ahead
+  /// of a healed gap, kept sorted by seq.
+  std::vector<std::map<std::pair<int, int>, std::deque<Message>>> recv_stash;
 
   /// Deadlock-free abort: poison every mailbox and the barrier so ranks
   /// blocked (now or later) on the failed rank wake with PeerFailedError.
@@ -175,6 +245,14 @@ class Comm {
   [[nodiscard]] const TrafficTrace& trace() const { return ctx_->trace; }
 
  private:
+  /// Legacy blocking receive (optionally with the watchdog deadline);
+  /// returns the message with the sender in *world* coordinates.
+  [[nodiscard]] Message recv_legacy(int match_source, int tag);
+  /// Reliable receive: unframes envelopes, verifies CRC32C and sequence
+  /// numbers, and heals drops/corruptions from the in-flight buffer under
+  /// the RetryPolicy. Sender reported in world coordinates.
+  [[nodiscard]] Message recv_reliable(int match_source, int tag);
+
   void check_rank(int r, const char* what) const {
     if (r < 0 || r >= size()) {
       throw std::out_of_range(std::string(what) + ": rank " + std::to_string(r) +

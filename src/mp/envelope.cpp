@@ -1,0 +1,90 @@
+#include "mp/envelope.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace slspvr::mp {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial.
+[[nodiscard]] std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82F6'3B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+template <typename T>
+void put_le(std::vector<std::byte>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+[[nodiscard]] T get_le(std::span<const std::byte> in, std::size_t offset) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<std::uint8_t>(in[offset + i])) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::vector<std::byte> pack_envelope(std::uint64_t seq, std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kEnvelopeHeaderBytes + payload.size());
+  put_le<std::uint32_t>(out, kEnvelopeMagic);
+  put_le<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  put_le<std::uint64_t>(out, seq);
+  // CRC over the header-so-far chained with the payload, so a flipped
+  // length/seq field is as detectable as a flipped payload byte.
+  const std::uint32_t crc = crc32c(payload, crc32c(std::span(out.data(), 16)));
+  put_le<std::uint32_t>(out, crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+ParsedEnvelope parse_envelope(std::span<const std::byte> framed) {
+  if (framed.size() < kEnvelopeHeaderBytes) {
+    throw EnvelopeError("envelope: truncated header (" + std::to_string(framed.size()) +
+                        " of " + std::to_string(kEnvelopeHeaderBytes) + " bytes)");
+  }
+  if (get_le<std::uint32_t>(framed, 0) != kEnvelopeMagic) {
+    throw EnvelopeError("envelope: bad magic");
+  }
+  const auto length = get_le<std::uint32_t>(framed, 4);
+  if (framed.size() - kEnvelopeHeaderBytes != length) {
+    throw EnvelopeError("envelope: length field says " + std::to_string(length) +
+                        " payload bytes, buffer carries " +
+                        std::to_string(framed.size() - kEnvelopeHeaderBytes));
+  }
+  ParsedEnvelope parsed;
+  parsed.seq = get_le<std::uint64_t>(framed, 8);
+  const auto payload = framed.subspan(kEnvelopeHeaderBytes);
+  const std::uint32_t want = get_le<std::uint32_t>(framed, 16);
+  const std::uint32_t got = crc32c(payload, crc32c(framed.first(16)));
+  if (want != got) {
+    throw EnvelopeError("envelope: CRC32C mismatch (corrupted in transit)");
+  }
+  parsed.payload.assign(payload.begin(), payload.end());
+  return parsed;
+}
+
+}  // namespace slspvr::mp

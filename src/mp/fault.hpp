@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mp/envelope.hpp"
 #include "mp/errors.hpp"
 
 namespace slspvr::mp {
@@ -72,6 +73,9 @@ struct FaultPlan {
   std::vector<DelayRule> delays;
   /// Deadline for every blocking receive; zero means wait forever.
   std::chrono::milliseconds recv_timeout{0};
+  /// Reliable-transport knobs: with max_attempts > 0 drops/corruptions heal
+  /// via NAK + retransmit instead of poisoning the run (envelope.hpp).
+  RetryPolicy retry;
 
   [[nodiscard]] bool empty() const noexcept {
     return kills.empty() && drops.empty() && corruptions.empty() && delays.empty() &&

@@ -14,6 +14,7 @@ RunResult Runtime::run_tolerant(int ranks, const RankFn& fn, const RunOptions& o
 
   auto ctx = std::make_unique<CommContext>(ranks);
   ctx->injector = opts.injector;
+  ctx->retry = opts.retry;
   ctx->recv_timeout =
       opts.recv_timeout.count() > 0
           ? opts.recv_timeout

@@ -36,6 +36,9 @@ struct RankFailure {
 struct RunOptions {
   FaultInjector* injector = nullptr;            ///< not owned; may be null
   std::chrono::milliseconds recv_timeout{0};    ///< 0 = block forever
+  /// Reliable-transport knobs; disabled (max_attempts == 0) keeps the
+  /// legacy unframed wire format and receive path byte-identical.
+  RetryPolicy retry;
 };
 
 /// Result of one SPMD run: the complete traffic trace, safe to read because

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "mp/envelope.hpp"
+
 namespace slspvr::mp {
 
 /// One message as seen from one endpoint.
@@ -50,7 +52,8 @@ class TrafficTrace {
       : sent_(ranks), received_(ranks), stage_(static_cast<std::size_t>(ranks)),
         clock_(static_cast<std::size_t>(ranks),
                std::vector<std::uint64_t>(static_cast<std::size_t>(ranks), 0)),
-        next_index_(ranks, 0), next_seq_(ranks) {}
+        next_index_(ranks, 0), next_seq_(ranks), naks_(ranks, 0),
+        retry_messages_(ranks, 0), retry_bytes_(ranks, 0) {}
 
   /// Set the current stage marker for `rank`; subsequent records carry it.
   void set_stage(int rank, int stage) {
@@ -139,6 +142,36 @@ class TrafficTrace {
     return best;
   }
 
+  /// Retry accounting is out-of-band: a healed message must NOT appear as an
+  /// extra MessageRecord (the trace would stop conforming to the proven
+  /// schedule), so the transport bumps these counters instead and the cost
+  /// model charges the extra T_s + bytes·T_c from them.
+  void record_nak(int rank) { ++naks_[static_cast<std::size_t>(rank)]; }
+  void record_retry(int rank, std::uint64_t bytes) {
+    ++retry_messages_[static_cast<std::size_t>(rank)];
+    retry_bytes_[static_cast<std::size_t>(rank)] += bytes;
+  }
+  [[nodiscard]] std::uint64_t naks(int rank) const {
+    return naks_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::uint64_t retry_messages(int rank) const {
+    return retry_messages_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::uint64_t retry_bytes(int rank) const {
+    return retry_bytes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Aggregate healing summary across all ranks.
+  [[nodiscard]] RetryStats retry_stats() const {
+    RetryStats total;
+    for (int r = 0; r < ranks(); ++r) {
+      total.naks += naks(r);
+      total.retransmits += retry_messages(r);
+      total.healed_bytes += retry_bytes(r);
+    }
+    return total;
+  }
+
   void clear() {
     for (auto& v : sent_) v.clear();
     for (auto& v : received_) v.clear();
@@ -146,6 +179,9 @@ class TrafficTrace {
     for (auto& c : clock_) std::fill(c.begin(), c.end(), 0);
     std::fill(next_index_.begin(), next_index_.end(), 0);
     for (auto& m : next_seq_) m.clear();
+    std::fill(naks_.begin(), naks_.end(), 0);
+    std::fill(retry_messages_.begin(), retry_messages_.end(), 0);
+    std::fill(retry_bytes_.begin(), retry_bytes_.end(), 0);
   }
 
  private:
@@ -161,6 +197,10 @@ class TrafficTrace {
   /// Per-rank (dest, tag) -> next sequence number; each rank touches only
   /// its own map.
   std::vector<std::map<std::pair<int, int>, std::uint64_t>> next_seq_;
+  /// Healing counters — receiver-side, each rank touches only its own slot.
+  std::vector<std::uint64_t> naks_;
+  std::vector<std::uint64_t> retry_messages_;
+  std::vector<std::uint64_t> retry_bytes_;
 };
 
 }  // namespace slspvr::mp

@@ -6,21 +6,37 @@
 
 namespace slspvr::pvr {
 
-void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
-                    const MethodResult& result) {
+namespace {
+
+std::string make_row(const std::string& dataset, int image_size, int ranks,
+                     const MethodResult& result, const mp::RetryStats& retry) {
   std::ostringstream row;
   row << dataset << ',' << image_size << ',' << ranks << ',' << result.method << ','
       << result.times.comp_ms << ',' << result.times.comm_ms << ','
       << result.times.total_ms() << ',' << result.timeline.makespan_ms << ','
-      << result.timeline.max_wait_ms << ',' << result.m_max << ',' << result.wall_ms;
-  rows_.push_back(row.str());
+      << result.timeline.max_wait_ms << ',' << result.m_max << ',' << result.wall_ms << ','
+      << retry.naks << ',' << retry.retransmits << ',' << retry.healed_bytes;
+  return row.str();
+}
+
+}  // namespace
+
+void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
+                    const MethodResult& result) {
+  rows_.push_back(make_row(dataset, image_size, ranks, result, mp::RetryStats{}));
+}
+
+void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
+                    const FtMethodResult& result) {
+  rows_.push_back(
+      make_row(dataset, image_size, ranks, result.result, result.report.retry_stats));
 }
 
 void CsvWriter::write(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
   out << "dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,"
-         "wait_ms,m_max_bytes,wall_ms\n";
+         "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes\n";
   for (const auto& row : rows_) out << row << "\n";
   if (!out) throw std::runtime_error("CsvWriter: write failed " + path);
 }

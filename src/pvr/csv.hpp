@@ -11,11 +11,17 @@ namespace slspvr::pvr {
 
 /// Accumulates MethodResult rows and writes one CSV file. Columns:
 /// dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,
-/// wait_ms,m_max_bytes,wall_ms
+/// wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes
+/// The last three are the reliable transport's RetryStats (zero for plain
+/// runs, or for fault-tolerant runs where nothing needed healing).
 class CsvWriter {
  public:
   void add(const std::string& dataset, int image_size, int ranks,
            const MethodResult& result);
+
+  /// Fault-tolerant row: same columns, with the report's RetryStats filled.
+  void add(const std::string& dataset, int image_size, int ranks,
+           const FtMethodResult& result);
 
   /// Write all accumulated rows (with header) to `path`; throws on IO error.
   void write(const std::string& path) const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "core/binary_swap.hpp"
@@ -12,6 +14,7 @@
 #include "core/bsbrs.hpp"
 #include "core/bslc.hpp"
 #include "core/direct_send.hpp"
+#include "core/engine.hpp"
 #include "core/fold.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/plan_compositor.hpp"
@@ -86,17 +89,70 @@ img::Image Experiment::reference() const {
 
 namespace {
 
+/// Per-stage partial-result retention for the first (faulted) attempt: each
+/// PE thread appends a copy of its partial composite after every completed
+/// stage of a balanced rect plan. Slots are per-rank and written only by
+/// that rank's thread; the driver reads them after the runtime joins.
+class SnapshotStore final : public core::StageSnapshotSink {
+ public:
+  struct Snap {
+    int stage = 0;  ///< 1-based stage marker (== completed stage count)
+    img::Image image;
+    img::Rect region;
+  };
+
+  explicit SnapshotStore(int ranks) : slots_(static_cast<std::size_t>(ranks)) {}
+
+  void on_stage_complete(int rank, int stage, const img::Image& image,
+                         const img::Rect& region) override {
+    // Retain only the owned rectangle — the rest of the frame is stale.
+    img::Image partial(image.width(), image.height());
+    for (int y = region.y0; y < region.y1; ++y) {
+      for (int x = region.x0; x < region.x1; ++x) partial.at(x, y) = image.at(x, y);
+    }
+    slots_[static_cast<std::size_t>(rank)].push_back({stage, std::move(partial), region});
+  }
+
+  /// Highest completed stage rank `r` retained a partial for (0 = none).
+  [[nodiscard]] int height(int rank) const {
+    int best = 0;
+    for (const Snap& s : slots_[static_cast<std::size_t>(rank)]) best = std::max(best, s.stage);
+    return best;
+  }
+
+  [[nodiscard]] const Snap* at_stage(int rank, int stage) const {
+    for (const Snap& s : slots_[static_cast<std::size_t>(rank)]) {
+      if (s.stage == stage) return &s;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::vector<Snap>> slots_;
+};
+
+/// Scoped install of the thread-local retention sink on a PE thread.
+class RetentionGuard {
+ public:
+  explicit RetentionGuard(core::StageSnapshotSink* sink) { core::set_stage_retention(sink); }
+  ~RetentionGuard() { core::set_stage_retention(nullptr); }
+  RetentionGuard(const RetentionGuard&) = delete;
+  RetentionGuard& operator=(const RetentionGuard&) = delete;
+};
+
 struct Attempt {
   MethodResult result;
   std::vector<mp::RankFailure> failures;
+  mp::RetryStats retry_stats;  ///< what the transport healed this attempt
 };
 
 /// One SPMD execution under the given runtime options. On failure the
 /// MethodResult is partial (no final image, partial counters) — callers
-/// either rethrow or fold the failed ranks out and retry.
+/// either rethrow or fold the failed ranks out and retry. With a non-null
+/// `store`, every rank retains per-stage partials for mid-frame repair.
 Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image>& subimages,
                     const core::SwapOrder& order, const core::CostModel& model,
-                    const mp::RunOptions& opts) {
+                    const mp::RunOptions& opts, SnapshotStore* store = nullptr) {
   const int ranks = static_cast<int>(subimages.size());
   Attempt attempt;
   MethodResult& result = attempt.result;
@@ -108,6 +164,7 @@ Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image
 
   const auto t0 = std::chrono::steady_clock::now();
   const mp::RunResult run = mp::Runtime::run_tolerant(ranks, [&](mp::Comm& comm) {
+    const RetentionGuard retention(store);
     const int rank = comm.rank();
     img::Image local = subimages[static_cast<std::size_t>(rank)];  // methods mutate
     core::Counters& counters = result.per_rank[static_cast<std::size_t>(rank)];
@@ -120,6 +177,7 @@ Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image
   }, opts);
   const auto t1 = std::chrono::steady_clock::now();
 
+  attempt.retry_stats = run.trace().retry_stats();
   attempt.failures = run.failures();
   if (!attempt.failures.empty()) return attempt;
 
@@ -134,6 +192,97 @@ Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image
   }
   result.final_image = std::move(final_image);
   return attempt;
+}
+
+/// Poison-safe consensus on the resume epoch: a fresh SPMD round over the
+/// survivors in which each contributes the height of its retained snapshots
+/// and all agree on the minimum (gather at rank 0, broadcast back) — the
+/// round runs on the full runtime, so a hung or dying participant aborts it
+/// cleanly through the poison machinery instead of stalling recovery.
+/// Returns nullopt when the round itself fails.
+std::optional<int> agree_on_epoch(const std::vector<int>& heights) {
+  const int n = static_cast<int>(heights.size());
+  std::vector<int> agreed(static_cast<std::size_t>(n), -1);
+  const mp::RunResult run = mp::Runtime::run_tolerant(n, [&](mp::Comm& comm) {
+    const int mine = heights[static_cast<std::size_t>(comm.rank())];
+    const auto all = comm.gather(0, std::as_bytes(std::span(&mine, 1)));
+    int epoch = mine;
+    if (comm.rank() == 0) {
+      for (const auto& bytes : all) {
+        int h = 0;
+        if (bytes.size() == sizeof(int)) std::memcpy(&h, bytes.data(), sizeof(int));
+        epoch = std::min(epoch, h);
+      }
+    }
+    const auto decided = comm.broadcast(0, std::as_bytes(std::span(&epoch, 1)));
+    int out = -1;
+    if (decided.size() == sizeof(int)) std::memcpy(&out, decided.data(), sizeof(int));
+    agreed[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  if (!run.ok()) return std::nullopt;
+  for (const int e : agreed) {
+    if (e < 0 || e != agreed.front()) return std::nullopt;
+  }
+  return agreed.front();
+}
+
+/// The resume exchange: run the repaired k-ary plan over the survivors'
+/// sparse full-frame inputs with the RLE-in-rect payload (the inputs are
+/// mostly blank, so RLE keeps the healing traffic small).
+class RepairCompositor final : public core::Compositor {
+ public:
+  RepairCompositor(const core::ExchangePlan& base, int epoch, std::vector<int> survivors,
+                   std::string name)
+      : plan_(core::repair_plan(base, epoch, survivors)), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  core::Ownership composite(mp::Comm& comm, img::Image& image, const core::SwapOrder& order,
+                            core::Counters& counters) const override {
+    return core::plan_composite(plan_, core::codec_for(core::CodecKind::kRleRect),
+                                core::TrackerKind::kUnion, comm, image, order, counters);
+  }
+
+  [[nodiscard]] check::CommSchedule schedule(int /*ranks*/) const override {
+    return core::derive_schedule(plan_, core::codec_for(core::CodecKind::kRleRect).traits(),
+                                 name_);
+  }
+
+ private:
+  core::ExchangePlan plan_;
+  std::string name_;
+};
+
+/// Mid-frame repair is exact only when every contributor class (the ranks
+/// whose subimages a partial composite already merged) occupies a contiguous
+/// block of the depth order — then a retained partial composites as a unit
+/// at its class's position. k-ary prefix classes are contiguous rank
+/// intervals, so monotone orders always pass; exotic hand-built orders fall
+/// back to degrade.
+bool classes_contiguous_in(const std::vector<int>& depth_order,
+                           const core::EpochState& state) {
+  std::vector<int> pos(depth_order.size(), -1);
+  for (std::size_t i = 0; i < depth_order.size(); ++i) {
+    pos[static_cast<std::size_t>(depth_order[i])] = static_cast<int>(i);
+  }
+  for (const auto& members : state.contributors) {
+    int lo = static_cast<int>(depth_order.size());
+    int hi = -1;
+    for (const int m : members) {
+      const int p = pos[static_cast<std::size_t>(m)];
+      if (p < 0) return false;
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    if (hi - lo + 1 != static_cast<int>(members.size())) return false;
+  }
+  return true;
+}
+
+void paste_region(img::Image& dst, const img::Image& src, const img::Rect& region) {
+  for (int y = region.y0; y < region.y1; ++y) {
+    for (int x = region.x0; x < region.x1; ++x) dst.at(x, y) = src.at(x, y);
+  }
 }
 
 }  // namespace
@@ -152,13 +301,25 @@ MethodResult run_compositing(const core::Compositor& method,
 }
 
 std::string FaultReport::summary() const {
-  if (!faulted) return "no faults";
+  const std::string healed =
+      retry_stats.any()
+          ? "; transport healed " + std::to_string(retry_stats.retransmits) +
+                " message(s), " + std::to_string(retry_stats.healed_bytes) + " byte(s) (" +
+                std::to_string(retry_stats.naks) + " NAK(s))"
+          : "";
+  if (!faulted) return "no faults" + healed;
   std::string out = std::to_string(failed_ranks.size()) + " PE(s) failed (rank";
   for (const int r : failed_ranks) out += " " + std::to_string(r);
   out += "), " + std::to_string(pixels_lost) + " rendered pixel(s) lost, " +
-         std::to_string(retries) + " retry round(s): " +
-         (degraded ? "finished degraded from the survivors" : "frame lost");
-  return out;
+         std::to_string(retries) + " retry round(s): ";
+  if (resumed) {
+    out += "finished via mid-frame repair from epoch " + std::to_string(resume_epoch);
+  } else if (degraded) {
+    out += "finished degraded from the survivors";
+  } else {
+    out += "frame lost";
+  }
+  return out + healed;
 }
 
 FtMethodResult run_compositing_ft(const core::Compositor& method,
@@ -170,11 +331,17 @@ FtMethodResult run_compositing_ft(const core::Compositor& method,
 
   mp::FaultInjector injector(faults);
   mp::RunOptions opts;
+  opts.retry = faults.retry;
   if (!faults.empty()) {
     opts.injector = &injector;
     opts.recv_timeout = faults.recv_timeout;
   }
-  Attempt first = run_attempt(method, subimages, order, model, opts);
+  // Retain per-stage partials only when faults can actually strike — the
+  // clean path keeps its zero-copy fast path.
+  SnapshotStore store(ranks);
+  SnapshotStore* retain = faults.empty() ? nullptr : &store;
+  Attempt first = run_attempt(method, subimages, order, model, opts, retain);
+  out.report.retry_stats += first.retry_stats;
   if (first.failures.empty()) {
     out.result = std::move(first.result);
     return out;
@@ -200,6 +367,118 @@ FtMethodResult run_compositing_ft(const core::Compositor& method,
   if (static_cast<int>(depth_order.size()) != ranks) {
     depth_order.resize(static_cast<std::size_t>(ranks));
     for (int r = 0; r < ranks; ++r) depth_order[static_cast<std::size_t>(r)] = r;
+  }
+
+  // ---- mid-frame plan repair ----------------------------------------------
+  // Before throwing the frame away, try to resume it: survivors agree on
+  // the failure epoch, keep their retained stage partials, re-contribute
+  // the dead ranks' orphaned regions from their own (still live) rendered
+  // subimages, and run a repaired k-ary exchange over the survivor set —
+  // stages before the failure are never re-executed.
+  std::optional<core::EpochState> resume_state;
+  const auto try_resume = [&]() -> bool {
+    const auto base_plan = method.resume_plan(ranks);
+    if (!base_plan) return false;  // no per-rank rectangle state to resume
+    std::vector<int> survivors;  // original ids, ascending
+    for (int r = 0; r < ranks; ++r) {
+      if (!failed[static_cast<std::size_t>(r)]) survivors.push_back(r);
+    }
+    if (survivors.empty() || static_cast<int>(survivors.size()) == ranks) return false;
+
+    // Survivors agree on the resume epoch: the deepest stage every one of
+    // them retained a partial for (poison-safe gather/broadcast round).
+    std::vector<int> heights;
+    heights.reserve(survivors.size());
+    for (const int r : survivors) {
+      heights.push_back(std::min(store.height(r), base_plan->stages()));
+    }
+    const std::optional<int> agreed = agree_on_epoch(heights);
+    if (!agreed) return false;
+    const int epoch = *agreed;
+
+    core::EpochState state;
+    try {
+      state = core::plan_epoch_state(*base_plan, epoch, subimages.front().bounds());
+    } catch (const std::invalid_argument&) {
+      return false;  // scalar/band plan slipped through: degrade instead
+    }
+    if (!classes_contiguous_in(depth_order, state)) return false;
+
+    // Virtual rank i of the repair exchange is the i-th *surviving* rank in
+    // the original front-to-back order — k-ary suffix classes are contiguous
+    // rank intervals, so with depth-ordered virtual ranks every merge in the
+    // repaired exchange combines adjacent depth blocks (exact `over`).
+    std::vector<int> survivors_depth;  // original ids, front to back
+    survivors_depth.reserve(survivors.size());
+    for (const int r : depth_order) {
+      if (!failed[static_cast<std::size_t>(r)]) survivors_depth.push_back(r);
+    }
+
+    // Sparse full-frame resume inputs: the survivor's own partial over its
+    // owned rectangle, plus its re-rendered contribution to every dead
+    // rank's orphaned region (spatially disjoint by construction — prefix
+    // parts of the same frame partition).
+    std::vector<img::Image> resume_subs;
+    resume_subs.reserve(survivors.size());
+    for (const int s : survivors_depth) {
+      img::Image input(subimages.front().width(), subimages.front().height());
+      if (epoch == 0) {
+        input = subimages[static_cast<std::size_t>(s)];
+      } else {
+        const SnapshotStore::Snap* snap = store.at_stage(s, epoch);
+        if (snap == nullptr) return false;  // consensus said it exists; be safe
+        paste_region(input, snap->image, state.region[static_cast<std::size_t>(s)]);
+      }
+      for (int d = 0; d < ranks; ++d) {
+        if (!failed[static_cast<std::size_t>(d)]) continue;
+        const auto& club = state.contributors[static_cast<std::size_t>(d)];
+        if (!std::binary_search(club.begin(), club.end(), s)) continue;
+        paste_region(input, subimages[static_cast<std::size_t>(s)],
+                     state.region[static_cast<std::size_t>(d)]);
+      }
+      resume_subs.push_back(std::move(input));
+    }
+
+    // Virtual ranks are already front-to-back, so the repair exchange uses
+    // the identity traversal (retained partials slot in as blocks — the
+    // contiguity check above guarantees that is exact).
+    core::SwapOrder resume_order;
+    resume_order.front_to_back.resize(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      resume_order.front_to_back[i] = static_cast<int>(i);
+    }
+
+    const RepairCompositor repair(*base_plan, epoch, survivors,
+                                  std::string(method.name()) + "-repair");
+    ++out.report.retries;
+    Attempt resumed = run_attempt(repair, resume_subs, resume_order, model, {});
+    out.report.retry_stats += resumed.retry_stats;
+    if (!resumed.failures.empty()) {
+      absorb(resumed.failures, survivors_depth, out.report.retries);
+      return false;  // fall back to degrade with the extra failures folded in
+    }
+    out.report.resumed = true;
+    out.report.resume_epoch = epoch;
+    out.result = std::move(resumed.result);
+    out.result.method = std::string(method.name()) + " [resumed]";
+    resume_state = std::move(state);
+    return true;
+  };
+
+  if (try_resume()) {
+    for (int r = 0; r < ranks; ++r) {
+      if (!failed[static_cast<std::size_t>(r)]) continue;
+      out.report.failed_ranks.push_back(r);
+      // Only the dead contributors' pixels inside the dead rank's owned
+      // rectangle are actually gone; everything else was resumed.
+      for (const int c : resume_state->contributors[static_cast<std::size_t>(r)]) {
+        if (!failed[static_cast<std::size_t>(c)]) continue;
+        out.report.pixels_lost +=
+            img::count_non_blank(subimages[static_cast<std::size_t>(c)],
+                                 resume_state->region[static_cast<std::size_t>(r)]);
+      }
+    }
+    return out;
   }
 
   // Degraded mode: fold the failed PEs out and recomposite the survivors in

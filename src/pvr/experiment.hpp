@@ -60,11 +60,20 @@ struct FaultEvent {
 /// retry rounds the frame needed.
 struct FaultReport {
   bool faulted = false;   ///< at least one rank failed
-  bool degraded = false;  ///< the frame was finished from the survivors
-  int retries = 0;        ///< degraded recompositing rounds
+  bool degraded = false;  ///< the frame was restarted from the survivors
+  /// The frame was completed via mid-frame plan repair: survivors resumed
+  /// from their retained stage-`resume_epoch` partials instead of
+  /// recompositing from scratch (mutually exclusive with `degraded`).
+  bool resumed = false;
+  int resume_epoch = -1;  ///< completed stages the repair resumed from
+  int retries = 0;        ///< recovery rounds (resume attempt + degraded)
   std::vector<int> failed_ranks;   ///< original ranks folded out, ascending
   std::vector<FaultEvent> events;  ///< every failure observed, all attempts
-  std::int64_t pixels_lost = 0;    ///< non-blank pixels of the lost subimages
+  std::int64_t pixels_lost = 0;    ///< non-blank pixels actually lost
+  /// What the reliable transport healed (NAKs, retransmits, bytes) across
+  /// all attempts — nonzero heals with `faulted == false` mean drops or
+  /// corruption occurred and were repaired without losing the frame.
+  mp::RetryStats retry_stats;
 
   /// One-line human-readable digest ("2 PE(s) failed ... finished degraded").
   [[nodiscard]] std::string summary() const;

@@ -58,7 +58,9 @@ std::string fmt_bytes(std::uint64_t bytes) {
 
 void print_fault_report(std::ostream& os, const FaultReport& report) {
   if (!report.faulted) {
-    os << "faults   : none\n";
+    // "no faults", plus what the reliable transport silently healed (drops
+    // or corruption repaired without losing the frame).
+    os << "faults   : " << report.summary() << "\n";
     return;
   }
   os << "faults   : " << report.summary() << "\n";

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/bsbrc.hpp"
+#include "mp/fault.hpp"
 #include "pvr/csv.hpp"
 #include "test_helpers.hpp"
 
@@ -33,17 +34,50 @@ TEST(Csv, WritesHeaderAndRows) {
   std::getline(in, header);
   EXPECT_EQ(header,
             "dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,"
-            "wait_ms,m_max_bytes,wall_ms");
+            "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes");
   int lines = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++lines;
-    // Each row has 11 comma-separated fields and names the method.
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 10);
+    // Each row has 14 comma-separated fields and names the method.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 13);
     EXPECT_NE(line.find("BSBRC"), std::string::npos);
+    // Plain-run rows carry zeroed RetryStats columns.
+    EXPECT_NE(line.rfind(",0,0,0"), std::string::npos);
   }
   EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FaultTolerantRowCarriesRetryStats) {
+  const auto subimages = make_subimages(4, 24, 24, 0.3, 10);
+  const auto order = make_default_order(2);
+  const slspvr::core::BsbrcCompositor bsbrc;
+
+  slspvr::mp::FaultPlan plan;
+  plan.drops.push_back({/*source=*/1, /*dest=*/slspvr::mp::kAnyRankRule,
+                        /*tag=*/slspvr::mp::kAnyTagRule, /*stage=*/slspvr::mp::kAnyStageRule,
+                        /*max_count=*/1 << 20});
+  plan.retry.max_attempts = 6;
+  const auto ft = pvr::run_compositing_ft(bsbrc, subimages, order, plan);
+  ASSERT_FALSE(ft.report.faulted);
+  ASSERT_GT(ft.report.retry_stats.retransmits, 0u);
+
+  pvr::CsvWriter csv;
+  csv.add("synthetic", 24, 4, ft);
+  const std::string path = std::filesystem::temp_directory_path() / "slspvr_test_ft.csv";
+  csv.write(path);
+
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  std::ostringstream expected_tail;
+  expected_tail << ',' << ft.report.retry_stats.naks << ','
+                << ft.report.retry_stats.retransmits << ','
+                << ft.report.retry_stats.healed_bytes;
+  EXPECT_NE(row.find(expected_tail.str()), std::string::npos) << row;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,243 @@
+// Deterministic decode fuzzing: seed-mutated byte buffers (random flips,
+// truncations, oversized length fields, appended garbage) pushed through
+// every wire.hpp unpack helper and the transport envelope parser. Each
+// decoder must either succeed or reject with its typed error — never read
+// out of bounds (the ASan/UBSan CI jobs turn any violation into a failure).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "core/wire.hpp"
+#include "mp/envelope.hpp"
+#include "test_helpers.hpp"
+
+namespace core = slspvr::core;
+namespace img = slspvr::img;
+namespace mp = slspvr::mp;
+namespace wire = slspvr::core::wire;
+using slspvr::testing::make_subimages;
+
+namespace {
+
+constexpr img::Rect kBounds{0, 0, 32, 24};
+constexpr img::Rect kRect{4, 4, 20, 16};
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Apply one or two seeded mutations: byte flips, truncation, a 4-byte
+/// window stomped with 0xFF (oversized count/length fields), or appended
+/// garbage. Deterministic in `seed`.
+std::vector<std::byte> mutate(std::vector<std::byte> bytes, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  const auto pick = [&](std::uint64_t n) -> std::uint64_t {
+    return n == 0 ? 0 : splitmix64(state) % n;
+  };
+  const int rounds = 1 + static_cast<int>(pick(2));
+  for (int round = 0; round < rounds; ++round) {
+    switch (pick(4)) {
+      case 0: {  // flip 1..8 random bytes
+        const std::uint64_t flips = 1 + pick(8);
+        for (std::uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+          bytes[pick(bytes.size())] ^= std::byte{static_cast<unsigned char>(1 + pick(255))};
+        }
+        break;
+      }
+      case 1:  // truncate to a random prefix
+        bytes.resize(pick(bytes.size() + 1));
+        break;
+      case 2: {  // stomp a 4-byte window with 0xFF: huge length/count fields
+        if (bytes.size() >= 4) {
+          const std::uint64_t at = pick(bytes.size() - 3);
+          for (std::uint64_t i = 0; i < 4; ++i) bytes[at + i] = std::byte{0xFF};
+        }
+        break;
+      }
+      default: {  // append 1..32 garbage bytes
+        const std::uint64_t extra = 1 + pick(32);
+        for (std::uint64_t i = 0; i < extra; ++i) {
+          bytes.push_back(std::byte{static_cast<unsigned char>(pick(256))});
+        }
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+struct FuzzTarget {
+  std::string name;
+  std::vector<std::byte> valid;  ///< a well-formed encoding to mutate
+  std::function<void(const std::vector<std::byte>&)> decode;
+};
+
+std::vector<FuzzTarget> make_targets() {
+  const auto subimages = make_subimages(1, kBounds.x1, kBounds.y1, 0.5, /*seed=*/11);
+  const img::Image& source = subimages.front();
+  core::Counters counters;
+  std::vector<FuzzTarget> targets;
+
+  {
+    img::PackBuffer buf;
+    buf.put(img::to_wire(kRect));
+    targets.push_back({"parse_rect", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::parse_rect(in, kBounds);
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_rle(wire::encode_rect(source, kRect, counters), buf);
+    targets.push_back({"parse_rle", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::parse_rle(in, kRect.area());
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_spans(wire::encode_spans(source, kRect, counters), buf);
+    targets.push_back({"parse_spans", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::parse_spans(in, kRect);
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_rect_pixels(source, kRect, buf);
+    targets.push_back({"unpack_composite_rect", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::Image image(kBounds.x1, kBounds.y1);
+                         core::Counters c;
+                         img::UnpackBuffer in(bytes);
+                         wire::unpack_composite_rect(image, kRect, in, true, c);
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_raw_rect(source, kRect, buf, counters);
+    targets.push_back({"unpack_composite_raw_rect", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::Image image(kBounds.x1, kBounds.y1);
+                         core::Counters c;
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::unpack_composite_raw_rect(image, in, kBounds, true, c);
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_rle_rect(source, kRect, buf, counters);
+    targets.push_back({"unpack_composite_rle_rect", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::Image image(kBounds.x1, kBounds.y1);
+                         core::Counters c;
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::unpack_composite_rle_rect(image, in, kBounds, true, c);
+                       }});
+  }
+  {
+    img::PackBuffer buf;
+    wire::pack_span_rect(source, kRect, buf, counters);
+    targets.push_back({"unpack_composite_span_rect", {buf.bytes().begin(), buf.bytes().end()},
+                       [](const std::vector<std::byte>& bytes) {
+                         img::Image image(kBounds.x1, kBounds.y1);
+                         core::Counters c;
+                         img::UnpackBuffer in(bytes);
+                         (void)wire::unpack_composite_span_rect(image, in, kBounds, true, c);
+                       }});
+  }
+  {
+    const std::vector<std::byte> payload(97, std::byte{0x5A});
+    targets.push_back({"parse_envelope", mp::pack_envelope(/*seq=*/7, payload),
+                       [](const std::vector<std::byte>& bytes) {
+                         (void)mp::parse_envelope(bytes);
+                       }});
+  }
+  return targets;
+}
+
+}  // namespace
+
+// Every decoder, fed hundreds of deterministic mutations of a well-formed
+// message, either succeeds or rejects with its typed error. Anything else —
+// a different exception, a crash, an out-of-bounds access under ASan/UBSan —
+// fails the test.
+TEST(DecodeFuzz, EveryDecoderSurvivesMutatedBytes) {
+  for (const FuzzTarget& target : make_targets()) {
+    SCOPED_TRACE(target.name);
+    // The unmutated encoding must decode cleanly (the target is wired right).
+    ASSERT_NO_THROW(target.decode(target.valid));
+    for (std::uint64_t seed = 1; seed <= 250; ++seed) {
+      const std::vector<std::byte> bytes = mutate(target.valid, seed * 0x9E3779B9ULL);
+      try {
+        target.decode(bytes);
+      } catch (const img::DecodeError&) {
+        // typed reject: fine
+      } catch (const mp::EnvelopeError&) {
+        // typed reject: fine
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << target.name << " seed " << seed << ": untyped exception "
+                      << e.what();
+      }
+    }
+  }
+}
+
+// ---- transport envelope unit coverage --------------------------------------
+
+TEST(DecodeFuzz, EnvelopeRoundTripPreservesSeqAndPayload) {
+  std::vector<std::byte> payload(33);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = std::byte{static_cast<unsigned char>(i * 7)};
+  }
+  const std::vector<std::byte> framed = mp::pack_envelope(0xDEADBEEFCAFEULL, payload);
+  EXPECT_EQ(framed.size(), mp::kEnvelopeHeaderBytes + payload.size());
+  const mp::ParsedEnvelope parsed = mp::parse_envelope(framed);
+  EXPECT_EQ(parsed.seq, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(parsed.payload, payload);
+}
+
+TEST(DecodeFuzz, EnvelopeRejectsTruncationMagicLengthAndCrc) {
+  const std::vector<std::byte> payload(16, std::byte{0x42});
+  const std::vector<std::byte> framed = mp::pack_envelope(1, payload);
+
+  // Truncated header.
+  EXPECT_THROW((void)mp::parse_envelope(std::vector<std::byte>(framed.begin(),
+                                                               framed.begin() + 10)),
+               mp::EnvelopeError);
+  // Bad magic.
+  auto bad_magic = framed;
+  bad_magic[0] = std::byte{0x00};
+  EXPECT_THROW((void)mp::parse_envelope(bad_magic), mp::EnvelopeError);
+  // Length field larger than the buffer.
+  auto bad_length = framed;
+  bad_length[4] = std::byte{0xFF};
+  bad_length[5] = std::byte{0xFF};
+  EXPECT_THROW((void)mp::parse_envelope(bad_length), mp::EnvelopeError);
+  // Payload corruption must be caught by the checksum.
+  auto flipped = framed;
+  flipped.back() ^= std::byte{0x01};
+  EXPECT_THROW((void)mp::parse_envelope(flipped), mp::EnvelopeError);
+  // Header (seq) corruption is covered by the checksum too.
+  auto seq_flip = framed;
+  seq_flip[9] ^= std::byte{0x80};
+  EXPECT_THROW((void)mp::parse_envelope(seq_flip), mp::EnvelopeError);
+}
+
+TEST(DecodeFuzz, Crc32cMatchesKnownVector) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes is 0x8A9136AA.
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(mp::crc32c(zeros), 0x8A9136AAu);
+}

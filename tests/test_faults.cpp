@@ -12,6 +12,8 @@
 #include "core/bsbr.hpp"
 #include "core/bsbrc.hpp"
 #include "core/bslc.hpp"
+#include "core/plan.hpp"
+#include "core/plan_compositor.hpp"
 #include "core/reference.hpp"
 #include "core/wire.hpp"
 #include "mp/barrier.hpp"
@@ -55,6 +57,36 @@ img::Image survivor_reference(const std::vector<img::Image>& subimages,
     if (!lost) survivors.push_back(r);
   }
   return core::composite_reference(subimages, survivors);
+}
+
+/// Reference frame for a mid-frame-repaired run: the full composite minus
+/// only the data that is genuinely unrecoverable — each dead contributor's
+/// pixels inside each dead rank's epoch-`epoch` owned rectangle. Everything
+/// a dead rank had already merged into a survivor's partial is preserved.
+img::Image resume_reference(const std::vector<img::Image>& subimages,
+                            const core::SwapOrder& order, const std::vector<int>& failed,
+                            const core::ExchangePlan& plan, int epoch) {
+  const core::EpochState state =
+      core::plan_epoch_state(plan, epoch, subimages.front().bounds());
+  const auto is_failed = [&](int r) {
+    for (const int f : failed) {
+      if (f == r) return true;
+    }
+    return false;
+  };
+  std::vector<img::Image> inputs = subimages;
+  for (const int d : failed) {
+    const img::Rect region = state.region[static_cast<std::size_t>(d)];
+    for (const int c : state.contributors[static_cast<std::size_t>(d)]) {
+      if (!is_failed(c)) continue;
+      for (int y = region.y0; y < region.y1; ++y) {
+        for (int x = region.x0; x < region.x1; ++x) {
+          inputs[static_cast<std::size_t>(c)].at(x, y) = img::Pixel{};
+        }
+      }
+    }
+  }
+  return core::composite_reference(inputs, order.front_to_back);
 }
 
 }  // namespace
@@ -340,8 +372,9 @@ TEST(FaultInjector, DelayFiresWithoutAlteringPayload) {
 
 // The core tentpole guarantee: killing any PE at any compositing stage, for
 // every paper method, terminates bounded, reports the failure, and finishes
-// the frame from the survivors — equal to the sequential reference composited
-// over the surviving subimages.
+// the frame. Methods that expose a resumable rect plan heal mid-frame (only
+// the unrecoverable pixels are lost); the rest restart degraded from the
+// survivors.
 TEST(DegradedMode, KillAnyRankAtAnyStageEveryMethod) {
   const int ranks = 4;
   const core::SwapOrder order = make_default_order(2);
@@ -361,14 +394,26 @@ TEST(DegradedMode, KillAnyRankAtAnyStageEveryMethod) {
         EXPECT_LT(std::chrono::steady_clock::now() - t0, kBound);
 
         EXPECT_TRUE(ft.report.faulted);
-        EXPECT_TRUE(ft.report.degraded);
         ASSERT_EQ(ft.report.failed_ranks, std::vector<int>{victim});
         EXPECT_GT(ft.report.pixels_lost, 0);
         EXPECT_FALSE(ft.report.events.empty());
         EXPECT_TRUE(ft.report.events.front().primary);
-        EXPECT_NE(ft.result.method.find("[degraded]"), std::string::npos);
-        expect_images_near(ft.result.final_image,
-                           survivor_reference(subimages, order, ft.report.failed_ranks));
+        const auto base_plan = method->resume_plan(ranks);
+        if (base_plan) {
+          EXPECT_TRUE(ft.report.resumed);
+          EXPECT_FALSE(ft.report.degraded);
+          EXPECT_GE(ft.report.resume_epoch, 0);
+          EXPECT_NE(ft.result.method.find("[resumed]"), std::string::npos);
+          expect_images_near(
+              ft.result.final_image,
+              resume_reference(subimages, order, ft.report.failed_ranks, *base_plan,
+                               ft.report.resume_epoch));
+        } else {
+          EXPECT_TRUE(ft.report.degraded);
+          EXPECT_NE(ft.result.method.find("[degraded]"), std::string::npos);
+          expect_images_near(ft.result.final_image,
+                             survivor_reference(subimages, order, ft.report.failed_ranks));
+        }
       }
     }
   }
@@ -392,13 +437,23 @@ TEST(DegradedMode, DroppedMessageWithTimeoutDegrades) {
     EXPECT_LT(std::chrono::steady_clock::now() - t0, kBound);
 
     EXPECT_TRUE(ft.report.faulted);
-    EXPECT_TRUE(ft.report.degraded);
     // Which rank gets blamed (the timeout victim) is method-dependent; the
-    // contract is that the frame equals the reference over the survivors.
+    // contract is that the frame equals the reference minus what the report
+    // says was unrecoverable.
     ASSERT_FALSE(ft.report.failed_ranks.empty());
     EXPECT_LT(ft.report.failed_ranks.size(), static_cast<std::size_t>(ranks));
-    expect_images_near(ft.result.final_image,
-                       survivor_reference(subimages, order, ft.report.failed_ranks));
+    const auto base_plan = method->resume_plan(ranks);
+    if (base_plan) {
+      EXPECT_TRUE(ft.report.resumed);
+      expect_images_near(
+          ft.result.final_image,
+          resume_reference(subimages, order, ft.report.failed_ranks, *base_plan,
+                           ft.report.resume_epoch));
+    } else {
+      EXPECT_TRUE(ft.report.degraded);
+      expect_images_near(ft.result.final_image,
+                         survivor_reference(subimages, order, ft.report.failed_ranks));
+    }
   }
 }
 
@@ -420,7 +475,6 @@ TEST(DegradedMode, TruncatedPayloadRaisesDecodeErrorAndDegrades) {
     const pvr::FtMethodResult ft = pvr::run_compositing_ft(*method, subimages, order, plan);
 
     EXPECT_TRUE(ft.report.faulted);
-    EXPECT_TRUE(ft.report.degraded);
     ASSERT_FALSE(ft.report.failed_ranks.empty());
     bool saw_decode_error = false;
     for (const pvr::FaultEvent& e : ft.report.events) {
@@ -428,8 +482,18 @@ TEST(DegradedMode, TruncatedPayloadRaisesDecodeErrorAndDegrades) {
           saw_decode_error || (e.primary && e.what.find("short read") != std::string::npos);
     }
     EXPECT_TRUE(saw_decode_error);
-    expect_images_near(ft.result.final_image,
-                       survivor_reference(subimages, order, ft.report.failed_ranks));
+    const auto base_plan = method->resume_plan(ranks);
+    if (base_plan) {
+      EXPECT_TRUE(ft.report.resumed);
+      expect_images_near(
+          ft.result.final_image,
+          resume_reference(subimages, order, ft.report.failed_ranks, *base_plan,
+                           ft.report.resume_epoch));
+    } else {
+      EXPECT_TRUE(ft.report.degraded);
+      expect_images_near(ft.result.final_image,
+                         survivor_reference(subimages, order, ft.report.failed_ranks));
+    }
   }
 }
 
@@ -480,7 +544,9 @@ TEST(DegradedMode, ExperimentRunFtEndToEnd) {
   const core::BsbrcCompositor method;
   const pvr::FtMethodResult ft = experiment.run_ft(method, plan);
   EXPECT_TRUE(ft.report.faulted);
-  EXPECT_TRUE(ft.report.degraded);
+  // BSBRC exposes a resumable rect plan, so the frame heals mid-frame.
+  EXPECT_TRUE(ft.report.resumed);
+  EXPECT_FALSE(ft.report.degraded);
   EXPECT_EQ(ft.report.failed_ranks, std::vector<int>{3});
   EXPECT_EQ(ft.result.final_image.width(), 64);
 
@@ -488,6 +554,172 @@ TEST(DegradedMode, ExperimentRunFtEndToEnd) {
   const pvr::FtMethodResult clean = experiment.run_ft(method, mp::FaultPlan{});
   EXPECT_FALSE(clean.report.faulted);
   expect_images_near(clean.result.final_image, experiment.run(method).final_image, 0.0f);
+}
+
+// ---- reliable transport: NAK/retransmit healing ----------------------------
+
+// The other half of the tentpole: with the retry policy enabled, dropped
+// messages are healed from the sender's in-flight buffer — every paper
+// method finishes byte-identical to its fault-free frame, no PE is blamed,
+// and the report's RetryStats show the heal.
+TEST(TransportHealing, DropsHealByteIdenticalEveryMethod) {
+  const int ranks = 4;
+  const core::SwapOrder order = make_default_order(2);
+  const auto subimages = make_subimages(ranks, 48, 40, 0.35, /*seed=*/82);
+
+  for (const auto& method : paper_methods()) {
+    SCOPED_TRACE(method->name());
+    const pvr::MethodResult clean = pvr::run_compositing(*method, subimages, order);
+
+    mp::FaultPlan plan;
+    // Lose every message rank 1 sends — without retries this degrades the
+    // frame (DroppedMessageWithTimeoutDegrades); with them it must heal.
+    plan.drops.push_back({/*source=*/1, /*dest=*/mp::kAnyRankRule, /*tag=*/mp::kAnyTagRule,
+                          /*stage=*/mp::kAnyStageRule, /*max_count=*/1 << 20});
+    plan.retry.max_attempts = 6;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const pvr::FtMethodResult ft = pvr::run_compositing_ft(*method, subimages, order, plan);
+    EXPECT_LT(std::chrono::steady_clock::now() - t0, kBound);
+
+    EXPECT_FALSE(ft.report.faulted);
+    EXPECT_TRUE(ft.report.failed_ranks.empty());
+    EXPECT_EQ(ft.report.retries, 0);
+    EXPECT_GT(ft.report.retry_stats.retransmits, 0u);
+    EXPECT_GT(ft.report.retry_stats.healed_bytes, 0u);
+    EXPECT_NE(ft.report.summary().find("transport healed"), std::string::npos);
+    expect_images_near(ft.result.final_image, clean.final_image, 0.0f);
+  }
+}
+
+TEST(TransportHealing, CorruptionHealsByteIdenticalEveryMethod) {
+  const int ranks = 4;
+  const core::SwapOrder order = make_default_order(2);
+  const auto subimages = make_subimages(ranks, 48, 40, 0.35, /*seed=*/83);
+
+  for (const auto& method : paper_methods()) {
+    SCOPED_TRACE(method->name());
+    const pvr::MethodResult clean = pvr::run_compositing(*method, subimages, order);
+
+    mp::FaultPlan plan;
+    plan.seed = 0x5151ULL;
+    // Flip and truncate every message on the wire: the CRC32C catches the
+    // damage before any decoder sees it, and the pristine in-flight copy
+    // heals the channel.
+    plan.corruptions.push_back({mp::kAnyRankRule, mp::kAnyRankRule, mp::kAnyTagRule,
+                                mp::kAnyStageRule, /*flip_bytes=*/6, /*truncate_bytes=*/3,
+                                /*max_count=*/1 << 20});
+    plan.retry.max_attempts = 6;
+
+    const pvr::FtMethodResult ft = pvr::run_compositing_ft(*method, subimages, order, plan);
+
+    EXPECT_FALSE(ft.report.faulted);
+    EXPECT_GT(ft.report.retry_stats.naks, 0u);
+    EXPECT_GT(ft.report.retry_stats.retransmits, 0u);
+    expect_images_near(ft.result.final_image, clean.final_image, 0.0f);
+  }
+}
+
+TEST(TransportHealing, MixedDropAndCorruptionHeals) {
+  const int ranks = 8;
+  const core::SwapOrder order = make_default_order(3);
+  const auto subimages = make_subimages(ranks, 40, 32, 0.4, /*seed=*/84);
+
+  const core::BsbrcCompositor method;
+  const pvr::MethodResult clean = pvr::run_compositing(method, subimages, order);
+
+  mp::FaultPlan plan;
+  plan.seed = 0xC0FFEEULL;
+  plan.drops.push_back({/*source=*/3, /*dest=*/mp::kAnyRankRule, /*tag=*/mp::kAnyTagRule,
+                        /*stage=*/mp::kAnyStageRule, /*max_count=*/2});
+  plan.corruptions.push_back({/*source=*/5, /*dest=*/mp::kAnyRankRule, /*tag=*/mp::kAnyTagRule,
+                              /*stage=*/mp::kAnyStageRule, /*flip_bytes=*/9,
+                              /*truncate_bytes=*/0, /*max_count=*/3});
+  plan.retry.max_attempts = 6;
+
+  const pvr::FtMethodResult ft = pvr::run_compositing_ft(method, subimages, order, plan);
+  EXPECT_FALSE(ft.report.faulted);
+  EXPECT_GT(ft.report.retry_stats.retransmits, 0u);
+  expect_images_near(ft.result.final_image, clean.final_image, 0.0f);
+}
+
+TEST(TransportHealing, RetryDisabledStillDegrades) {
+  // Control: the same drop rule without a retry policy must take the legacy
+  // abort-and-recover path, proving the healing is opt-in.
+  const int ranks = 4;
+  const core::SwapOrder order = make_default_order(2);
+  const auto subimages = make_subimages(ranks, 48, 40, 0.35, /*seed=*/85);
+
+  const core::BinarySwapCompositor method;
+  mp::FaultPlan plan;
+  plan.drops.push_back({/*source=*/1, /*dest=*/mp::kAnyRankRule, /*tag=*/mp::kAnyTagRule,
+                        /*stage=*/mp::kAnyStageRule, /*max_count=*/1 << 20});
+  plan.recv_timeout = std::chrono::milliseconds(150);
+
+  const pvr::FtMethodResult ft = pvr::run_compositing_ft(method, subimages, order, plan);
+  EXPECT_TRUE(ft.report.faulted);
+  EXPECT_EQ(ft.report.retry_stats.retransmits, 0u);
+}
+
+// ---- kill matrix over the PR 3 plan combinations ---------------------------
+
+// The cross-bred (plan, codec) methods ride the same fault-tolerance stack:
+// killing a PE mid-exchange terminates bounded and finishes the frame —
+// mid-frame repair for the resumable k-ary rect combinations, degraded
+// restart for the rest (tree / direct send / scalar codecs).
+TEST(DegradedMode, KillMatrixPlanCombinations) {
+  struct Combo {
+    const char* name;
+    core::PlanFamily family;
+    core::CodecKind codec;
+    core::TrackerKind tracker;
+  };
+  const std::vector<Combo> combos = {
+      {"KaryBS", core::PlanFamily::kKary, core::CodecKind::kFullPixel,
+       core::TrackerKind::kNone},
+      {"KaryBR", core::PlanFamily::kKary, core::CodecKind::kBoundingRect,
+       core::TrackerKind::kUnion},
+      {"KaryBRC", core::PlanFamily::kKary, core::CodecKind::kRleRect,
+       core::TrackerKind::kUnion},
+      {"KaryLC", core::PlanFamily::kKary, core::CodecKind::kInterleavedRle,
+       core::TrackerKind::kNone},
+      {"Tree-BRC", core::PlanFamily::kBinaryTree, core::CodecKind::kRleRect,
+       core::TrackerKind::kUnion},
+      {"DirectSend-BRC", core::PlanFamily::kDirectSend, core::CodecKind::kRleRect,
+       core::TrackerKind::kUnion},
+  };
+
+  const int ranks = 4;
+  const core::SwapOrder order = make_default_order(2);
+  const auto subimages = make_subimages(ranks, 48, 40, 0.35, /*seed=*/86);
+
+  for (const Combo& combo : combos) {
+    const core::PlanCompositor method(combo.name, combo.family, combo.codec, combo.tracker);
+    for (int victim = 0; victim < ranks; ++victim) {
+      SCOPED_TRACE(std::string(combo.name) + " kill rank " + std::to_string(victim));
+      mp::FaultPlan plan;
+      plan.kills.push_back({victim, /*stage=*/1});
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const pvr::FtMethodResult ft = pvr::run_compositing_ft(method, subimages, order, plan);
+      EXPECT_LT(std::chrono::steady_clock::now() - t0, kBound);
+
+      EXPECT_TRUE(ft.report.faulted);
+      ASSERT_EQ(ft.report.failed_ranks, std::vector<int>{victim});
+      const auto base_plan = method.resume_plan(ranks);
+      if (base_plan) {
+        EXPECT_TRUE(ft.report.resumed);
+        expect_images_near(
+            ft.result.final_image,
+            resume_reference(subimages, order, ft.report.failed_ranks, *base_plan,
+                             ft.report.resume_epoch));
+      } else {
+        EXPECT_TRUE(ft.report.degraded);
+        expect_images_near(ft.result.final_image,
+                           survivor_reference(subimages, order, ft.report.failed_ranks));
+      }
+    }
+  }
 }
 
 // ---- hardened wire decoding -----------------------------------------------

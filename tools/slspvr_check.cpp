@@ -19,6 +19,8 @@
 
 #include "check/verify.hpp"
 #include "core/binary_swap.hpp"
+#include "core/codec.hpp"
+#include "core/plan.hpp"
 #include "core/binary_tree.hpp"
 #include "core/bsbr.hpp"
 #include "core/bsbrc.hpp"
@@ -46,6 +48,9 @@ void usage(const char* argv0) {
             << "  --all-methods     verify every compositing method (default)\n"
             << "  --method NAME     verify only the named method (e.g. BSBRC)\n"
             << "  --max-p N         verify all rank counts 2..N (default 64)\n"
+            << "  --repair-matrix   verify every mid-frame repair schedule instead:\n"
+            << "                    P x fail-stage x fail-rank over the resumable\n"
+            << "                    plan families (chaos-soak entry point for CI)\n"
             << "  --no-eq9          skip the Eq. (9) size-ordering proof\n"
             << "  --verbose, -v     print one line per verified schedule\n"
             << "  --help            this text\n";
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
   int max_p = 64;
   bool eq9 = true;
   bool verbose = false;
+  bool repair_matrix = false;
   std::string only;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
       only = argv[++i];
     } else if (arg == "--max-p" && i + 1 < argc) {
       max_p = std::atoi(argv[++i]);
+    } else if (arg == "--repair-matrix") {
+      repair_matrix = true;
     } else if (arg == "--no-eq9") {
       eq9 = false;
     } else if (arg == "--eq9") {
@@ -88,6 +96,58 @@ int main(int argc, char** argv) {
   }
 
   using namespace slspvr::core;
+
+  if (repair_matrix) {
+    // Chaos-soak mode: prove every mid-frame repair schedule deadlock-free.
+    // For each resumable base plan family, each rank count, each fail stage
+    // (the epoch the survivors agree on) and each fail rank, lower the
+    // repaired plan through the same derive_schedule path the runtime uses
+    // and run the full static verifier on it.
+    const auto traits = codec_for(CodecKind::kRleRect).traits();
+    int verified = 0;
+    int failed = 0;
+    for (int p = 2; p <= max_p; ++p) {
+      std::vector<std::pair<std::string, ExchangePlan>> bases;
+      bases.emplace_back("Kary", kary_plan(p, SplitRule::kBalanced));
+      if (is_power_of_two(p)) {
+        bases.emplace_back("BS", binary_swap_plan(p, SplitRule::kBalanced));
+      }
+      for (const auto& [family, base] : bases) {
+        for (int epoch = 0; epoch <= base.stages(); ++epoch) {
+          for (int dead = 0; dead < p; ++dead) {
+            std::vector<int> survivors;
+            survivors.reserve(static_cast<std::size_t>(p - 1));
+            for (int r = 0; r < p; ++r) {
+              if (r != dead) survivors.push_back(r);
+            }
+            const std::string name = family + "-repair(P=" + std::to_string(p) +
+                                     ",e=" + std::to_string(epoch) +
+                                     ",dead=" + std::to_string(dead) + ")";
+            CommSchedule schedule =
+                derive_schedule(repair_plan(base, epoch, survivors), traits, name);
+            slspvr::check::append_final_gather(schedule);
+            const VerifyResult result = slspvr::check::verify_schedule(schedule);
+            if (result.ok()) {
+              ++verified;
+              if (verbose) std::cout << "ok  " << name << "\n";
+            } else {
+              ++failed;
+              std::cerr << "FAIL  " << name << "\n" << result.summary();
+            }
+          }
+        }
+      }
+    }
+    std::cout << "slspvr-check: " << verified
+              << " repair schedule(s) verified for P=2.." << max_p;
+    if (failed > 0) {
+      std::cout << ", " << failed << " FAILED\n";
+      return 1;
+    }
+    std::cout << ", all ok\n";
+    return 0;
+  }
+
   const BinarySwapCompositor bs;
   const BsbrCompositor bsbr;
   const BslcCompositor bslc;

@@ -22,8 +22,19 @@
 //     --stats                    print per-rank counters
 //     --fault-kill <r,s>         inject a PE kill at rank r, stage s
 //                                (repeatable; runs fault-tolerant/degraded)
+//     --fault-drop <s,d,tag>     drop one message source s -> dest d with the
+//                                given tag (-1 = any; repeatable)
+//     --fault-corrupt <s,d,b>    flip b random bytes of one s -> d message
+//     --fault-delay <s,d,ms>     delay one s -> d message by ms milliseconds
+//     --fault-seed <n>           RNG seed for the corruption byte choices
+//     --retry-max <n>            enable the reliable transport: up to n
+//                                NAK/retransmit rounds per receive (drops and
+//                                corruption heal instead of degrading)
+//     --retry-base-ms <ms>       first retry backoff step (default 1)
 //     --recv-timeout <ms>        receive deadline + blocked-rank watchdog
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -137,6 +148,52 @@ Args parse(int argc, char** argv) {
         usage(2);
       }
       args.faults.kills.push_back({r, s});
+    } else if (a == "--fault-drop") {
+      const std::string spec = next();
+      int s = -1, d = -1, tag = slspvr::mp::kAnyTagRule;
+      const int got = std::sscanf(spec.c_str(), "%d,%d,%d", &s, &d, &tag);
+      if (got < 2) {
+        std::cerr << "--fault-drop expects source,dest[,tag] (-1 = any)\n";
+        usage(2);
+      }
+      args.faults.drops.push_back(
+          {s, d, tag, slspvr::mp::kAnyStageRule, /*max_count=*/1});
+    } else if (a == "--fault-corrupt") {
+      const std::string spec = next();
+      int s = -1, d = -1, bytes = 0;
+      if (std::sscanf(spec.c_str(), "%d,%d,%d", &s, &d, &bytes) != 3 || bytes < 1) {
+        std::cerr << "--fault-corrupt expects source,dest,bytes (-1 = any rank)\n";
+        usage(2);
+      }
+      args.faults.corruptions.push_back({s, d, slspvr::mp::kAnyTagRule,
+                                         slspvr::mp::kAnyStageRule, /*flip_bytes=*/bytes,
+                                         /*truncate_bytes=*/0, /*max_count=*/1});
+    } else if (a == "--fault-delay") {
+      const std::string spec = next();
+      int s = -1, d = -1, ms = 0;
+      if (std::sscanf(spec.c_str(), "%d,%d,%d", &s, &d, &ms) != 3 || ms < 1) {
+        std::cerr << "--fault-delay expects source,dest,milliseconds (-1 = any rank)\n";
+        usage(2);
+      }
+      args.faults.delays.push_back({s, d, slspvr::mp::kAnyTagRule,
+                                    slspvr::mp::kAnyStageRule,
+                                    std::chrono::milliseconds(ms), /*max_count=*/1});
+    } else if (a == "--fault-seed") {
+      args.faults.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 0));
+    } else if (a == "--retry-max") {
+      const int n = std::atoi(next());
+      if (n < 1) {
+        std::cerr << "--retry-max expects a positive attempt count\n";
+        usage(2);
+      }
+      args.faults.retry.max_attempts = n;
+    } else if (a == "--retry-base-ms") {
+      const int ms = std::atoi(next());
+      if (ms < 1) {
+        std::cerr << "--retry-base-ms expects a positive millisecond count\n";
+        usage(2);
+      }
+      args.faults.retry.base_delay = std::chrono::milliseconds(ms);
     } else if (a == "--recv-timeout") {
       const int ms = std::atoi(next());
       if (ms <= 0) {
@@ -173,6 +230,12 @@ Args parse(int argc, char** argv) {
                 << args.ranks << "\n";
       usage(2);
     }
+  }
+  if (!args.faults.drops.empty() && !args.faults.retry.enabled() &&
+      args.faults.recv_timeout.count() == 0) {
+    std::cerr << "--fault-drop without --retry-max needs --recv-timeout so the "
+                 "receiver fails over instead of hanging\n";
+    usage(2);
   }
   return args;
 }
