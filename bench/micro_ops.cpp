@@ -8,6 +8,7 @@
 #include "core/engine.hpp"
 #include "core/order.hpp"
 #include "core/wire.hpp"
+#include "image/kernels.hpp"
 #include "image/value_rle.hpp"
 #include "mp/runtime.hpp"
 #include "pvr/experiment.hpp"
@@ -34,11 +35,23 @@ void BM_OverOperator(benchmark::State& state) {
       benchmark::DoNotOptimize(acc);
     }
   }
-  state.SetItemsProcessed(state.iterations() * test_image(256, 0.5).pixel_count());
+  state.SetItemsProcessed(state.iterations() * a.pixel_count());
 }
 BENCHMARK(BM_OverOperator);
 
-void BM_CompositeRegion(benchmark::State& state) {
+// Pins the kernel dispatch for the duration of one benchmark run, so the
+// *Scalar variants below measure the reference oracle and the plain variants
+// measure whatever ISA the dispatch picks (AVX2 where compiled + supported).
+class KernelIsaGuard {
+ public:
+  explicit KernelIsaGuard(bool scalar) { img::kern::force_scalar_kernels(scalar); }
+  ~KernelIsaGuard() { img::kern::clear_kernel_override(); }
+  KernelIsaGuard(const KernelIsaGuard&) = delete;
+  KernelIsaGuard& operator=(const KernelIsaGuard&) = delete;
+};
+
+void composite_region_body(benchmark::State& state, bool scalar) {
+  const KernelIsaGuard guard(scalar);
   const img::Image incoming = test_image(256, 0.5);
   img::Image local = test_image(256, 0.5);
   for (auto _ : state) {
@@ -47,16 +60,29 @@ void BM_CompositeRegion(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * local.pixel_count());
 }
+
+void BM_CompositeRegion(benchmark::State& state) { composite_region_body(state, false); }
 BENCHMARK(BM_CompositeRegion);
 
-void BM_BoundingRectScan(benchmark::State& state) {
+void BM_CompositeRegionScalar(benchmark::State& state) { composite_region_body(state, true); }
+BENCHMARK(BM_CompositeRegionScalar);
+
+void bounding_rect_scan_body(benchmark::State& state, bool scalar) {
+  const KernelIsaGuard guard(scalar);
   const img::Image image = test_image(static_cast<int>(state.range(0)), 0.3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(img::bounding_rect_of(image, image.bounds()));
   }
   state.SetItemsProcessed(state.iterations() * image.pixel_count());
 }
+
+void BM_BoundingRectScan(benchmark::State& state) { bounding_rect_scan_body(state, false); }
 BENCHMARK(BM_BoundingRectScan)->Arg(128)->Arg(384)->Arg(768);
+
+void BM_BoundingRectScanScalar(benchmark::State& state) {
+  bounding_rect_scan_body(state, true);
+}
+BENCHMARK(BM_BoundingRectScanScalar)->Arg(128)->Arg(384)->Arg(768);
 
 void BM_RleEncodeRect(benchmark::State& state) {
   const double density = static_cast<double>(state.range(0)) / 100.0;

@@ -153,7 +153,7 @@ CommSchedule fold_schedule(std::string_view method, int ranks, const CommSchedul
   s.final_gather.assign(static_cast<std::size_t>(ranks),
                         SizeBound{PayloadClass::kNone, RegionSpec{}, 64, 0});
   // BSBRC-style whole-frame ship: rect header + RLE codes + non-blank pixels.
-  const SizeBound pre_bound{PayloadClass::kNonBlank, RegionSpec{0, 1, false}, 12, 18};
+  const SizeBound pre_bound{PayloadClass::kNonBlank, RegionSpec{0, 1, false, {}}, 12, 18};
 
   for (int g = 0; g < groups; ++g) {
     const int leader = group_start(g);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "image/kernels.hpp"
+
 namespace slspvr::core {
 
 namespace {
@@ -54,6 +56,16 @@ thread_local StageSnapshotSink* g_stage_retention = nullptr;
 img::PackBuffer& scratch_pack_buffer() {
   thread_local img::PackBuffer buf;
   return buf;
+}
+
+img::Image& scratch_frame(int width, int height) {
+  thread_local img::Image frame;
+  if (frame.width() != width || frame.height() != height) {
+    frame = img::Image(width, height);  // freshly zeroed by construction
+  } else {
+    img::kern::fill_zero(frame.pixels().data(), frame.pixel_count());
+  }
+  return frame;
 }
 
 void set_stage_retention(StageSnapshotSink* sink) noexcept { g_stage_retention = sink; }
@@ -151,17 +163,26 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
       inbox.reserve(rs.recv_peers.size());
       for (const int peer : rs.recv_peers) inbox.push_back(comm.recv(peer, tag));
 
-      img::Image result(image.width(), image.height());
+      img::Image& result = scratch_frame(image.width(), image.height());
       std::size_t composited = 0;
       for (const int contributor : order.front_to_back) {
         if (contributor == rank) {
           if (scalar) {
+            // Gather both strided progressions contiguous, blend with the
+            // span kernel, scatter back — same arithmetic/order as the
+            // per-pixel loop, batched.
             const img::InterleavedRange keep = sparts[static_cast<std::size_t>(rs.keep)];
-            for (std::int64_t i = 0; i < keep.count; ++i) {
-              const std::int64_t idx = keep.index(i);
-              img::Pixel& local = result.at_index(idx);
-              local = img::over(local, image.at_index(idx));
-            }
+            thread_local std::vector<img::Pixel> keep_local, keep_in;
+            keep_local.resize(static_cast<std::size_t>(keep.count));
+            keep_in.resize(static_cast<std::size_t>(keep.count));
+            img::kern::gather_strided(result.pixels().data(), keep.offset, keep.stride,
+                                      keep.count, keep_local.data());
+            img::kern::gather_strided(image.pixels().data(), keep.offset, keep.stride,
+                                      keep.count, keep_in.data());
+            img::kern::composite_span(keep_local.data(), keep_in.data(), keep.count,
+                                      /*incoming_in_front=*/false);
+            img::kern::scatter_strided(keep_local.data(), keep.count, result.pixels().data(),
+                                       keep.offset, keep.stride);
             counters.over_ops += keep.count;
           } else {
             counters.over_ops +=
@@ -189,7 +210,9 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
         throw std::invalid_argument(
             "plan_composite: order.front_to_back does not cover this stage's group");
       }
-      image = std::move(result);
+      // Swap rather than move: the retired buffer becomes the next stage's
+      // (pre-owned) scratch frame instead of being freed.
+      std::swap(image, result);
     }
 
     if (clip_parts) tracker.after_stage(image, keep_rect, recv_union, counters);

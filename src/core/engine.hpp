@@ -32,6 +32,14 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
 /// a fresh allocation every stage. Safe because a rank is one thread.
 [[nodiscard]] img::PackBuffer& scratch_pack_buffer();
 
+/// The engine's per-rank scratch frame: the depth-order compositing stages
+/// accumulate into this thread-local image instead of allocating (and
+/// zero-initializing) a fresh full-frame buffer every stage. Reuses the
+/// buffer when the dimensions match, blanking it with the vectorized
+/// kern::fill_zero; the engine swaps it with the rank's frame at the end of
+/// the stage, so consecutive stages ping-pong two long-lived allocations.
+[[nodiscard]] img::Image& scratch_frame(int width, int height);
+
 /// Per-stage partial-result retention for mid-frame repair. When a sink is
 /// installed on a PE thread, plan_composite reports the rank's partial
 /// composite and owned rectangle after every completed stage of a balanced

@@ -36,7 +36,7 @@ struct RegionState {
   const bool all_binary = std::all_of(state.radices.begin(), state.radices.end(),
                                       [](int k) { return k == 2; });
   if (all_binary) {
-    return check::RegionSpec{static_cast<int>(state.radices.size()), state.bands, scalar};
+    return check::RegionSpec{static_cast<int>(state.radices.size()), state.bands, scalar, {}};
   }
   return check::RegionSpec{0, state.bands, scalar, state.radices};
 }
@@ -314,13 +314,13 @@ check::CommSchedule derive_schedule(const ExchangePlan& plan, const WireTraits& 
             break;
           }
           case SplitRule::kBand:
-            spec = check::RegionSpec{0, state.bands * stage.radix, false};
+            spec = check::RegionSpec{0, state.bands * stage.radix, false, {}};
             break;
           case SplitRule::kGather:
             spec = make_spec(state, traits.scalar);  // ships the whole region
             break;
           case SplitRule::kRing:
-            spec = check::RegionSpec{0, plan.ranks, false};
+            spec = check::RegionSpec{0, plan.ranks, false, {}};
             break;
         }
         const check::SizeBound bound{traits.payload, spec, traits.fixed_bytes,
@@ -357,7 +357,7 @@ check::CommSchedule derive_schedule(const ExchangePlan& plan, const WireTraits& 
                                       16};
     } else if (plan.split == SplitRule::kRing) {
       gather = check::SizeBound{check::PayloadClass::kFullRegion,
-                                check::RegionSpec{0, plan.ranks, false}, 64, 16};
+                                check::RegionSpec{0, plan.ranks, false, {}}, 64, 16};
     } else {
       gather = check::SizeBound{check::PayloadClass::kFullRegion,
                                 make_spec(state, traits.scalar), 64, 16};

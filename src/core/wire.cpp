@@ -1,9 +1,28 @@
 #include "core/wire.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "image/kernels.hpp"
 
 namespace slspvr::core::wire {
+
+namespace {
+
+/// Per-thread staging area for the BSLC strided gather/scatter kernels:
+/// interleaved progressions are gathered contiguous here so the batched
+/// classify/composite kernels can run over them, then scattered back.
+std::vector<img::Pixel>& strided_scratch(std::int64_t count) {
+  thread_local std::vector<img::Pixel> scratch;
+  if (static_cast<std::int64_t>(scratch.size()) < count) {
+    scratch.resize(static_cast<std::size_t>(count));
+  }
+  return scratch;
+}
+
+}  // namespace
 
 void pack_rect_pixels(const img::Image& image, const img::Rect& rect, img::PackBuffer& buf) {
   for (int y = rect.y0; y < rect.y1; ++y) {
@@ -16,23 +35,23 @@ void unpack_composite_rect(img::Image& image, const img::Rect& rect, img::Unpack
                            bool incoming_in_front, Counters& counters) {
   for (int y = rect.y0; y < rect.y1; ++y) {
     const auto row = buf.get_vector<img::Pixel>(static_cast<std::size_t>(rect.width()));
-    for (int i = 0; i < rect.width(); ++i) {
-      img::Pixel& local = image.at(rect.x0 + i, y);
-      const img::Pixel& in = row[static_cast<std::size_t>(i)];
-      local = incoming_in_front ? img::over(in, local) : img::over(local, in);
-    }
+    img::kern::composite_span(&image.at(rect.x0, y), row.data(), rect.width(),
+                              incoming_in_front);
   }
   counters.over_ops += rect.area();
   counters.pixels_received += rect.area();
 }
 
 img::Rle encode_rect(const img::Image& image, const img::Rect& rect, Counters& counters) {
-  const int w = rect.width();
-  img::Rle rle = img::rle_encode_sequence(rect.area(), [&](std::int64_t i) -> const img::Pixel& {
-    const int x = rect.x0 + static_cast<int>(i % w);
-    const int y = rect.y0 + static_cast<int>(i / w);
-    return image.at(x, y);
-  });
+  // Row-at-a-time run classification; RunState carries runs across row
+  // boundaries so the codes equal the single-sequence encoding exactly.
+  img::Rle rle;
+  rle.length = rect.area();
+  img::kern::RunState state;
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    img::kern::rle_classify_span(&image.at(rect.x0, y), rect.width(), state, rle);
+  }
+  if (rle.length > 0) img::kern::rle_classify_flush(state, rle);
   counters.encoded_pixels += rect.area();
   counters.codes_emitted += static_cast<std::int64_t>(rle.codes.size());
   return rle;
@@ -40,9 +59,16 @@ img::Rle encode_rect(const img::Image& image, const img::Rect& rect, Counters& c
 
 img::Rle encode_strided(const img::Image& image, const img::InterleavedRange& range,
                         Counters& counters) {
-  img::Rle rle = img::rle_encode_sequence(range.count, [&](std::int64_t i) -> const img::Pixel& {
-    return image.at_index(range.index(i));
-  });
+  // Gather the interleaved progression contiguous, then classify it with
+  // the same batched kernel the rectangle path uses.
+  std::vector<img::Pixel>& scratch = strided_scratch(range.count);
+  img::kern::gather_strided(image.pixels().data(), range.offset, range.stride, range.count,
+                            scratch.data());
+  img::Rle rle;
+  rle.length = range.count;
+  img::kern::RunState state;
+  img::kern::rle_classify_span(scratch.data(), range.count, state, rle);
+  if (range.count > 0) img::kern::rle_classify_flush(state, rle);
   counters.encoded_pixels += range.count;
   counters.codes_emitted += static_cast<std::int64_t>(rle.codes.size());
   return rle;
@@ -92,13 +118,20 @@ void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle
                         bool incoming_in_front, Counters& counters) {
   const int w = rect.width();
   std::int64_t composited = 0;
-  img::rle_for_each_non_blank(rle, [&](std::int64_t i, const img::Pixel& in) {
-    const int x = rect.x0 + static_cast<int>(i % w);
-    const int y = rect.y0 + static_cast<int>(i / w);
-    img::Pixel& local = image.at(x, y);
-    local = incoming_in_front ? img::over(in, local) : img::over(local, in);
-    ++composited;
-  });
+  // Whole runs at a time, split only where a run crosses a rectangle row.
+  img::rle_for_each_non_blank_run(
+      rle, [&](std::int64_t pos, std::int64_t len, const img::Pixel* pixels) {
+        while (len > 0) {
+          const int x = rect.x0 + static_cast<int>(pos % w);
+          const int y = rect.y0 + static_cast<int>(pos / w);
+          const std::int64_t chunk = std::min<std::int64_t>(len, rect.x1 - x);
+          img::kern::composite_span(&image.at(x, y), pixels, chunk, incoming_in_front);
+          pos += chunk;
+          pixels += chunk;
+          len -= chunk;
+          composited += chunk;
+        }
+      });
   counters.over_ops += composited;
   counters.pixels_received += composited;
 }
@@ -106,11 +139,19 @@ void composite_rle_rect(img::Image& image, const img::Rect& rect, const img::Rle
 void composite_rle_strided(img::Image& image, const img::InterleavedRange& range,
                            const img::Rle& rle, bool incoming_in_front, Counters& counters) {
   std::int64_t composited = 0;
-  img::rle_for_each_non_blank(rle, [&](std::int64_t i, const img::Pixel& in) {
-    img::Pixel& local = image.at_index(range.index(i));
-    local = incoming_in_front ? img::over(in, local) : img::over(local, in);
-    ++composited;
-  });
+  // Per run: gather the local strided pixels contiguous, blend the whole
+  // run with the span kernel, scatter the result back (O(non-blank) work).
+  img::rle_for_each_non_blank_run(
+      rle, [&](std::int64_t pos, std::int64_t len, const img::Pixel* pixels) {
+        std::vector<img::Pixel>& scratch = strided_scratch(len);
+        const std::int64_t offset = range.index(pos);
+        img::kern::gather_strided(image.pixels().data(), offset, range.stride, len,
+                                  scratch.data());
+        img::kern::composite_span(scratch.data(), pixels, len, incoming_in_front);
+        img::kern::scatter_strided(scratch.data(), len, image.pixels().data(), offset,
+                                   range.stride);
+        composited += len;
+      });
   counters.over_ops += composited;
   counters.pixels_received += composited;
 }

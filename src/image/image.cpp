@@ -2,23 +2,24 @@
 
 #include <algorithm>
 
+#include "image/kernels.hpp"
+
 namespace slspvr::img {
 
 Rect bounding_rect_of(const Image& image, const Rect& region, std::int64_t* scanned) {
   const Rect clipped = intersect(region, image.bounds());
+  const int w = clipped.width();
   int min_x = clipped.x1, min_y = clipped.y1;
   int max_x = clipped.x0 - 1, max_y = clipped.y0 - 1;
   std::int64_t examined = 0;
   for (int y = clipped.y0; y < clipped.y1; ++y) {
-    for (int x = clipped.x0; x < clipped.x1; ++x) {
-      ++examined;
-      if (!is_blank(image.at(x, y))) {
-        min_x = std::min(min_x, x);
-        min_y = std::min(min_y, y);
-        max_x = std::max(max_x, x);
-        max_y = std::max(max_y, y);
-      }
-    }
+    examined += w;
+    const kern::RowExtent extent = kern::row_non_blank_extent(&image.at(clipped.x0, y), w);
+    if (extent.first < 0) continue;
+    min_x = std::min<int>(min_x, clipped.x0 + static_cast<int>(extent.first));
+    max_x = std::max<int>(max_x, clipped.x0 + static_cast<int>(extent.last));
+    if (min_y > y) min_y = y;
+    max_y = y;
   }
   if (scanned != nullptr) *scanned += examined;
   if (max_x < min_x || max_y < min_y) return kEmptyRect;
@@ -29,9 +30,7 @@ std::int64_t count_non_blank(const Image& image, const Rect& region) {
   const Rect clipped = intersect(region, image.bounds());
   std::int64_t count = 0;
   for (int y = clipped.y0; y < clipped.y1; ++y) {
-    for (int x = clipped.x0; x < clipped.x1; ++x) {
-      if (!is_blank(image.at(x, y))) ++count;
-    }
+    count += kern::count_non_blank_span(&image.at(clipped.x0, y), clipped.width());
   }
   return count;
 }
@@ -39,16 +38,12 @@ std::int64_t count_non_blank(const Image& image, const Rect& region) {
 std::int64_t composite_region(Image& local, const Image& incoming, const Rect& region,
                               bool incoming_in_front) {
   const Rect clipped = intersect(region, local.bounds());
-  std::int64_t ops = 0;
+  const int w = clipped.width();
   for (int y = clipped.y0; y < clipped.y1; ++y) {
-    for (int x = clipped.x0; x < clipped.x1; ++x) {
-      const Pixel& in = incoming.at(x, y);
-      Pixel& out = local.at(x, y);
-      out = incoming_in_front ? over(in, out) : over(out, in);
-      ++ops;
-    }
+    kern::composite_span(&local.at(clipped.x0, y), &incoming.at(clipped.x0, y), w,
+                         incoming_in_front);
   }
-  return ops;
+  return clipped.area();
 }
 
 }  // namespace slspvr::img

@@ -38,8 +38,13 @@ static_assert(sizeof(Pixel) == 16, "paper assumes 16-byte pixels (Eq. 2)");
 }
 
 /// Convert to an 8-bit gray level (the paper renders 8-bit gray images).
+/// The stored colour is premultiplied, so quantizing its luma directly would
+/// darken every partially transparent pixel (a mid-gray at a=0.5 stores
+/// r=g=b=0.25 and would land at 64 instead of 128). Un-premultiply first;
+/// blank pixels map to 0.
 [[nodiscard]] inline std::uint8_t to_gray8(const Pixel& p) noexcept {
-  const float luma = 0.299f * p.r + 0.587f * p.g + 0.114f * p.b;
+  if (is_blank(p)) return 0;
+  const float luma = (0.299f * p.r + 0.587f * p.g + 0.114f * p.b) / p.a;
   const float clamped = luma < 0.0f ? 0.0f : (luma > 1.0f ? 1.0f : luma);
   return static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
 }

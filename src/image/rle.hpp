@@ -89,6 +89,26 @@ void rle_for_each_non_blank(const Rle& rle, Visit&& visit) {
   }
 }
 
+/// Walk whole non-blank *runs*: calls `visit(start_index, length, pixels)`
+/// once per non-empty foreground run, with `pixels` pointing at `length`
+/// consecutive entries of rle.pixels. The batched form of
+/// rle_for_each_non_blank — receivers hand each run to the span kernels
+/// instead of compositing pixel by pixel.
+template <typename VisitRun>
+void rle_for_each_non_blank_run(const Rle& rle, VisitRun&& visit) {
+  std::int64_t pos = 0;
+  std::size_t pix = 0;
+  bool blank = true;
+  for (const std::uint16_t code : rle.codes) {
+    if (!blank && code > 0) {
+      visit(pos, static_cast<std::int64_t>(code), rle.pixels.data() + pix);
+      pix += code;
+    }
+    pos += code;
+    blank = !blank;
+  }
+}
+
 /// Structural validation: codes sum to length, pixel count matches
 /// foreground codes, alternation invariants hold. Used by tests and by the
 /// receive path as a cheap corruption check.

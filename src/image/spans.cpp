@@ -1,5 +1,7 @@
 #include "image/spans.hpp"
 
+#include "image/kernels.hpp"
+
 namespace slspvr::img {
 
 SpanImage span_encode_rect(const Image& image, const Rect& rect, std::int64_t* scanned) {
@@ -37,13 +39,10 @@ std::int64_t span_composite(Image& image, const SpanImage& spans, bool incoming_
     const int y = spans.rect.y0 + static_cast<int>(row);
     for (std::uint16_t s = 0; s < spans.row_counts[row]; ++s) {
       const Span& span = spans.spans[span_index++];
-      for (std::uint16_t i = 0; i < span.len; ++i) {
-        const int x = spans.rect.x0 + span.x + i;
-        const Pixel& in = spans.pixels[pixel_index++];
-        Pixel& local = image.at(x, y);
-        local = incoming_in_front ? over(in, local) : over(local, in);
-        ++ops;
-      }
+      kern::composite_span(&image.at(spans.rect.x0 + span.x, y),
+                           spans.pixels.data() + pixel_index, span.len, incoming_in_front);
+      pixel_index += span.len;
+      ops += span.len;
     }
   }
   return ops;

@@ -301,15 +301,18 @@ MethodResult run_compositing(const core::Compositor& method,
 }
 
 std::string FaultReport::summary() const {
-  const std::string healed =
-      retry_stats.any()
-          ? "; transport healed " + std::to_string(retry_stats.retransmits) +
-                " message(s), " + std::to_string(retry_stats.healed_bytes) + " byte(s) (" +
-                std::to_string(retry_stats.naks) + " NAK(s))"
-          : "";
+  std::string healed;
+  if (retry_stats.any()) {
+    healed = "; transport healed " + std::to_string(retry_stats.retransmits) +
+             " message(s), " + std::to_string(retry_stats.healed_bytes) + " byte(s) (" +
+             std::to_string(retry_stats.naks) + " NAK(s))";
+  }
   if (!faulted) return "no faults" + healed;
   std::string out = std::to_string(failed_ranks.size()) + " PE(s) failed (rank";
-  for (const int r : failed_ranks) out += " " + std::to_string(r);
+  for (const int r : failed_ranks) {
+    out += ' ';
+    out += std::to_string(r);
+  }
   out += "), " + std::to_string(pixels_lost) + " rendered pixel(s) lost, " +
          std::to_string(retries) + " retry round(s): ";
   if (resumed) {

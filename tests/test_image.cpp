@@ -53,6 +53,16 @@ TEST(Pixel, Gray8Conversion) {
   EXPECT_EQ(img::to_gray8(img::Pixel{2.0f, 2.0f, 2.0f, 1.0f}), 255);  // clamps
 }
 
+TEST(Pixel, Gray8UnpremultipliesBeforeQuantizing) {
+  // Pixels store premultiplied colour: a mid-gray at 50% opacity carries
+  // r=g=b=0.25. Quantizing the raw luma would halve it to 64; the gray level
+  // of the *colour* is 128 regardless of coverage.
+  EXPECT_EQ(img::to_gray8(img::Pixel{0.25f, 0.25f, 0.25f, 0.5f}), 128);
+  EXPECT_EQ(img::to_gray8(img::Pixel{0.5f, 0.5f, 0.5f, 0.5f}), 255);  // white at a=0.5
+  // Opacity alone (colourless shadow) still quantizes to black.
+  EXPECT_EQ(img::to_gray8(img::Pixel{0.0f, 0.0f, 0.0f, 0.5f}), 0);
+}
+
 TEST(Rect, EmptyAndArea) {
   EXPECT_TRUE(img::kEmptyRect.empty());
   EXPECT_EQ(img::kEmptyRect.area(), 0);
