@@ -28,7 +28,7 @@ class WaitGuard {
 void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   check_rank(dest, "send");
   const int real_dest = real(dest);
-  if (ctx_->retry.enabled()) {
+  if (ctx_->retry.enabled() && ctx_->transport->shared_memory()) {
     // Reliable path: the trace records the *logical* payload size (the cost
     // model and schedule conformance never see framing overhead), then the
     // payload is framed and a pristine copy is parked in the in-flight
@@ -47,7 +47,7 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
         ctx_->injector != nullptr &&
         ctx_->injector->on_send(rank_, real_dest, tag, ctx_->trace.stage(rank_), msg.payload);
     if (dropped) return;  // receiver heals from the in-flight copy
-    ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
+    ctx_->transport->submit(real_dest, std::move(msg));
     return;
   }
   Message msg;
@@ -66,7 +66,7 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   }
   msg.seq = stamp.seq;
   msg.clock = std::move(stamp.clock);
-  ctx_->mailboxes[static_cast<std::size_t>(real_dest)].deposit(std::move(msg));
+  ctx_->transport->submit(real_dest, std::move(msg));
 }
 
 std::vector<std::byte> Comm::recv(int source, int tag) {
@@ -76,8 +76,12 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource) check_rank(source, "recv");
   const int match_source = source == kAnySource ? kAnySource : real(source);
-  Message msg = ctx_->retry.enabled() ? recv_reliable(match_source, tag)
-                                      : recv_legacy(match_source, tag);
+  // In-flight NAK healing needs the sender's buffer in this address space;
+  // over sockets the SLP1 framing + heartbeats of the transport itself
+  // provide integrity and liveness, so the legacy matching path applies.
+  const bool reliable = ctx_->retry.enabled() && ctx_->transport->shared_memory();
+  Message msg = reliable ? recv_reliable(match_source, tag)
+                         : recv_legacy(match_source, tag);
   // Report the sender in (sub)communicator coordinates when possible.
   const int v = virt(msg.source);
   if (v >= 0) msg.source = v;
@@ -126,8 +130,17 @@ Message Comm::recv_reliable(int match_source, int tag) {
     if (naks >= ctx_->retry.max_attempts) return true;
     return first_nak && steady::now() - *first_nak >= ctx_->retry.deadline;
   };
+  // Watchdog deadline (recv_timeout): the peer may be healthy and merely
+  // late, so this stays the RecvTimeoutError of the legacy path.
   const auto give_up = [&]() -> RecvTimeoutError {
     return RecvTimeoutError(rank_, match_source, tag, ctx_->waiting_summary());
+  };
+  // Healing gave out (budget exhausted or the in-flight window evicted the
+  // lost message): the channel is unrecoverable — surface the typed error
+  // and count the abandonment so FaultReport::retry_stats shows it.
+  const auto abandon = [&](const std::string& detail) -> RetryExhaustedError {
+    ctx_->trace.record_abandoned(rank_);
+    return RetryExhaustedError(rank_, match_source, tag, naks, detail);
   };
 
   // Delivery bookkeeping shared by all paths: advance the channel's expected
@@ -166,7 +179,7 @@ Message Comm::recv_reliable(int match_source, int tag) {
     auto& queue = stash[{src, tag}];
     queue.insert(std::upper_bound(queue.begin(), queue.end(), ahead,
                                   [](const Message& a, const Message& b) {
-                                    return a.seq < b.seq;
+                                    return seq_before(a.seq, b.seq);
                                   }),
                  std::move(ahead));
     return std::nullopt;
@@ -201,15 +214,24 @@ Message Comm::recv_reliable(int match_source, int tag) {
       // buffer it was dropped in transit — NAK and heal it. An absent entry
       // means the sender simply has not sent yet: keep waiting (a genuinely
       // dead sender unblocks us via mailbox poisoning → PeerFailedError).
-      if (match_source != kAnySource &&
-          ctx_->inflight.fetch(match_source, rank_, tag, next_seq[{match_source, tag}])) {
-        note_nak();
-        if (auto healed = heal(match_source, next_seq[{match_source, tag}])) {
-          return *std::move(healed);
+      if (match_source != kAnySource) {
+        const std::uint64_t expect = next_seq[{match_source, tag}];
+        if (ctx_->inflight.fetch(match_source, rank_, tag, expect)) {
+          note_nak();
+          if (auto healed = heal(match_source, expect)) {
+            return *std::move(healed);
+          }
+        } else if (const auto high = ctx_->inflight.latest(match_source, rank_, tag);
+                   high && !seq_before(*high, expect)) {
+          // The sender already sent seq >= expect, yet the in-flight window
+          // no longer holds the expected message: it was evicted and can
+          // never be retransmitted. Waiting longer cannot help — abandon.
+          throw abandon("message seq " + std::to_string(expect) +
+                        " evicted from the in-flight window");
         }
       }
       if (ctx_->recv_timeout.count() > 0 && waited >= ctx_->recv_timeout) throw give_up();
-      if (healing_exhausted()) throw give_up();
+      if (healing_exhausted()) throw abandon("healing budget exhausted");
       slice = std::min(slice * 2, kMaxSlice);  // capped exponential backoff
       continue;
     }
@@ -228,11 +250,12 @@ Message Comm::recv_reliable(int match_source, int tag) {
           healed && (match_source == kAnySource || src == match_source)) {
         return *std::move(healed);
       }
-      if (healing_exhausted()) throw give_up();
+      if (healing_exhausted()) throw abandon("healing budget exhausted");
       continue;
     }
     const std::uint64_t expect = next_seq[{src, tag}];
-    if (parsed.seq < expect) continue;  // stale duplicate of a healed message
+    // Serial-number comparison: correct across the 2^64 seq wraparound.
+    if (seq_before(parsed.seq, expect)) continue;  // stale duplicate of a healed message
     if (parsed.seq == expect) {
       return deliver(src, parsed.seq, std::move(parsed.payload), msg.clock);
     }
@@ -247,7 +270,7 @@ Message Comm::recv_reliable(int match_source, int tag) {
     auto& queue = stash[{src, tag}];
     queue.insert(std::upper_bound(queue.begin(), queue.end(), ahead,
                                   [](const Message& a, const Message& b) {
-                                    return a.seq < b.seq;
+                                    return seq_before(a.seq, b.seq);
                                   }),
                  std::move(ahead));
     note_nak();
@@ -255,7 +278,7 @@ Message Comm::recv_reliable(int match_source, int tag) {
         healed && (match_source == kAnySource || src == match_source)) {
       return *std::move(healed);
     }
-    if (healing_exhausted()) throw give_up();
+    if (healing_exhausted()) throw abandon("healing budget exhausted");
   }
 }
 
@@ -265,7 +288,7 @@ std::vector<std::byte> Comm::sendrecv(int peer, int tag, std::span<const std::by
 }
 
 void Comm::barrier() {
-  if (group_.empty()) {
+  if (group_.empty() && ctx_->transport->shared_memory()) {
     // Vector-clock join: publish this rank's clock, synchronise, fold in
     // everyone else's. The second arrive keeps a slow reader safe from the
     // next barrier round overwriting the slots it is still reading.
@@ -278,8 +301,12 @@ void Comm::barrier() {
     return;
   }
   // Dissemination barrier over point-to-point messages: after round i every
-  // rank has (transitively) heard from 2^(i+1) predecessors.
+  // rank has (transitively) heard from 2^(i+1) predecessors. Subgroups
+  // always take this path; so does the world barrier when ranks are real
+  // processes (no shared CyclicBarrier to arrive at) — clocks still join
+  // transitively through the barrier messages' stamps.
   const int n = size();
+  if (n == 1) return;
   for (int k = 1; k < n; k <<= 1) {
     send((my_virtual_ + k) % n, kBarrierTag, {});
     (void)recv(((my_virtual_ - k) % n + n) % n, kBarrierTag);

@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -29,6 +31,7 @@
 #include "mp/mailbox.hpp"
 #include "mp/message.hpp"
 #include "mp/trace.hpp"
+#include "mp/transport.hpp"
 
 namespace slspvr::mp {
 
@@ -52,6 +55,7 @@ class InflightStore {
   void put(int source, int dest, int tag, std::uint64_t seq, Entry entry) {
     std::lock_guard lock(mutex_);
     entries_[{source, dest, tag, seq}] = std::move(entry);
+    latest_[{source, dest, tag}] = seq;
     auto& window = windows_[{source, dest}];
     window.emplace_back(tag, seq);
     while (window.size() > kWindow) {
@@ -69,10 +73,22 @@ class InflightStore {
     return it->second;
   }
 
+  /// Newest sequence number ever put on (source, dest, tag) — survives
+  /// window eviction. Lets a receiver distinguish "sender has not sent yet"
+  /// (keep waiting) from "the lost message was evicted and can never be
+  /// healed" (abandon the channel with RetryExhaustedError).
+  [[nodiscard]] std::optional<std::uint64_t> latest(int source, int dest, int tag) const {
+    std::lock_guard lock(mutex_);
+    const auto it = latest_.find({source, dest, tag});
+    if (it == latest_.end()) return std::nullopt;
+    return it->second;
+  }
+
   void clear() {
     std::lock_guard lock(mutex_);
     entries_.clear();
     windows_.clear();
+    latest_.clear();
   }
 
  private:
@@ -80,6 +96,7 @@ class InflightStore {
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
   std::map<std::pair<int, int>, std::deque<std::pair<int, std::uint64_t>>> windows_;
+  std::map<std::tuple<int, int, int>, std::uint64_t> latest_;  // per-channel high-water seq
 };
 
 /// Watchdog bookkeeping: what a rank is currently blocked on. Only written
@@ -97,7 +114,8 @@ struct CommContext {
         barrier_clocks(static_cast<std::size_t>(ranks)),
         wait_slots(static_cast<std::size_t>(ranks)),
         recv_next_seq(static_cast<std::size_t>(ranks)),
-        recv_stash(static_cast<std::size_t>(ranks)) {}
+        recv_stash(static_cast<std::size_t>(ranks)),
+        transport(std::make_unique<MailboxTransport>(&mailboxes)) {}
 
   std::vector<Mailbox> mailboxes;
   CyclicBarrier barrier;
@@ -123,6 +141,15 @@ struct CommContext {
   /// Per-receiver out-of-order stash: unframed messages that arrived ahead
   /// of a healed gap, kept sorted by seq.
   std::vector<std::map<std::pair<int, int>, std::deque<Message>>> recv_stash;
+
+  /// Delivery substrate: MailboxTransport (threads-as-PEs, the default) or a
+  /// SocketTransport (real worker processes). Swapped before any rank runs.
+  std::unique_ptr<Transport> transport;
+  /// Observer invoked from Comm::set_stage with (rank, stage) — after the
+  /// fault injector's kill point. The socket backend uses it to piggyback
+  /// the current compositing stage on heartbeats and to arm real crash
+  /// points (raise(SIGKILL) at stage k) for the chaos tests.
+  std::function<void(int, int)> stage_observer;
 
   /// Deadlock-free abort: poison every mailbox and the barrier so ranks
   /// blocked (now or later) on the failed rank wake with PeerFailedError.
@@ -172,6 +199,7 @@ class Comm {
   void set_stage(int stage) {
     ctx_->trace.set_stage(rank_, stage);
     if (ctx_->injector != nullptr) ctx_->injector->on_stage(rank_, stage);
+    if (ctx_->stage_observer) ctx_->stage_observer(rank_, stage);
   }
 
   /// Blocking (buffered) send of raw bytes.

@@ -46,6 +46,16 @@ inline constexpr std::size_t kEnvelopeHeaderBytes = 20;
 [[nodiscard]] std::vector<std::byte> pack_envelope(std::uint64_t seq,
                                                    std::span<const std::byte> payload);
 
+/// Serial-number ordering (RFC 1982 style) on the per-channel sequence
+/// space: `a` precedes `b` iff the wrapped distance from `a` to `b` is
+/// positive. Identical to `a < b` everywhere except across the 2^64
+/// wraparound, where plain comparison would misread seq 0 as *older* than
+/// seq 2^64-1 and re-deliver or stash-sort the wrapped channel wrongly.
+/// Every receiver-side cursor comparison must go through this.
+[[nodiscard]] constexpr bool seq_before(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+
 struct ParsedEnvelope {
   std::uint64_t seq = 0;
   std::vector<std::byte> payload;
@@ -74,13 +84,22 @@ struct RetryStats {
   std::uint64_t naks = 0;         ///< loss/corruption detections signalled
   std::uint64_t retransmits = 0;  ///< messages re-delivered from in-flight
   std::uint64_t healed_bytes = 0; ///< payload bytes of those retransmits
+  /// Channels given up on: the healing budget (max_attempts / deadline) ran
+  /// out, or the in-flight window had already evicted the lost message. The
+  /// receive surfaced a typed RetryExhaustedError instead of hanging; each
+  /// abandonment counts once. Socket-backend workers count a connect whose
+  /// backoff deadline expired here too.
+  std::uint64_t abandoned = 0;
 
-  [[nodiscard]] bool any() const noexcept { return naks != 0 || retransmits != 0; }
+  [[nodiscard]] bool any() const noexcept {
+    return naks != 0 || retransmits != 0 || abandoned != 0;
+  }
 
   RetryStats& operator+=(const RetryStats& o) noexcept {
     naks += o.naks;
     retransmits += o.retransmits;
     healed_bytes += o.healed_bytes;
+    abandoned += o.abandoned;
     return *this;
   }
 };

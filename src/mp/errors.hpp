@@ -46,6 +46,32 @@ class PeerFailedError : public FaultError {
   int failed_stage;
 };
 
+/// Raised when the reliable transport gives up on a channel: the healing
+/// budget (RetryPolicy max_attempts / deadline) is exhausted, the in-flight
+/// window no longer holds the lost message, or a socket connect's bounded
+/// backoff ran past its deadline. The sender/receiver surfaces this typed
+/// error instead of hanging; FaultReport::retry_stats counts the
+/// abandonment.
+class RetryExhaustedError : public FaultError {
+ public:
+  RetryExhaustedError(int blocked_rank, int peer, int channel_tag, int nak_count,
+                      const std::string& detail)
+      : FaultError("retry exhausted: rank " + std::to_string(blocked_rank) +
+                   " abandoned channel (peer=" + std::to_string(peer) +
+                   ", tag=" + std::to_string(channel_tag) + ") after " +
+                   std::to_string(nak_count) + " NAK(s)" +
+                   (detail.empty() ? "" : ": " + detail)),
+        rank(blocked_rank),
+        source(peer),
+        tag(channel_tag),
+        naks(nak_count) {}
+
+  int rank;
+  int source;
+  int tag;
+  int naks;
+};
+
 /// Raised when a blocking receive exceeds the configured deadline. The
 /// message includes the watchdog's wait-for set: every rank still blocked
 /// and the (source, tag) it is waiting on.

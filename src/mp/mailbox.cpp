@@ -7,9 +7,29 @@
 
 namespace slspvr::mp {
 
-void Mailbox::deposit(Message msg) {
+void Mailbox::set_capacity(std::size_t capacity) {
   {
     const std::lock_guard lock(mutex_);
+    capacity_ = capacity;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::capacity() const {
+  const std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void Mailbox::deposit(Message msg) {
+  {
+    std::unique_lock lock(mutex_);
+    // Backpressure: block while the bounded queue is full. Poisoning lifts
+    // the bound — the run is aborting and the queue will never drain, so a
+    // blocked depositor must wake (the stale message is harmless: every
+    // future match throws PeerFailedError before looking at it).
+    cv_.wait(lock, [&] {
+      return capacity_ == 0 || queue_.size() < capacity_ || poisoned_;
+    });
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -32,7 +52,10 @@ Message Mailbox::match(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
     if (poisoned_) throw_poisoned();
-    if (auto msg = try_pop(source, tag)) return std::move(*msg);
+    if (auto msg = try_pop(source, tag)) {
+      notify_space(lock);
+      return std::move(*msg);
+    }
     cv_.wait(lock);
   }
 }
@@ -43,14 +66,29 @@ std::optional<Message> Mailbox::match_for(int source, int tag,
   std::unique_lock lock(mutex_);
   for (;;) {
     if (poisoned_) throw_poisoned();
-    if (auto msg = try_pop(source, tag)) return msg;
+    if (auto msg = try_pop(source, tag)) {
+      notify_space(lock);
+      return msg;
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // Re-check once: a deposit and the deadline can race.
       if (poisoned_) throw_poisoned();
-      if (auto msg = try_pop(source, tag)) return msg;
+      if (auto msg = try_pop(source, tag)) {
+        notify_space(lock);
+        return msg;
+      }
       return std::nullopt;
     }
   }
+}
+
+void Mailbox::notify_space(std::unique_lock<std::mutex>& lock) {
+  // Only bounded mailboxes can have depositors blocked on space; keep the
+  // unbounded fast path free of the extra wakeup.
+  if (capacity_ == 0) return;
+  lock.unlock();
+  cv_.notify_all();
+  lock.lock();
 }
 
 void Mailbox::poison(int failed_rank, int failed_stage, const std::string& reason) {

@@ -1,4 +1,5 @@
-// Per-rank mailbox: an unbounded MPSC queue with MPI-style matching.
+// Per-rank mailbox: an MPSC queue with MPI-style matching and an optional
+// capacity bound (deposit blocks when full, exerting backpressure).
 #pragma once
 
 #include <chrono>
@@ -14,10 +15,15 @@ namespace slspvr::mp {
 
 /// Thread-safe mailbox holding messages destined for one rank.
 ///
-/// `deposit` never blocks (eager/buffered send semantics, like MPI eager
-/// protocol for the message sizes this system uses). `match` blocks until a
-/// message matching (source, tag) is available and removes the *first* such
-/// message, preserving per-(source, tag) FIFO order as MPI requires.
+/// By default `deposit` never blocks (eager/buffered send semantics, like
+/// MPI eager protocol for the message sizes this system uses). With a
+/// finite capacity configured, `deposit` blocks while the queue is full, so
+/// a slow receiver exerts backpressure on its senders instead of growing
+/// memory without bound — the socket backend's reader thread relies on this
+/// to push backpressure down into the kernel socket buffers. `match` blocks
+/// until a message matching (source, tag) is available and removes the
+/// *first* such message, preserving per-(source, tag) FIFO order as MPI
+/// requires.
 ///
 /// A mailbox can be *poisoned* when some rank fails: every blocked and
 /// future `match` throws PeerFailedError instead of waiting on a partner
@@ -28,7 +34,16 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueue a message. Wakes any waiting receiver.
+  /// Bound the queue: a deposit into a full mailbox blocks until a match
+  /// frees a slot (or the mailbox is poisoned, which lifts the bound so an
+  /// aborting run can never wedge a depositor). 0 restores the default
+  /// unbounded behaviour. Not thread-safe against concurrent deposits —
+  /// configure before the run starts.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Enqueue a message. Wakes any waiting receiver. Blocks while a finite
+  /// capacity is exhausted.
   void deposit(Message msg);
 
   /// Block until a message matching (source, tag) arrives, then return it.
@@ -61,10 +76,14 @@ class Mailbox {
   /// Pops a matching message if present; requires the lock to be held.
   [[nodiscard]] std::optional<Message> try_pop(int source, int tag);
   [[noreturn]] void throw_poisoned() const;  // requires the lock to be held
+  /// Wake depositors blocked on a full bounded queue after a pop freed a
+  /// slot (no-op when unbounded). Briefly drops the held lock to notify.
+  void notify_space(std::unique_lock<std::mutex>& lock);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
   bool poisoned_ = false;
   int failed_rank_ = -1;
   int failed_stage_ = -1;

@@ -1,0 +1,172 @@
+#include "mp/socket_transport.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <utility>
+
+namespace slspvr::mp {
+
+SocketTransport::SocketTransport(CommContext* ctx, int rank, Fd link, Options opts)
+    : ctx_(ctx), rank_(rank), link_(std::move(link)), opts_(std::move(opts)) {}
+
+SocketTransport::~SocketTransport() { stop_threads(); }
+
+void SocketTransport::start() {
+  reader_ = std::thread([this] { reader_loop(); });
+  if (opts_.heartbeat_interval.count() > 0) {
+    heart_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+void SocketTransport::write_frame(const Frame& frame) {
+  const std::vector<std::byte> wire = pack_frame(frame);
+  const std::lock_guard lock(write_mutex_);
+  send_all(link_.get(), wire);
+}
+
+void SocketTransport::submit(int dest, Message msg) {
+  Frame frame;
+  frame.kind = FrameKind::kData;
+  frame.source = msg.source;
+  frame.dest = dest;
+  frame.tag = msg.tag;
+  frame.seq = msg.seq;
+  frame.clock = std::move(msg.clock);
+  frame.payload = std::move(msg.payload);
+  write_frame(frame);
+}
+
+void SocketTransport::send_report(int kind, std::span<const std::byte> payload) {
+  Frame frame;
+  frame.kind = FrameKind::kReport;
+  frame.source = rank_;
+  frame.tag = kind;
+  frame.payload.assign(payload.begin(), payload.end());
+  write_frame(frame);
+}
+
+void SocketTransport::announce_failure(int stage, const std::string& reason) {
+  Frame frame;
+  frame.kind = FrameKind::kFailed;
+  frame.source = rank_;
+  frame.tag = stage;
+  frame.payload.resize(reason.size());
+  std::memcpy(frame.payload.data(), reason.data(), reason.size());
+  write_frame(frame);
+}
+
+void SocketTransport::reader_loop() {
+  // Promote a dead or damaged supervisor link to a rank failure: poison the
+  // context so the compositing thread (blocked in a recv or barrier, or
+  // about to be) aborts with PeerFailedError instead of waiting forever.
+  const auto link_lost = [&](const std::string& reason) {
+    {
+      const std::lock_guard lock(state_mutex_);
+      shutdown_received_ = true;  // nobody will send kShutdown anymore
+    }
+    state_cv_.notify_all();
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      ctx_->fail(/*failed_rank=*/-1, stage_.load(std::memory_order_relaxed),
+                 "supervisor link lost: " + reason);
+    }
+  };
+
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(link_.get());
+    } catch (const TransportError& e) {
+      link_lost(e.what());
+      return;
+    }
+    if (!frame) {
+      link_lost("connection closed");
+      return;
+    }
+    switch (frame->kind) {
+      case FrameKind::kData: {
+        Message msg;
+        msg.source = frame->source;
+        msg.tag = frame->tag;
+        msg.seq = frame->seq;
+        msg.clock = std::move(frame->clock);
+        msg.payload = std::move(frame->payload);
+        // Deposit into the *local* rank's mailbox regardless of frame.dest:
+        // the supervisor only routes frames addressed to us. A bounded
+        // mailbox blocks here when full — backpressure reaches the kernel
+        // socket buffers and from there the sending worker.
+        ctx_->mailboxes[static_cast<std::size_t>(rank_)].deposit(std::move(msg));
+        break;
+      }
+      case FrameKind::kPeerFailed: {
+        const std::string reason(reinterpret_cast<const char*>(frame->payload.data()),
+                                 frame->payload.size());
+        ctx_->fail(frame->source, frame->tag, reason);
+        break;
+      }
+      case FrameKind::kShutdown: {
+        {
+          const std::lock_guard lock(state_mutex_);
+          shutdown_received_ = true;
+        }
+        state_cv_.notify_all();
+        return;
+      }
+      default:
+        // kHello/kHeartbeat/kReport/kGoodbye never flow supervisor->worker;
+        // treat them as stream damage rather than guessing.
+        link_lost("unexpected frame kind from supervisor");
+        return;
+    }
+  }
+}
+
+void SocketTransport::heartbeat_loop() {
+  std::unique_lock lock(state_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    state_cv_.wait_for(lock, opts_.heartbeat_interval);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    Frame beat;
+    beat.kind = FrameKind::kHeartbeat;
+    beat.source = rank_;
+    beat.tag = stage_.load(std::memory_order_relaxed);
+    try {
+      write_frame(beat);
+    } catch (const TransportError&) {
+      // The reader thread notices the dead link and poisons the context;
+      // the heartbeat just stops.
+      return;
+    }
+    lock.lock();
+  }
+}
+
+void SocketTransport::goodbye_and_wait(std::chrono::milliseconds drain) {
+  try {
+    Frame bye;
+    bye.kind = FrameKind::kGoodbye;
+    bye.source = rank_;
+    write_frame(bye);
+  } catch (const TransportError&) {
+    // Supervisor already gone; nothing to drain.
+  }
+  {
+    std::unique_lock lock(state_mutex_);
+    state_cv_.wait_for(lock, drain, [&] { return shutdown_received_; });
+  }
+  stop_threads();
+}
+
+void SocketTransport::stop_threads() {
+  stopping_.store(true, std::memory_order_relaxed);
+  state_cv_.notify_all();
+  // Wake a reader blocked in read(): shut the receive side down. The link
+  // stays open for any last writes until destruction.
+  if (link_.valid()) (void)::shutdown(link_.get(), SHUT_RD);
+  if (reader_.joinable()) reader_.join();
+  if (heart_.joinable()) heart_.join();
+}
+
+}  // namespace slspvr::mp

@@ -1,0 +1,103 @@
+// Worker-process side of the socket transport backend.
+//
+// A SocketTransport lives inside one worker process and owns that worker's
+// single stream link to the supervisor (hub-and-spoke: rank-to-rank traffic
+// is routed by the parent, so P workers need P connections, not P²). Three
+// concerns run on it:
+//
+//  * submit() — the Transport interface: pack the stamped Message as a
+//    kData frame (SLP1-enveloped, CRC32C-checked) and write it out under
+//    the link's write lock;
+//  * a reader thread — unframes inbound traffic: kData frames become
+//    mailbox deposits for the local rank (the bounded mailbox pushes
+//    backpressure down into the kernel socket buffers), kPeerFailed frames
+//    poison the context so the compositing thread aborts with the same
+//    PeerFailedError the in-process runtime raises, and a supervisor EOF or
+//    reset is itself promoted to a failure — a silently dead parent can
+//    never wedge the worker;
+//  * a heartbeat thread — every heartbeat_interval writes a kHeartbeat
+//    frame carrying the rank's current compositing stage, giving the
+//    supervisor per-link liveness (a SIGSTOPped or wedged worker goes
+//    silent and is promoted to failed after the configured timeout).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "mp/communicator.hpp"
+#include "mp/socket.hpp"
+#include "mp/transport.hpp"
+
+namespace slspvr::mp {
+
+class SocketTransport final : public Transport {
+ public:
+  struct Options {
+    std::string backend = "unix";  ///< reported by name(): "unix" or "tcp"
+    std::chrono::milliseconds heartbeat_interval{25};
+  };
+
+  /// `ctx` must outlive this transport (it is installed into
+  /// ctx->transport); `link` is the established connection to the
+  /// supervisor (kHello already sent by the caller). Call start() after
+  /// installation to launch the reader and heartbeat threads.
+  SocketTransport(CommContext* ctx, int rank, Fd link, Options opts);
+  ~SocketTransport() override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return opts_.backend; }
+  [[nodiscard]] bool shared_memory() const noexcept override { return false; }
+  void submit(int dest, Message msg) override;
+
+  void start();
+
+  /// Record the rank's current compositing stage; the next heartbeat
+  /// carries it (wired to CommContext::stage_observer).
+  void note_stage(int stage) noexcept { stage_.store(stage, std::memory_order_relaxed); }
+
+  /// Ship a kReport frame (serialized results, snapshots, failure info);
+  /// `kind` is the report discriminator echoed in the frame tag.
+  void send_report(int kind, std::span<const std::byte> payload);
+
+  /// Announce a *primary* failure of this rank (its own exception, not a
+  /// peer's): the supervisor records it and broadcasts kPeerFailed so the
+  /// survivors abort, while this worker stays connected to ship its failure
+  /// report and snapshots before saying goodbye. Never used for secondary
+  /// PeerFailedError aborts — those are consequences of an already-known
+  /// failure.
+  void announce_failure(int stage, const std::string& reason);
+
+  /// Finish the session: send kGoodbye, then wait (bounded by `drain`) for
+  /// the supervisor's kShutdown so the parent never writes into a closed
+  /// socket, then stop both threads. Safe to call once; the destructor
+  /// force-stops if the caller never did.
+  void goodbye_and_wait(std::chrono::milliseconds drain);
+
+ private:
+  void write_frame(const Frame& frame);
+  void reader_loop();
+  void heartbeat_loop();
+  void stop_threads();
+
+  CommContext* ctx_;
+  int rank_;
+  Fd link_;
+  Options opts_;
+
+  std::mutex write_mutex_;  ///< serializes submit/heartbeat/report writes
+  std::atomic<int> stage_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool shutdown_received_ = false;  ///< supervisor sent kShutdown (or link died)
+
+  std::thread reader_;
+  std::thread heart_;
+};
+
+}  // namespace slspvr::mp

@@ -1,0 +1,97 @@
+// Supervisor: the parent process of a multi-process (socket backend) run.
+//
+// The supervisor owns the hub of the hub-and-spoke topology. One call to
+// Supervisor::run
+//
+//  1. listens at the configured endpoint (Unix socket or TCP loopback, with
+//     ephemeral-port resolution),
+//  2. forks one worker process per rank — workers run the caller-provided
+//     body, which connects back with bounded backoff and executes the
+//     compositing SPMD function over a SocketTransport,
+//  3. routes kData frames rank-to-rank in a single nonblocking poll loop
+//     (per-link incremental FrameReaders; outbound queues resume partial
+//     writes), preserving per-channel FIFO order,
+//  4. watches liveness: a worker whose heartbeats go silent past
+//     heartbeat_timeout, whose connection resets or EOFs before its
+//     kGoodbye, or that a SIGKILL tears down, is promoted to a *real*
+//     failure — the supervisor broadcasts kPeerFailed so every survivor
+//     aborts with the same PeerFailedError the in-process runtime raises
+//     (feeding the existing snapshot/repair/degrade machinery), and
+//  5. reaps children with waitpid, mapping exit status onto the failure
+//     record (killed-by-signal provenance included), SIGKILLing stragglers
+//     past the drain deadline so the parent always terminates.
+//
+// The supervisor never interprets report payloads: kReport frames are
+// collected verbatim for the pvr layer, which deserializes results,
+// snapshots and failure details and finishes the frame from the survivors.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/socket.hpp"
+
+namespace slspvr::mp {
+
+/// Worker exit codes (the body's return value; the child exits with it).
+inline constexpr int kWorkerExitClean = 0;
+/// Aborted after another rank's failure (PeerFailedError): a secondary
+/// casualty, not a new fault.
+inline constexpr int kWorkerExitAborted = 3;
+/// Could not reach the supervisor (connect backoff exhausted).
+inline constexpr int kWorkerExitConnect = 4;
+/// Any other error.
+inline constexpr int kWorkerExitError = 5;
+
+struct SupervisorOptions {
+  Endpoint endpoint;  ///< where to listen; tcp port 0 = ephemeral
+  int procs = 0;
+  std::chrono::milliseconds heartbeat_timeout{1000};
+  std::chrono::milliseconds accept_deadline{10000};
+  /// After all ranks finished or failed: how long to wait for goodbyes to
+  /// drain and children to exit before SIGKILLing stragglers.
+  std::chrono::milliseconds drain_deadline{5000};
+};
+
+/// One real failure the supervisor observed, with transport provenance
+/// ("killed by signal 9", "heartbeat timeout: silent for 1042 ms",
+/// "connection reset by peer", ...).
+struct WorkerFailure {
+  int rank = -1;
+  int stage = 0;  ///< last stage heard via heartbeat
+  std::string what;
+};
+
+/// A kReport frame shipped by a worker, verbatim (kind = the frame tag).
+struct WorkerReport {
+  int rank = -1;
+  int kind = 0;
+  std::vector<std::byte> payload;
+};
+
+struct SupervisorOutcome {
+  std::vector<WorkerFailure> failures;  ///< real failures, in detection order
+  std::vector<WorkerReport> reports;    ///< all report frames, arrival order
+  Endpoint endpoint;                    ///< resolved listen address
+  double wall_ms = 0.0;                 ///< fork-to-drain wall clock
+  [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
+};
+
+class Supervisor {
+ public:
+  /// Runs in the forked child with its rank and the (resolved) endpoint to
+  /// connect back to; returns the worker's exit code. Never returns to the
+  /// caller's code path — the child exits with the returned code.
+  using WorkerBody = std::function<int(int rank, const Endpoint& endpoint)>;
+
+  /// Fork `opts.procs` workers and supervise them to completion. Throws
+  /// TransportError only for supervisor-local setup failures (cannot
+  /// listen, fork failed); per-worker trouble is reported in the outcome.
+  [[nodiscard]] static SupervisorOutcome run(const SupervisorOptions& opts,
+                                             const WorkerBody& body);
+};
+
+}  // namespace slspvr::mp

@@ -53,7 +53,7 @@ class TrafficTrace {
         clock_(static_cast<std::size_t>(ranks),
                std::vector<std::uint64_t>(static_cast<std::size_t>(ranks), 0)),
         next_index_(ranks, 0), next_seq_(ranks), naks_(ranks, 0),
-        retry_messages_(ranks, 0), retry_bytes_(ranks, 0) {}
+        retry_messages_(ranks, 0), retry_bytes_(ranks, 0), abandoned_(ranks, 0) {}
 
   /// Set the current stage marker for `rank`; subsequent records carry it.
   void set_stage(int rank, int stage) {
@@ -151,6 +151,10 @@ class TrafficTrace {
     ++retry_messages_[static_cast<std::size_t>(rank)];
     retry_bytes_[static_cast<std::size_t>(rank)] += bytes;
   }
+  /// A channel this rank gave up on (retry budget exhausted, in-flight
+  /// window evicted the lost message, or a socket connect ran out its
+  /// backoff deadline). Pairs with the RetryExhaustedError the caller sees.
+  void record_abandoned(int rank) { ++abandoned_[static_cast<std::size_t>(rank)]; }
   [[nodiscard]] std::uint64_t naks(int rank) const {
     return naks_[static_cast<std::size_t>(rank)];
   }
@@ -160,6 +164,9 @@ class TrafficTrace {
   [[nodiscard]] std::uint64_t retry_bytes(int rank) const {
     return retry_bytes_[static_cast<std::size_t>(rank)];
   }
+  [[nodiscard]] std::uint64_t abandoned(int rank) const {
+    return abandoned_[static_cast<std::size_t>(rank)];
+  }
 
   /// Aggregate healing summary across all ranks.
   [[nodiscard]] RetryStats retry_stats() const {
@@ -168,8 +175,29 @@ class TrafficTrace {
       total.naks += naks(r);
       total.retransmits += retry_messages(r);
       total.healed_bytes += retry_bytes(r);
+      total.abandoned += abandoned(r);
     }
     return total;
+  }
+
+  /// Supervisor-side rebuild: graft one worker process's shipped trace slot
+  /// into this (fresh) trace, so a multi-process run yields the same
+  /// per-rank accounting as an in-process one. Overwrites `rank`'s slot;
+  /// call only after the run (no concurrent writers).
+  void import_rank(int rank, std::vector<MessageRecord> sent,
+                   std::vector<MessageRecord> received,
+                   std::vector<std::uint64_t> final_clock, std::uint64_t naks,
+                   std::uint64_t retries, std::uint64_t retried_bytes,
+                   std::uint64_t abandoned_channels) {
+    const auto r = static_cast<std::size_t>(rank);
+    sent_[r] = std::move(sent);
+    received_[r] = std::move(received);
+    clock_[r] = std::move(final_clock);
+    clock_[r].resize(sent_.size(), 0);
+    naks_[r] = naks;
+    retry_messages_[r] = retries;
+    retry_bytes_[r] = retried_bytes;
+    abandoned_[r] = abandoned_channels;
   }
 
   void clear() {
@@ -182,6 +210,7 @@ class TrafficTrace {
     std::fill(naks_.begin(), naks_.end(), 0);
     std::fill(retry_messages_.begin(), retry_messages_.end(), 0);
     std::fill(retry_bytes_.begin(), retry_bytes_.end(), 0);
+    std::fill(abandoned_.begin(), abandoned_.end(), 0);
   }
 
  private:
@@ -201,6 +230,7 @@ class TrafficTrace {
   std::vector<std::uint64_t> naks_;
   std::vector<std::uint64_t> retry_messages_;
   std::vector<std::uint64_t> retry_bytes_;
+  std::vector<std::uint64_t> abandoned_;
 };
 
 }  // namespace slspvr::mp

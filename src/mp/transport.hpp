@@ -1,0 +1,72 @@
+// Transport: the delivery substrate beneath mp::Comm.
+//
+// Everything above this interface — exchange plans, payload codecs, the
+// SLP1 envelope retry machinery, vector clocks — is transport-agnostic: a
+// Comm stamps a Message (source, tag, seq, clock, payload) and hands it to
+// the context's Transport, and receives by matching its own rank's Mailbox.
+// Two backends implement it:
+//
+//  * MailboxTransport — the original in-process substrate ("PEs" are
+//    threads of one process): submit() is a direct deposit into the
+//    destination rank's mailbox. This is the default and is byte-for-byte
+//    the pre-Transport behaviour.
+//  * SocketTransport (socket_transport.hpp) — "PEs" are real worker
+//    processes supervised by a parent: submit() frames the message and
+//    writes it to the supervisor's socket, which routes it to the
+//    destination process; a reader thread deposits inbound frames into the
+//    local rank's mailbox.
+//
+// The `shared_memory()` capability gates the features that only make sense
+// when every rank lives in one address space: the cyclic world barrier, the
+// watchdog's cross-rank wait-for summary, and NAK healing from the shared
+// in-flight buffer (a socket link gets its integrity from TCP/SLP1 framing
+// and its liveness from heartbeats instead).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+
+namespace slspvr::mp {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Backend name for diagnostics and fault provenance ("mailbox", "unix",
+  /// "tcp").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True when all ranks share this process's address space. Enables the
+  /// shared-memory barrier fast path and in-flight NAK healing; false
+  /// switches the world barrier to message dissemination.
+  [[nodiscard]] virtual bool shared_memory() const noexcept = 0;
+
+  /// Deliver a stamped message toward world rank `dest`'s mailbox. May
+  /// block for backpressure (bounded mailbox, full socket buffer); must
+  /// either complete the delivery or raise a typed error — never deliver a
+  /// partial message.
+  virtual void submit(int dest, Message msg) = 0;
+};
+
+/// The in-process backend: ranks are threads, delivery is a deposit into
+/// the destination's mailbox. Zero behaviour change versus the
+/// pre-Transport runtime.
+class MailboxTransport final : public Transport {
+ public:
+  explicit MailboxTransport(std::vector<Mailbox>* mailboxes) : mailboxes_(mailboxes) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "mailbox"; }
+  [[nodiscard]] bool shared_memory() const noexcept override { return true; }
+
+  void submit(int dest, Message msg) override {
+    (*mailboxes_)[static_cast<std::size_t>(dest)].deposit(std::move(msg));
+  }
+
+ private:
+  std::vector<Mailbox>* mailboxes_;  ///< not owned (the CommContext's)
+};
+
+}  // namespace slspvr::mp

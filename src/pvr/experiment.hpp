@@ -26,6 +26,8 @@
 
 namespace slspvr::pvr {
 
+struct ProcOptions;  // pvr/proc_runner.hpp — multi-process (socket) backend
+
 struct ExperimentConfig {
   vol::DatasetKind dataset = vol::DatasetKind::EngineLow;
   double volume_scale = 1.0;   ///< 1.0 = the paper's 256^3-class volumes
@@ -133,6 +135,13 @@ class Experiment {
   /// behaviourally identical to run().
   [[nodiscard]] FtMethodResult run_ft(const core::Compositor& method,
                                       const mp::FaultPlan& faults) const;
+
+  /// Multi-process variant: the compositing phase runs in real worker
+  /// processes over the socket backend (defined in pvr/proc_runner.cpp).
+  /// Clean runs produce a final frame byte-identical to run()'s; real
+  /// worker deaths are finished from the survivors with a FaultReport.
+  [[nodiscard]] FtMethodResult run_procs(const core::Compositor& method,
+                                         const ProcOptions& opts) const;
 
  private:
   ExperimentConfig config_;

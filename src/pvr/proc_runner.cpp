@@ -1,0 +1,325 @@
+#include "pvr/proc_runner.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/fold.hpp"
+#include "core/timeline.hpp"
+#include "mp/communicator.hpp"
+#include "mp/socket.hpp"
+#include "mp/socket_transport.hpp"
+#include "mp/supervisor.hpp"
+#include "pvr/recovery.hpp"
+#include "pvr/serialize.hpp"
+
+namespace slspvr::pvr {
+
+namespace {
+
+/// kReport payload discriminators (the frame's tag field).
+constexpr int kReportState = 1;      ///< counters + traffic records + wall clock
+constexpr int kReportImage = 2;      ///< rank 0's gathered final frame
+constexpr int kReportFailure = 3;    ///< stage, primary flag, reason
+constexpr int kReportSnapshots = 4;  ///< retained per-stage partials
+
+void ship_state(mp::SocketTransport& sock, int rank, const mp::CommContext& ctx,
+                const core::Counters& counters, double wall_ms) {
+  ByteWriter w;
+  write_counters(w, counters);
+  const auto& sent = ctx.trace.sent(rank);
+  w.u32(static_cast<std::uint32_t>(sent.size()));
+  for (const mp::MessageRecord& rec : sent) write_record(w, rec);
+  const auto& received = ctx.trace.received(rank);
+  w.u32(static_cast<std::uint32_t>(received.size()));
+  for (const mp::MessageRecord& rec : received) write_record(w, rec);
+  const auto& clock = ctx.trace.clock(rank);
+  w.u32(static_cast<std::uint32_t>(clock.size()));
+  for (const std::uint64_t c : clock) w.u64(c);
+  w.u64(ctx.trace.naks(rank));
+  w.u64(ctx.trace.retry_messages(rank));
+  w.u64(ctx.trace.retry_bytes(rank));
+  w.u64(ctx.trace.abandoned(rank));
+  w.f64(wall_ms);
+  sock.send_report(kReportState, w.data());
+}
+
+void ship_failure(mp::SocketTransport& sock, int stage, bool primary,
+                  const std::string& what, const SnapshotStore& store, int rank) {
+  {
+    ByteWriter w;
+    w.i32(stage);
+    w.u8(primary ? 1 : 0);
+    w.str(what);
+    sock.send_report(kReportFailure, w.data());
+  }
+  {
+    ByteWriter w;
+    const auto& snaps = store.slots(rank);
+    w.u32(static_cast<std::uint32_t>(snaps.size()));
+    for (const SnapshotStore::Snap& snap : snaps) {
+      w.i32(snap.stage);
+      write_rect(w, snap.region);
+      write_image(w, snap.image);
+    }
+    sock.send_report(kReportSnapshots, w.data());
+  }
+}
+
+/// The forked child's whole life. Mirrors run_attempt's SPMD body exactly —
+/// same composite + gather_final calls — so a clean multi-process frame is
+/// byte-identical to the in-process one.
+int worker_main(int rank, const mp::Endpoint& endpoint, const core::Compositor& method,
+                const std::vector<img::Image>& subimages, const core::SwapOrder& order,
+                const ProcOptions& opts) {
+  mp::Fd link;
+  try {
+    link = mp::connect_with_backoff(endpoint, opts.connect, rank);
+  } catch (...) {
+    return mp::kWorkerExitConnect;  // typed RetryExhaustedError upstream
+  }
+
+  try {
+    {
+      mp::Frame hello;
+      hello.kind = mp::FrameKind::kHello;
+      hello.source = rank;
+      mp::send_all(link.get(), mp::pack_frame(hello));
+    }
+
+    const int ranks = static_cast<int>(subimages.size());
+    mp::CommContext ctx(ranks);
+    ctx.mailboxes[static_cast<std::size_t>(rank)].set_capacity(opts.inbox_capacity);
+    mp::SocketTransport::Options topts;
+    topts.backend = opts.transport;
+    topts.heartbeat_interval = opts.heartbeat_interval;
+    auto transport =
+        std::make_unique<mp::SocketTransport>(&ctx, rank, std::move(link), std::move(topts));
+    mp::SocketTransport* sock = transport.get();
+    ctx.transport = std::move(transport);
+    ctx.stage_observer = [sock, &opts](int r, int stage) {
+      sock->note_stage(stage);
+      if (opts.crash && opts.crash->rank == r && opts.crash->stage == stage) {
+        // A *real* crash, not an injected exception: the process dies (or
+        // goes silent) mid-frame and the supervisor finds out the hard way.
+        (void)::raise(opts.crash->kind == ProcCrash::Kind::kSigstop ? SIGSTOP : SIGKILL);
+      }
+    };
+    sock->start();
+
+    SnapshotStore store(ranks);
+    mp::Comm comm(&ctx, rank);
+    core::Counters counters;
+    img::Image local = subimages[static_cast<std::size_t>(rank)];  // methods mutate
+
+    try {
+      const RetentionGuard retention(&store);
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::Ownership owned = method.composite(comm, local, order, counters);
+      img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ship_state(*sock, rank, ctx, counters, wall_ms);
+      if (rank == 0) {
+        ByteWriter w;
+        write_image(w, gathered);
+        sock->send_report(kReportImage, w.data());
+      }
+      sock->goodbye_and_wait(opts.drain_deadline);
+      return mp::kWorkerExitClean;
+    } catch (const mp::PeerFailedError& e) {
+      // Secondary casualty: a peer's already-known death aborted this rank.
+      // Ship the retained partials so the supervisor can repair mid-frame.
+      ship_failure(*sock, ctx.trace.stage(rank), /*primary=*/false, e.what(), store, rank);
+      sock->goodbye_and_wait(opts.drain_deadline);
+      return mp::kWorkerExitAborted;
+    } catch (const std::exception& e) {
+      // Primary failure of this rank: announce it (the supervisor broadcasts
+      // kPeerFailed so the survivors abort), then ship the evidence.
+      const int stage = ctx.trace.stage(rank);
+      sock->announce_failure(stage, e.what());
+      ship_failure(*sock, stage, /*primary=*/true, e.what(), store, rank);
+      sock->goodbye_and_wait(opts.drain_deadline);
+      return mp::kWorkerExitError;
+    }
+  } catch (...) {
+    return mp::kWorkerExitError;
+  }
+}
+
+mp::Endpoint make_endpoint(const ProcOptions& opts) {
+  if (opts.endpoint_override) return mp::parse_endpoint(*opts.endpoint_override);
+  mp::Endpoint ep;
+  if (opts.transport == "tcp") {
+    ep.kind = mp::Endpoint::Kind::kTcp;
+    ep.host = "127.0.0.1";
+    ep.port = 0;  // ephemeral; resolved by the supervisor's listen
+    return ep;
+  }
+  if (opts.transport != "unix") {
+    throw std::invalid_argument("ProcOptions.transport must be \"unix\" or \"tcp\", got \"" +
+                                opts.transport + "\"");
+  }
+  // One live supervisor per path: the pid disambiguates concurrent test
+  // binaries, the counter disambiguates runs within this process.
+  static int counter = 0;
+  ep.kind = mp::Endpoint::Kind::kUnix;
+  ep.path = "/tmp/slspvr-" + std::to_string(::getpid()) + "-" + std::to_string(counter++) +
+            ".sock";
+  return ep;
+}
+
+/// One worker's kReportFailure payload, decoded.
+struct WorkerFailureReport {
+  int rank = -1;
+  int stage = 0;
+  bool primary = false;
+  std::string what;
+};
+
+}  // namespace
+
+FtMethodResult run_compositing_procs(const core::Compositor& method,
+                                     const std::vector<img::Image>& subimages,
+                                     const core::SwapOrder& order, const ProcOptions& opts,
+                                     const core::CostModel& model) {
+  const int ranks = static_cast<int>(subimages.size());
+  if (ranks <= 0) throw std::invalid_argument("run_compositing_procs: no subimages");
+
+  mp::SupervisorOptions sup;
+  sup.endpoint = make_endpoint(opts);
+  sup.procs = ranks;
+  sup.heartbeat_timeout = opts.heartbeat_timeout;
+  sup.accept_deadline = opts.accept_deadline;
+  sup.drain_deadline = opts.drain_deadline;
+
+  const mp::SupervisorOutcome outcome = mp::Supervisor::run(
+      sup, [&](int rank, const mp::Endpoint& at) {
+        return worker_main(rank, at, method, subimages, order, opts);
+      });
+  if (sup.endpoint.kind == mp::Endpoint::Kind::kUnix) (void)::unlink(sup.endpoint.path.c_str());
+
+  // Decode the report stream. A report truncated by a dying worker is
+  // dropped (its death is already a recorded failure); the frame CRC has
+  // vouched for everything that parses.
+  std::vector<core::Counters> counters(static_cast<std::size_t>(ranks));
+  std::vector<bool> have_state(static_cast<std::size_t>(ranks), false);
+  std::vector<double> walls(static_cast<std::size_t>(ranks), 0.0);
+  std::optional<img::Image> final_image;
+  std::vector<WorkerFailureReport> worker_failures;
+  SnapshotStore store(ranks);
+  mp::TrafficTrace trace(ranks);
+
+  for (const mp::WorkerReport& rep : outcome.reports) {
+    if (rep.rank < 0 || rep.rank >= ranks) continue;
+    const std::size_t i = static_cast<std::size_t>(rep.rank);
+    ByteReader r(rep.payload);
+    try {
+      switch (rep.kind) {
+        case kReportState: {
+          counters[i] = read_counters(r);
+          std::vector<mp::MessageRecord> sent(r.u32());
+          for (mp::MessageRecord& rec : sent) rec = read_record(r);
+          std::vector<mp::MessageRecord> received(r.u32());
+          for (mp::MessageRecord& rec : received) rec = read_record(r);
+          std::vector<std::uint64_t> clock(r.u32());
+          for (std::uint64_t& c : clock) c = r.u64();
+          const std::uint64_t naks = r.u64();
+          const std::uint64_t retries = r.u64();
+          const std::uint64_t retry_bytes = r.u64();
+          const std::uint64_t abandoned = r.u64();
+          walls[i] = r.f64();
+          trace.import_rank(rep.rank, std::move(sent), std::move(received), std::move(clock),
+                            naks, retries, retry_bytes, abandoned);
+          have_state[i] = true;
+          break;
+        }
+        case kReportImage:
+          final_image = read_image(r);
+          break;
+        case kReportFailure: {
+          WorkerFailureReport wf;
+          wf.rank = rep.rank;
+          wf.stage = r.i32();
+          wf.primary = r.u8() != 0;
+          wf.what = r.str();
+          worker_failures.push_back(std::move(wf));
+          break;
+        }
+        case kReportSnapshots: {
+          const std::uint32_t n = r.u32();
+          for (std::uint32_t k = 0; k < n; ++k) {
+            const int stage = r.i32();
+            const img::Rect region = read_rect(r);
+            store.add(rep.rank, stage, read_image(r), region);
+          }
+          break;
+        }
+        default:
+          break;  // unknown report kind: forward compatibility, skip
+      }
+    } catch (const std::out_of_range&) {
+      continue;
+    }
+  }
+
+  FtMethodResult out;
+  out.report.retry_stats += trace.retry_stats();
+
+  if (outcome.clean()) {
+    if (!final_image ||
+        !std::all_of(have_state.begin(), have_state.end(), [](bool b) { return b; })) {
+      throw mp::TransportError(
+          "run_compositing_procs: clean supervisor outcome but incomplete worker reports");
+    }
+    MethodResult& result = out.result;
+    result.method = std::string(method.name());
+    result.per_rank = std::move(counters);
+    result.times = model.critical_path(result.per_rank, trace);
+    result.timeline = core::simulate_timeline(result.per_rank, trace, model);
+    result.m_max = core::max_received_message_bytes(trace);
+    result.received_bytes_per_rank.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      result.received_bytes_per_rank[static_cast<std::size_t>(r)] =
+          core::received_message_bytes(trace, r);
+    }
+    result.wall_ms = *std::max_element(walls.begin(), walls.end());
+    result.final_image = std::move(*final_image);
+    return out;
+  }
+
+  // Real failures: seed the report with the supervisor's provenance (attempt
+  // 0), add the survivors' secondary aborts from their own reports (primary
+  // worker reports duplicate the supervisor's kFailed record — skip), and
+  // finish the frame in this process from the shipped snapshots.
+  out.report.faulted = true;
+  std::vector<bool> failed(static_cast<std::size_t>(ranks), false);
+  for (const mp::WorkerFailure& f : outcome.failures) {
+    if (f.rank < 0 || f.rank >= ranks) continue;
+    failed[static_cast<std::size_t>(f.rank)] = true;
+    out.report.events.push_back({f.rank, f.stage, /*primary=*/true, /*attempt=*/0, f.what});
+  }
+  for (const WorkerFailureReport& wf : worker_failures) {
+    if (wf.primary) continue;
+    out.report.events.push_back({wf.rank, wf.stage, /*primary=*/false, /*attempt=*/0, wf.what});
+  }
+  return recover_frame(method, subimages, order, model, store, std::move(failed),
+                       std::move(out.report));
+}
+
+FtMethodResult Experiment::run_procs(const core::Compositor& method,
+                                     const ProcOptions& opts) const {
+  const core::FoldCompositor folded(method);
+  const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
+                                               : &method;
+  return run_compositing_procs(*compositor, subimages_, order_, opts, config_.cost_model);
+}
+
+}  // namespace slspvr::pvr

@@ -1,0 +1,81 @@
+// Multi-process compositing: run one method with real worker processes over
+// the socket transport backend.
+//
+// run_compositing_procs forks one worker per rank under mp::Supervisor. Each
+// worker connects back (bounded backoff), installs a SocketTransport in its
+// CommContext and executes the *same* compositing SPMD body the in-process
+// runtime uses — the frame it produces is byte-identical to the thread
+// backend's. Results, traffic records and (on failure) retained stage
+// snapshots are shipped to the supervisor as serialized kReport frames.
+//
+// Failure model: worker deaths here are real — a SIGKILLed, crashed, or
+// silently wedged (heartbeat timeout) process is detected by the supervisor,
+// broadcast to the survivors as kPeerFailed, and the frame is finished in
+// the supervisor process by the shared recover_frame machinery (mid-frame
+// plan repair from the shipped snapshots when possible, degraded fold-out
+// recomposition otherwise). No FaultInjector is involved.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compositor.hpp"
+#include "core/cost_model.hpp"
+#include "mp/envelope.hpp"
+#include "pvr/experiment.hpp"
+
+namespace slspvr::pvr {
+
+/// A real crash planted in a worker process for deterministic chaos tests:
+/// when `rank` reaches compositing stage `stage` it raises the signal on
+/// itself — SIGKILL (instant death, link EOF) or SIGSTOP (silence, caught by
+/// the supervisor's heartbeat watchdog). This is a process-level raise(),
+/// not an injected exception.
+struct ProcCrash {
+  enum class Kind { kSigkill, kSigstop };
+
+  int rank = -1;
+  int stage = 0;
+  Kind kind = Kind::kSigkill;
+};
+
+struct ProcOptions {
+  std::string transport = "unix";  ///< "unix" or "tcp" (loopback)
+  std::chrono::milliseconds heartbeat_interval{25};
+  std::chrono::milliseconds heartbeat_timeout{1000};
+  std::chrono::milliseconds accept_deadline{10000};
+  std::chrono::milliseconds drain_deadline{5000};
+  /// Worker-side connect backoff (attempts × exponential delay, deadline).
+  mp::RetryPolicy connect = default_connect_policy();
+  /// Bounded worker inbox: a full mailbox blocks the reader thread, pushing
+  /// backpressure into the kernel socket buffers (0 = unbounded).
+  std::size_t inbox_capacity = 1024;
+  std::optional<ProcCrash> crash;
+  /// Tests: listen/connect here instead of the generated address
+  /// ("unix:/path" or "tcp:host:port").
+  std::optional<std::string> endpoint_override;
+
+  [[nodiscard]] static mp::RetryPolicy default_connect_policy() {
+    mp::RetryPolicy policy;
+    policy.max_attempts = 60;
+    policy.base_delay = std::chrono::milliseconds{2};
+    policy.deadline = std::chrono::milliseconds{8000};
+    return policy;
+  }
+};
+
+/// Execute `method` over `subimages` with one real process per rank. Clean
+/// runs return a FaultReport with faulted == false and a MethodResult whose
+/// final_image is byte-identical to run_compositing's; runs with real worker
+/// deaths are finished from the survivors via recover_frame, with the
+/// supervisor's failure provenance ("killed by signal 9 (SIGKILL)",
+/// "heartbeat timeout: ...") in the report events.
+[[nodiscard]] FtMethodResult run_compositing_procs(
+    const core::Compositor& method, const std::vector<img::Image>& subimages,
+    const core::SwapOrder& order, const ProcOptions& opts,
+    const core::CostModel& model = core::CostModel::sp2());
+
+}  // namespace slspvr::pvr

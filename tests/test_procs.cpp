@@ -1,0 +1,248 @@
+// Multi-process backend tests: wire framing, endpoint parsing, bounded
+// connect backoff, and the tentpole acceptance bar — real worker processes
+// over the socket transport produce frames byte-identical to the in-process
+// runtime, and real mid-frame crashes (SIGKILL, SIGSTOP) are detected by the
+// supervisor and finished from the survivors with genuine provenance in the
+// FaultReport.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/bsbrc.hpp"
+#include "mp/errors.hpp"
+#include "mp/socket.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/proc_runner.hpp"
+#include "test_helpers.hpp"
+
+namespace mp = slspvr::mp;
+namespace pvr = slspvr::pvr;
+namespace vol = slspvr::vol;
+namespace img = slspvr::img;
+
+namespace {
+
+pvr::ExperimentConfig small_config(int ranks) {
+  pvr::ExperimentConfig config;
+  config.dataset = vol::DatasetKind::Head;
+  config.volume_scale = 0.15;
+  config.image_size = 64;
+  config.ranks = ranks;
+  return config;
+}
+
+pvr::ProcOptions fast_opts(const std::string& transport = "unix") {
+  pvr::ProcOptions opts;
+  opts.transport = transport;
+  return opts;
+}
+
+void expect_images_identical(const img::Image& got, const img::Image& want) {
+  ASSERT_EQ(got.width(), want.width());
+  ASSERT_EQ(got.height(), want.height());
+  for (int y = 0; y < got.height(); ++y) {
+    for (int x = 0; x < got.width(); ++x) {
+      const img::Pixel& g = got.at(x, y);
+      const img::Pixel& w = want.at(x, y);
+      // Byte-identical, not near: same code ran in a real process, floats
+      // crossed the wire as bit patterns.
+      ASSERT_EQ(g.r, w.r) << "at (" << x << "," << y << ")";
+      ASSERT_EQ(g.g, w.g) << "at (" << x << "," << y << ")";
+      ASSERT_EQ(g.b, w.b) << "at (" << x << "," << y << ")";
+      ASSERT_EQ(g.a, w.a) << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+bool any_event_contains(const pvr::FaultReport& report, const std::string& needle) {
+  for (const pvr::FaultEvent& e : report.events) {
+    if (e.what.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- Wire framing ------------------------------------------------------------
+
+TEST(Wire, FrameSurvivesPackAndIncrementalParse) {
+  mp::Frame frame;
+  frame.kind = mp::FrameKind::kData;
+  frame.source = 2;
+  frame.dest = 5;
+  frame.tag = -1002;
+  frame.seq = 41;
+  frame.clock = {7, 0, 9, 1};
+  frame.payload = {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE}};
+
+  const std::vector<std::byte> wire = mp::pack_frame(frame);
+  mp::FrameReader reader;
+  // Feed one byte at a time: the incremental parser must never yield a frame
+  // early and must produce exactly the original at the last byte.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.feed(std::span(&wire[i], 1));
+    ASSERT_FALSE(reader.next().has_value()) << "frame yielded early at byte " << i;
+  }
+  reader.feed(std::span(&wire[wire.size() - 1], 1));
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, frame.kind);
+  EXPECT_EQ(got->source, frame.source);
+  EXPECT_EQ(got->dest, frame.dest);
+  EXPECT_EQ(got->tag, frame.tag);
+  EXPECT_EQ(got->seq, frame.seq);
+  EXPECT_EQ(got->clock, frame.clock);
+  EXPECT_EQ(got->payload, frame.payload);
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Wire, BackToBackFramesDrainInOrder) {
+  mp::Frame a;
+  a.kind = mp::FrameKind::kHeartbeat;
+  a.source = 1;
+  a.tag = 3;
+  mp::Frame b;
+  b.kind = mp::FrameKind::kGoodbye;
+  b.source = 1;
+
+  std::vector<std::byte> wire = mp::pack_frame(a);
+  const std::vector<std::byte> second = mp::pack_frame(b);
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  mp::FrameReader reader;
+  reader.feed(wire);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, mp::FrameKind::kHeartbeat);
+  EXPECT_EQ(first->tag, 3);
+  const auto next = reader.next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->kind, mp::FrameKind::kGoodbye);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Wire, DamagedFrameIsATypedTransportError) {
+  mp::Frame frame;
+  frame.kind = mp::FrameKind::kData;
+  frame.payload.assign(64, std::byte{0x5A});
+  std::vector<std::byte> wire = mp::pack_frame(frame);
+  wire.back() ^= std::byte{0x01};  // flip one payload bit: CRC must catch it
+
+  mp::FrameReader reader;
+  reader.feed(wire);
+  EXPECT_THROW((void)reader.next(), mp::TransportError);
+}
+
+// --- Endpoint parsing --------------------------------------------------------
+
+TEST(Endpoint, ParsesUnixAndTcpSpecs) {
+  const mp::Endpoint u = mp::parse_endpoint("unix:/tmp/slspvr-test.sock");
+  EXPECT_EQ(u.kind, mp::Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/slspvr-test.sock");
+
+  const mp::Endpoint t = mp::parse_endpoint("tcp:127.0.0.1:4455");
+  EXPECT_EQ(t.kind, mp::Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 4455);
+}
+
+TEST(Endpoint, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)mp::parse_endpoint(""), std::invalid_argument);
+  EXPECT_THROW((void)mp::parse_endpoint("carrier-pigeon:coop"), std::invalid_argument);
+  EXPECT_THROW((void)mp::parse_endpoint("unix:"), std::invalid_argument);
+  EXPECT_THROW((void)mp::parse_endpoint("tcp:127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)mp::parse_endpoint("tcp:127.0.0.1:notaport"), std::invalid_argument);
+}
+
+// --- Bounded connect ---------------------------------------------------------
+
+TEST(Connect, BackoffExhaustionIsTypedNotAHang) {
+  mp::Endpoint nowhere;
+  nowhere.kind = mp::Endpoint::Kind::kUnix;
+  nowhere.path = "/tmp/slspvr-test-no-such-supervisor.sock";
+  mp::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay = std::chrono::milliseconds{1};
+  policy.deadline = std::chrono::milliseconds{200};
+  try {
+    (void)mp::connect_with_backoff(nowhere, policy, /*rank=*/4);
+    FAIL() << "connect to a dead endpoint must throw";
+  } catch (const mp::RetryExhaustedError& e) {
+    EXPECT_EQ(e.rank, 4);
+    EXPECT_EQ(e.source, -1);  // peer -1 = the supervisor
+  }
+}
+
+// --- Tentpole acceptance: byte-identical clean frames ------------------------
+
+TEST(Procs, EveryPaperMethodIsByteIdenticalToInProcess) {
+  const pvr::Experiment experiment(small_config(4));
+  for (const auto& method : pvr::MethodSet::paper_methods()) {
+    SCOPED_TRACE(std::string("method ") + std::string(method->name()));
+    const pvr::MethodResult in_process = experiment.run(*method);
+    const pvr::FtMethodResult procs = experiment.run_procs(*method, fast_opts());
+    EXPECT_FALSE(procs.report.faulted);
+    expect_images_identical(procs.result.final_image, in_process.final_image);
+    // Worker-shipped accounting reached the supervisor for every rank.
+    ASSERT_EQ(procs.result.per_rank.size(), in_process.per_rank.size());
+    ASSERT_EQ(procs.result.received_bytes_per_rank.size(), 4u);
+  }
+}
+
+TEST(Procs, TcpLoopbackMatchesToo) {
+  const pvr::Experiment experiment(small_config(4));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  const pvr::MethodResult in_process = experiment.run(bsbrc);
+  const pvr::FtMethodResult procs = experiment.run_procs(bsbrc, fast_opts("tcp"));
+  EXPECT_FALSE(procs.report.faulted);
+  expect_images_identical(procs.result.final_image, in_process.final_image);
+}
+
+TEST(Procs, NonPowerOfTwoRanksFoldAcrossProcesses) {
+  const pvr::Experiment experiment(small_config(3));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  const pvr::MethodResult in_process = experiment.run(bsbrc);
+  const pvr::FtMethodResult procs = experiment.run_procs(bsbrc, fast_opts());
+  EXPECT_FALSE(procs.report.faulted);
+  expect_images_identical(procs.result.final_image, in_process.final_image);
+}
+
+// --- Tentpole acceptance: real crashes, real provenance ----------------------
+
+TEST(ProcsChaos, SigkillMidFrameFinishesFromSurvivors) {
+  const pvr::Experiment experiment(small_config(4));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::ProcOptions opts = fast_opts();
+  opts.crash = pvr::ProcCrash{/*rank=*/1, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill};
+
+  const pvr::FtMethodResult ft = experiment.run_procs(bsbrc, opts);
+  EXPECT_TRUE(ft.report.faulted);
+  EXPECT_TRUE(ft.report.resumed || ft.report.degraded) << ft.report.summary();
+  ASSERT_EQ(ft.report.failed_ranks.size(), 1u);
+  EXPECT_EQ(ft.report.failed_ranks[0], 1);
+  // Real provenance: the supervisor saw the wait status, not an injector.
+  EXPECT_TRUE(any_event_contains(ft.report, "SIGKILL")) << ft.report.summary();
+  // The frame still completed from the survivors.
+  EXPECT_EQ(ft.result.final_image.width(), 64);
+  EXPECT_EQ(ft.result.final_image.height(), 64);
+  EXPECT_GT(img::count_non_blank(ft.result.final_image, ft.result.final_image.bounds()), 0);
+}
+
+TEST(ProcsChaos, SigstopIsCaughtByTheHeartbeatWatchdog) {
+  const pvr::Experiment experiment(small_config(4));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::ProcOptions opts = fast_opts();
+  opts.heartbeat_interval = std::chrono::milliseconds{20};
+  opts.heartbeat_timeout = std::chrono::milliseconds{300};
+  opts.crash = pvr::ProcCrash{/*rank=*/2, /*stage=*/1, pvr::ProcCrash::Kind::kSigstop};
+
+  const pvr::FtMethodResult ft = experiment.run_procs(bsbrc, opts);
+  EXPECT_TRUE(ft.report.faulted);
+  ASSERT_EQ(ft.report.failed_ranks.size(), 1u);
+  EXPECT_EQ(ft.report.failed_ranks[0], 2);
+  // A stopped process sends nothing: only the heartbeat watchdog can see it.
+  EXPECT_TRUE(any_event_contains(ft.report, "heartbeat timeout")) << ft.report.summary();
+  EXPECT_GT(img::count_non_blank(ft.result.final_image, ft.result.final_image.bounds()), 0);
+}

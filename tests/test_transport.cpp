@@ -1,0 +1,298 @@
+// Transport-layer robustness tests: CRC32C against the RFC 3720 reference
+// vectors, serial-number seq comparison across the 2^64 wraparound, bounded
+// mailbox backpressure (including poison-wake of a blocked depositor), retry
+// exhaustion surfacing RetryExhaustedError + the abandoned counter, and the
+// byte-exact serialization used to ship worker results to the supervisor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "mp/envelope.hpp"
+#include "mp/errors.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/runtime.hpp"
+#include "pvr/experiment.hpp"
+#include "pvr/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace mp = slspvr::mp;
+namespace pvr = slspvr::pvr;
+namespace img = slspvr::img;
+namespace core = slspvr::core;
+
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = static_cast<std::byte>(s[i]);
+  return out;
+}
+
+mp::Message make_msg(int source, int tag) {
+  mp::Message m;
+  m.source = source;
+  m.tag = tag;
+  return m;
+}
+
+}  // namespace
+
+// --- CRC32C: the full RFC 3720 appendix B.4 vector set -----------------------
+
+TEST(Crc32c, Rfc3720ReferenceVectors) {
+  std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(mp::crc32c(zeros), 0x8A9136AAu);
+
+  std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(mp::crc32c(ones), 0x62A8AB43u);
+
+  std::vector<std::byte> ascending(32);
+  for (int i = 0; i < 32; ++i) ascending[static_cast<std::size_t>(i)] = std::byte(i);
+  EXPECT_EQ(mp::crc32c(ascending), 0x46DD794Eu);
+
+  std::vector<std::byte> descending(32);
+  for (int i = 0; i < 32; ++i) descending[static_cast<std::size_t>(i)] = std::byte(31 - i);
+  EXPECT_EQ(mp::crc32c(descending), 0x113FDB5Cu);
+
+  EXPECT_EQ(mp::crc32c(bytes_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, SeedChainsPartialComputations) {
+  const std::vector<std::byte> whole = bytes_of("123456789");
+  const std::uint32_t first = mp::crc32c(std::span(whole).first(4));
+  EXPECT_EQ(mp::crc32c(std::span(whole).subspan(4), first), mp::crc32c(whole));
+}
+
+// --- seq_before: RFC 1982 serial ordering across the wraparound --------------
+
+TEST(SeqBefore, PlainOrderingAwayFromWraparound) {
+  EXPECT_TRUE(mp::seq_before(0, 1));
+  EXPECT_TRUE(mp::seq_before(41, 42));
+  EXPECT_FALSE(mp::seq_before(42, 42));
+  EXPECT_FALSE(mp::seq_before(43, 42));
+}
+
+TEST(SeqBefore, WrapsCorrectlyAcrossTwoToTheSixtyFour) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // Plain `<` would call 0 older than 2^64-1; serial ordering must not.
+  EXPECT_TRUE(mp::seq_before(kMax, 0));
+  EXPECT_TRUE(mp::seq_before(kMax - 3, kMax));
+  EXPECT_TRUE(mp::seq_before(kMax, 5));
+  EXPECT_FALSE(mp::seq_before(0, kMax));
+  EXPECT_FALSE(mp::seq_before(5, kMax));
+}
+
+// --- Mailbox capacity: blocking deposits and poison-wake ---------------------
+
+TEST(MailboxCapacity, DepositBlocksUntilMatchFreesASlot) {
+  mp::Mailbox box;
+  box.set_capacity(2);
+  box.deposit(make_msg(0, 1));
+  box.deposit(make_msg(0, 1));
+
+  std::atomic<bool> third_deposited{false};
+  std::thread depositor([&] {
+    box.deposit(make_msg(0, 1));  // full: must block until a match frees a slot
+    third_deposited.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_deposited.load());
+  EXPECT_EQ(box.pending(), 2u);
+
+  (void)box.match(0, 1);
+  depositor.join();
+  EXPECT_TRUE(third_deposited.load());
+  EXPECT_EQ(box.pending(), 2u);
+}
+
+TEST(MailboxCapacity, PoisonWakesABlockedDepositorAndFailsMatch) {
+  mp::Mailbox box;
+  box.set_capacity(1);
+  box.deposit(make_msg(0, 1));
+
+  std::thread depositor([&] { box.deposit(make_msg(0, 1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.poison(3, 2, "unit test");
+  depositor.join();  // poisoning lifts the bound: the depositor must return
+
+  try {
+    (void)box.match(0, 1);
+    FAIL() << "match on a poisoned mailbox must throw";
+  } catch (const mp::PeerFailedError& e) {
+    EXPECT_EQ(e.failed_rank, 3);
+    EXPECT_EQ(e.failed_stage, 2);
+  }
+}
+
+TEST(MailboxCapacity, ZeroRestoresUnboundedDeposits) {
+  mp::Mailbox box;
+  box.set_capacity(1);
+  box.set_capacity(0);
+  for (int i = 0; i < 64; ++i) box.deposit(make_msg(0, 1));  // must never block
+  EXPECT_EQ(box.pending(), 64u);
+}
+
+// --- Retry exhaustion: window eviction surfaces a typed error ----------------
+
+TEST(RetryExhaustion, EvictedMessageAbandonsChannelWithTypedError) {
+  // Rank 0 sends kWindow+1 messages on one channel; the first is dropped in
+  // transit. By the time rank 1 looks, the in-flight window has evicted the
+  // dropped seq 0 — healing is impossible, so the receive must surface
+  // RetryExhaustedError (not hang) and count one abandoned channel.
+  constexpr int kTag = 7;
+  const int sends = static_cast<int>(mp::InflightStore::kWindow) + 1;
+
+  mp::FaultPlan plan;
+  plan.drops.push_back({/*source=*/0, /*dest=*/1, kTag, mp::kAnyStageRule, 1});
+  plan.retry.max_attempts = 200;  // budget never the limiter: eviction is
+  plan.retry.base_delay = std::chrono::milliseconds{1};
+  plan.retry.deadline = std::chrono::milliseconds{10000};
+  mp::FaultInjector injector(std::move(plan));
+
+  mp::RunOptions opts;
+  opts.injector = &injector;
+  opts.retry.max_attempts = 200;
+  opts.retry.base_delay = std::chrono::milliseconds{1};
+  opts.retry.deadline = std::chrono::milliseconds{10000};
+
+  const std::vector<std::byte> payload = bytes_of("x");
+  auto result = mp::Runtime::run_tolerant(
+      2,
+      [&](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < sends; ++i) comm.send(1, kTag, payload);
+        }
+        comm.barrier();  // receiver starts only after the window has rolled
+        if (comm.rank() == 1) {
+          (void)comm.recv(0, kTag);
+          FAIL() << "recv of the evicted message must not succeed";
+        }
+      },
+      opts);
+
+  ASSERT_FALSE(result.ok());
+  const mp::RankFailure& first = result.failures().front();
+  EXPECT_EQ(first.rank, 1);
+  EXPECT_TRUE(first.primary);
+  try {
+    std::rethrow_exception(first.error);
+  } catch (const mp::RetryExhaustedError& e) {
+    EXPECT_EQ(e.rank, 1);
+    EXPECT_EQ(e.source, 0);
+    EXPECT_EQ(e.tag, kTag);
+    EXPECT_NE(std::string(e.what()).find("evicted"), std::string::npos);
+  } catch (...) {
+    FAIL() << "expected RetryExhaustedError, got: " << first.what;
+  }
+  EXPECT_EQ(result.trace().retry_stats().abandoned, 1u);
+}
+
+TEST(RetryExhaustion, AbandonedChannelsAppearInFaultReportSummary) {
+  pvr::FaultReport report;
+  report.retry_stats.abandoned = 2;
+  const std::string text = report.summary();
+  EXPECT_NE(text.find("2 channel(s) abandoned after retry exhaustion"), std::string::npos);
+}
+
+// --- Serialization: byte-exact round trips -----------------------------------
+
+TEST(Serialize, ScalarsRoundTripExactly) {
+  pvr::ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f32(0.1f);
+  w.f64(-0.3);
+  w.str("hello");
+  const std::vector<std::byte> buf = std::move(w).take();
+
+  pvr::ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f32(), 0.1f);  // bit-pattern transport: exact, not near
+  EXPECT_EQ(r.f64(), -0.3);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedBufferThrowsOutOfRange) {
+  pvr::ByteWriter w;
+  w.u64(7);
+  std::vector<std::byte> buf = std::move(w).take();
+  buf.pop_back();
+  pvr::ByteReader r(buf);
+  EXPECT_THROW((void)r.u64(), std::out_of_range);
+}
+
+TEST(Serialize, ImageRoundTripIsByteIdentical) {
+  img::Image image = slspvr::testing::random_subimage(9, 5, /*density=*/0.6, /*seed=*/123u);
+  pvr::ByteWriter w;
+  pvr::write_image(w, image);
+  const std::vector<std::byte> buf = std::move(w).take();
+
+  pvr::ByteReader r(buf);
+  const img::Image back = pvr::read_image(r);
+  ASSERT_EQ(back.width(), image.width());
+  ASSERT_EQ(back.height(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const img::Pixel& a = image.at(x, y);
+      const img::Pixel& b = back.at(x, y);
+      EXPECT_EQ(a.r, b.r);
+      EXPECT_EQ(a.g, b.g);
+      EXPECT_EQ(a.b, b.b);
+      EXPECT_EQ(a.a, b.a);
+    }
+  }
+}
+
+TEST(Serialize, MessageRecordRoundTrips) {
+  core::Counters counters;
+  counters.over_ops = 17;
+  counters.pixels_sent = 4096;
+  core::OpTotals mark;
+  mark.over_ops = 9;
+  mark.codes_emitted = 2;
+  counters.stage_marks.push_back(mark);
+
+  pvr::ByteWriter w;
+  pvr::write_counters(w, counters);
+  mp::MessageRecord rec;
+  rec.peer = 3;
+  rec.tag = -1002;
+  rec.bytes = 512;
+  rec.stage = 2;
+  rec.seq = 9;
+  rec.index = 41;
+  rec.clock = {1, 2, 3, 4};
+  pvr::write_record(w, rec);
+  const std::vector<std::byte> buf = std::move(w).take();
+
+  pvr::ByteReader r(buf);
+  const core::Counters c2 = pvr::read_counters(r);
+  EXPECT_EQ(c2.over_ops, counters.over_ops);
+  EXPECT_EQ(c2.pixels_sent, counters.pixels_sent);
+  ASSERT_EQ(c2.stage_marks.size(), 1u);
+  EXPECT_EQ(c2.stage_marks[0], mark);
+  const mp::MessageRecord r2 = pvr::read_record(r);
+  EXPECT_EQ(r2.peer, rec.peer);
+  EXPECT_EQ(r2.tag, rec.tag);
+  EXPECT_EQ(r2.bytes, rec.bytes);
+  EXPECT_EQ(r2.stage, rec.stage);
+  EXPECT_EQ(r2.seq, rec.seq);
+  EXPECT_EQ(r2.index, rec.index);
+  EXPECT_EQ(r2.clock, rec.clock);
+  EXPECT_TRUE(r.done());
+}

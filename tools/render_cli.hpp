@@ -1,0 +1,196 @@
+// Strict parsing/validation for slspvr_render's multi-process flags.
+//
+// Modeled on bench/bench_common.hpp: the pure helpers throw ParseError
+// (never exit), so the test suite covers the flag grammar and the
+// contradiction rules directly; the tool catches ParseError and exits 2.
+//
+// The multi-process flag family:
+//   --procs <n>                run the compositing phase with n real worker
+//                              processes over the socket backend
+//   --transport <unix|tcp>     socket flavour (default unix)
+//   --heartbeat-ms <n>         worker heartbeat interval
+//   --heartbeat-timeout-ms <n> supervisor silence threshold before a worker
+//                              is declared failed
+//   --proc-kill <r,s>          worker r raises SIGKILL on itself at stage s
+//                              (a real crash; the supervisor detects EOF)
+//   --proc-stall <r,s>         worker r raises SIGSTOP at stage s (goes
+//                              silent; caught by the heartbeat watchdog)
+//
+// Contradiction rules (each violation is a ParseError):
+//  * --procs excludes every in-process fault-injection flag (--fault-*,
+//    --retry-*, --recv-timeout): the FaultInjector lives in the thread
+//    backend and cannot reach into worker processes — real crashes are
+//    planted with --proc-kill / --proc-stall instead;
+//  * every other proc-family flag requires --procs;
+//  * --proc-kill and --proc-stall are mutually exclusive (one planted crash
+//    per run) and their rank must be < --procs.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "pvr/proc_runner.hpp"
+
+namespace slspvr::tools {
+
+/// Malformed or contradictory command-line value. The tool turns this into
+/// exit(2); tests assert on the message instead.
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict positive-integer parse: every character must be a decimal digit
+/// (stoi's whitespace/sign tolerance is rejected) and the value strictly
+/// positive.
+[[nodiscard]] inline int parse_positive_int(const std::string& token,
+                                            const std::string& what) {
+  bool digits = !token.empty();
+  for (const char c : token) digits = digits && c >= '0' && c <= '9';
+  std::size_t used = 0;
+  int value = 0;
+  if (digits) {
+    try {
+      value = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+  }
+  if (!digits || used != token.size()) {
+    throw ParseError(what + ": '" + token + "' is not an integer");
+  }
+  if (value <= 0) {
+    throw ParseError(what + ": '" + token + "' must be positive");
+  }
+  return value;
+}
+
+/// Strict "rank,stage" parse: two comma-separated non-negative integers with
+/// nothing else in the token.
+struct RankStage {
+  int rank = -1;
+  int stage = 0;
+};
+
+[[nodiscard]] inline RankStage parse_rank_stage(const std::string& token,
+                                                const std::string& what) {
+  const std::size_t comma = token.find(',');
+  if (comma == std::string::npos || token.find(',', comma + 1) != std::string::npos) {
+    throw ParseError(what + ": '" + token + "' is not rank,stage");
+  }
+  const auto non_negative = [&](const std::string& part) -> int {
+    bool digits = !part.empty();
+    for (const char c : part) digits = digits && c >= '0' && c <= '9';
+    std::size_t used = 0;
+    int value = -1;
+    if (digits) {
+      try {
+        value = std::stoi(part, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+    }
+    if (!digits || used != part.size()) {
+      throw ParseError(what + ": '" + token + "' is not rank,stage");
+    }
+    return value;
+  };
+  return RankStage{non_negative(token.substr(0, comma)), non_negative(token.substr(comma + 1))};
+}
+
+/// The proc-family flags as parsed (before validation).
+struct ProcCli {
+  int procs = 0;  ///< 0 = in-process (thread) backend
+  std::string transport = "unix";
+  int heartbeat_ms = 25;
+  int heartbeat_timeout_ms = 1000;
+  std::optional<pvr::ProcCrash> crash;
+  bool family_flag_seen = false;  ///< any proc flag other than --procs
+
+  [[nodiscard]] bool active() const noexcept { return procs > 0; }
+};
+
+/// Consume `arg` if it belongs to the proc-flag family; `next` yields the
+/// flag's value (and may itself throw ParseError when argv runs out).
+/// Returns false when the flag is not ours.
+template <typename NextFn>
+[[nodiscard]] bool try_parse_proc_flag(ProcCli& cli, const std::string& arg, NextFn&& next) {
+  const auto set_crash = [&](pvr::ProcCrash::Kind kind, const std::string& what) {
+    if (cli.crash) {
+      throw ParseError(what + ": only one planted crash per run (--proc-kill or "
+                              "--proc-stall, not both or repeated)");
+    }
+    const RankStage rs = parse_rank_stage(next(), what);
+    cli.crash = pvr::ProcCrash{rs.rank, rs.stage, kind};
+    cli.family_flag_seen = true;
+  };
+  if (arg == "--procs") {
+    cli.procs = parse_positive_int(next(), "--procs");
+    return true;
+  }
+  if (arg == "--transport") {
+    cli.transport = next();
+    if (cli.transport != "unix" && cli.transport != "tcp") {
+      throw ParseError("--transport: '" + cli.transport + "' is not unix or tcp");
+    }
+    cli.family_flag_seen = true;
+    return true;
+  }
+  if (arg == "--heartbeat-ms") {
+    cli.heartbeat_ms = parse_positive_int(next(), "--heartbeat-ms");
+    cli.family_flag_seen = true;
+    return true;
+  }
+  if (arg == "--heartbeat-timeout-ms") {
+    cli.heartbeat_timeout_ms = parse_positive_int(next(), "--heartbeat-timeout-ms");
+    cli.family_flag_seen = true;
+    return true;
+  }
+  if (arg == "--proc-kill") {
+    set_crash(pvr::ProcCrash::Kind::kSigkill, "--proc-kill");
+    return true;
+  }
+  if (arg == "--proc-stall") {
+    set_crash(pvr::ProcCrash::Kind::kSigstop, "--proc-stall");
+    return true;
+  }
+  return false;
+}
+
+/// Cross-flag validation; `fault_flags_present` = any --fault-*, --retry-*
+/// or --recv-timeout was given. Throws ParseError on every contradiction.
+inline void validate_proc_cli(const ProcCli& cli, bool fault_flags_present) {
+  if (!cli.active()) {
+    if (cli.family_flag_seen) {
+      throw ParseError(
+          "--transport/--heartbeat-ms/--heartbeat-timeout-ms/--proc-kill/--proc-stall "
+          "require --procs (they configure the multi-process backend)");
+    }
+    return;
+  }
+  if (fault_flags_present) {
+    throw ParseError(
+        "--procs cannot be combined with in-process fault injection "
+        "(--fault-*, --retry-*, --recv-timeout): the injector lives in the "
+        "thread backend; plant real crashes with --proc-kill or --proc-stall");
+  }
+  if (cli.heartbeat_timeout_ms <= cli.heartbeat_ms) {
+    throw ParseError("--heartbeat-timeout-ms must exceed --heartbeat-ms");
+  }
+  if (cli.crash && cli.crash->rank >= cli.procs) {
+    throw ParseError("--proc-kill/--proc-stall rank " + std::to_string(cli.crash->rank) +
+                     " out of range for --procs " + std::to_string(cli.procs));
+  }
+}
+
+/// Lower the validated flags onto the runner's options.
+[[nodiscard]] inline pvr::ProcOptions to_proc_options(const ProcCli& cli) {
+  pvr::ProcOptions opts;
+  opts.transport = cli.transport;
+  opts.heartbeat_interval = std::chrono::milliseconds(cli.heartbeat_ms);
+  opts.heartbeat_timeout = std::chrono::milliseconds(cli.heartbeat_timeout_ms);
+  opts.crash = cli.crash;
+  return opts;
+}
+
+}  // namespace slspvr::tools

@@ -32,6 +32,17 @@
 //                                corruption heal instead of degrading)
 //     --retry-base-ms <ms>       first retry backoff step (default 1)
 //     --recv-timeout <ms>        receive deadline + blocked-rank watchdog
+//     --procs <n>                multi-process backend: n real worker
+//                                processes over sockets (excludes the
+//                                in-process --fault-*/--retry-*/--recv-timeout
+//                                injection flags; implies --ranks n)
+//     --transport <unix|tcp>     socket flavour for --procs (default unix)
+//     --heartbeat-ms <n>         worker heartbeat interval
+//     --heartbeat-timeout-ms <n> supervisor silence threshold
+//     --proc-kill <r,s>          worker r SIGKILLs itself at stage s (real
+//                                crash; the frame finishes from survivors)
+//     --proc-stall <r,s>         worker r SIGSTOPs itself at stage s (caught
+//                                by the heartbeat watchdog)
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -54,7 +65,9 @@
 #include "image/image_io.hpp"
 #include "mp/fault.hpp"
 #include "pvr/experiment.hpp"
+#include "pvr/proc_runner.hpp"
 #include "pvr/report.hpp"
+#include "render_cli.hpp"
 #include "render/shear_warp.hpp"
 #include "volume/datasets.hpp"
 
@@ -80,6 +93,9 @@ struct Args {
   std::string out = "out/render.pgm";
   bool stats = false;
   slspvr::mp::FaultPlan faults;
+  bool fault_flags = false;  ///< any --fault-*/--retry-*/--recv-timeout seen
+  bool ranks_given = false;
+  slspvr::tools::ProcCli procs;
 };
 
 [[noreturn]] void usage(int code) {
@@ -124,6 +140,9 @@ Args parse(int argc, char** argv) {
       args.method = next();
     } else if (a == "--ranks") {
       args.ranks = std::atoi(next());
+      args.ranks_given = true;
+    } else if (slspvr::tools::try_parse_proc_flag(args.procs, a, next)) {
+      // consumed by the multi-process flag family
     } else if (a == "--image") {
       args.image = std::atoi(next());
     } else if (a == "--scale") {
@@ -212,6 +231,19 @@ Args parse(int argc, char** argv) {
     std::cerr << "--ranks must be >= 1 (got " << args.ranks << ")\n";
     usage(2);
   }
+  // Multi-process contradiction rules (ParseError -> exit 2 in main).
+  args.fault_flags = !args.faults.empty() || args.faults.retry.enabled() ||
+                     args.faults.recv_timeout.count() > 0;
+  slspvr::tools::validate_proc_cli(args.procs, args.fault_flags);
+  if (args.procs.active()) {
+    if (args.ranks_given && args.ranks != args.procs.procs) {
+      throw slspvr::tools::ParseError("--ranks " + std::to_string(args.ranks) +
+                                      " contradicts --procs " +
+                                      std::to_string(args.procs.procs) +
+                                      " (one worker process per rank)");
+    }
+    args.ranks = args.procs.procs;
+  }
   if (args.image < 1) {
     std::cerr << "--image must be >= 1 (got " << args.image << ")\n";
     usage(2);
@@ -284,7 +316,12 @@ int run_tool(const Args& args) {
   pvr::MethodResult result;
   pvr::FaultReport fault_report;
   const auto execute = [&](const pvr::Experiment& experiment) {
-    if (args.faults.empty()) {
+    if (args.procs.active()) {
+      pvr::FtMethodResult ft =
+          experiment.run_procs(*method, slspvr::tools::to_proc_options(args.procs));
+      result = std::move(ft.result);
+      fault_report = std::move(ft.report);
+    } else if (args.faults.empty()) {
       result = experiment.run(*method);
     } else {
       pvr::FtMethodResult ft = experiment.run_ft(*method, args.faults);
@@ -306,7 +343,13 @@ int run_tool(const Args& args) {
             << "T_total  : " << pvr::fmt_ms(result.times.total_ms()) << " ms\n"
             << "M_max    : " << pvr::fmt_bytes(result.m_max) << " bytes\n"
             << "wall     : " << pvr::fmt_ms(result.wall_ms) << " ms\n";
-  if (!args.faults.empty()) pvr::print_fault_report(std::cout, fault_report);
+  if (args.procs.active()) {
+    std::cout << "backend  : " << args.procs.transport << " sockets, "
+              << args.procs.procs << " worker process(es)\n";
+  }
+  if (!args.faults.empty() || args.procs.active()) {
+    pvr::print_fault_report(std::cout, fault_report);
+  }
 
   if (args.stats) {
     pvr::TextTable table({"rank", "over ops", "encoded px", "rect scanned", "codes",
@@ -342,6 +385,9 @@ int run_tool(const Args& args) {
 int main(int argc, char** argv) {
   try {
     return run_tool(parse(argc, argv));
+  } catch (const slspvr::tools::ParseError& e) {
+    std::cerr << "slspvr_render: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "slspvr_render: error: " << e.what() << "\n";
     return 1;
