@@ -238,6 +238,8 @@ std::string_view diagnostic_code_name(Diagnostic::Code code) {
     case Diagnostic::Code::kStuck: return "stuck";
     case Diagnostic::Code::kAsymmetry: return "asymmetry";
     case Diagnostic::Code::kRace: return "race";
+    case Diagnostic::Code::kInvariant: return "invariant";
+    case Diagnostic::Code::kLivelock: return "livelock";
   }
   return "?";
 }

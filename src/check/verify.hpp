@@ -40,6 +40,8 @@ struct Diagnostic {
     kStuck,          ///< no progress, no cycle: blocked on a missing send
     kAsymmetry,      ///< pairwise stage symmetry violated
     kRace,           ///< dynamic: handoff without a happens-before edge
+    kInvariant,      ///< model checking: a safety invariant was violated
+    kLivelock,       ///< model checking: a cycle with no progressing action
   };
   Code code = Code::kBadEvent;
   int rank = -1;

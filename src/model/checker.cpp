@@ -1,0 +1,30 @@
+#include "model/checker.hpp"
+
+namespace slspvr::model {
+
+std::string Counterexample::format() const {
+  std::string out;
+  out += "counterexample (" + std::string(check::diagnostic_code_name(diagnostic.code)) +
+         "), " + std::to_string(steps.size()) + " steps:\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + steps[i].label + "\n";
+  }
+  out += "  => " + diagnostic.message + "\n";
+  return out;
+}
+
+std::string CheckResult::summary() const {
+  std::string out = std::to_string(states) + " states, " + std::to_string(transitions) +
+                    " transitions, peak depth " + std::to_string(peak_depth);
+  if (revisits > 0) out += ", " + std::to_string(revisits) + " revisits";
+  if (!complete) out += " [INCOMPLETE: budget exhausted]";
+  if (counterexample) {
+    out += '\n';
+    out += counterexample->format();
+  } else if (complete) {
+    out += " — exhaustive, no violation";
+  }
+  return out;
+}
+
+}  // namespace slspvr::model

@@ -1,0 +1,686 @@
+#include "model/protocol.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace slspvr::model {
+
+namespace {
+
+// Resource bitmask layout (Action::touches). Disjoint masks on actions of
+// different actors certify independence for the sleep-set reduction, so a
+// bit must cover *everything* an action reads (including its enabledness
+// condition) or writes.
+constexpr std::uint32_t kUp(int w) { return 1U << w; }
+constexpr std::uint32_t kDown(int w) { return 1U << (4 + w); }
+constexpr std::uint32_t kMbox(int w) { return 1U << (8 + w); }
+constexpr std::uint32_t kWrk(int w) { return 1U << (12 + w); }
+constexpr std::uint32_t kDownAll = 0xF0U;
+constexpr std::uint32_t kSup = 1U << 16;
+constexpr std::uint32_t kCrashBudget = 1U << 17;
+
+// Actor ids: 0..3 worker main threads, 4..7 worker reader threads,
+// 8 the supervisor poll loop (single-threaded, hence one actor).
+constexpr std::int16_t kReaderActor(int w) {
+  return static_cast<std::int16_t>(kMaxWorkers + w);
+}
+constexpr std::int16_t kSupActor = 2 * kMaxWorkers;
+
+void put8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+}  // namespace
+
+const char* mutant_name(Mutant m) {
+  switch (m) {
+    case Mutant::kNone: return "none";
+    case Mutant::kNoParking: return "no-parking";
+    case Mutant::kSkipBacklogReplay: return "skip-backlog-replay";
+    case Mutant::kSkipFailureReplay: return "skip-failure-replay";
+    case Mutant::kSkipPoisonBroadcast: return "skip-poison-broadcast";
+    case Mutant::kDoublePromotion: return "double-promotion";
+    case Mutant::kNoWatchdog: return "no-watchdog";
+    case Mutant::kAckBeforeDeposit: return "ack-before-deposit";
+    case Mutant::kRenumberRetransmit: return "renumber-retransmit";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SupervisionModel
+// ---------------------------------------------------------------------------
+
+SupervisionModel::SupervisionModel(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+bool SupervisionModel::may_crash(int w) const {
+  return scenario_.crash_rank == kMaxWorkers || scenario_.crash_rank == w;
+}
+
+SupervisionModel::State SupervisionModel::initial() const {
+  State s;
+  s.crash_budget = static_cast<std::int8_t>(scenario_.crash_rank >= 0 ? 1 : 0);
+  return s;
+}
+
+void SupervisionModel::enumerate(const State& s, std::vector<Action>& out) const {
+  out.clear();
+  const int W = scenario_.workers;
+  const auto push = [&](std::int16_t actor, std::int16_t kind, int a, int b,
+                        std::uint32_t touches) {
+    Action act;
+    act.actor = actor;
+    act.kind = kind;
+    act.a = static_cast<std::int16_t>(a);
+    act.b = static_cast<std::int16_t>(b);
+    act.touches = touches;
+    out.push_back(act);
+  };
+
+  for (int w = 0; w < W; ++w) {
+    const Worker& wk = s.worker[w];
+    const bool up_space =
+        static_cast<int>(s.up[w].size()) < scenario_.uplink_capacity;
+    if (wk.stalled) continue;  // SIGSTOPped: no thread of it runs
+
+    switch (wk.phase) {
+      case Phase::kStart:
+        if (up_space) push(static_cast<std::int16_t>(w), aConnect, w, -1, kWrk(w) | kUp(w));
+        break;
+      case Phase::kRun: {
+        if (scenario_.mutant == Mutant::kDoublePromotion && !wk.dup_hello_sent &&
+            wk.pc == 0 && up_space) {
+          push(static_cast<std::int16_t>(w), aDupHello, w, -1, kWrk(w) | kUp(w));
+        }
+        if (wk.pc < ops()) {
+          if (wk.pc % 2 == 0) {
+            if (up_space) {
+              const int id = frame_id(wk.pc / 2, w);
+              push(static_cast<std::int16_t>(w), aSend, w, id, kWrk(w) | kUp(w));
+            }
+          } else {
+            const int src = (w - 1 + W) % W;
+            const int id = frame_id(wk.pc / 2, src);
+            const bool present =
+                std::find(wk.mailbox.begin(), wk.mailbox.end(),
+                          static_cast<std::int8_t>(id)) != wk.mailbox.end();
+            if (present) {
+              push(static_cast<std::int16_t>(w), aRecv, w, id,
+                   kWrk(w) | kMbox(w));
+            } else if (wk.poisoned && up_space) {
+              push(static_cast<std::int16_t>(w), aAbort, w, -1,
+                   kWrk(w) | kUp(w) | kMbox(w));
+            }
+          }
+        } else if (up_space) {
+          push(static_cast<std::int16_t>(w), aGoodbye, w, -1, kWrk(w) | kUp(w));
+        }
+        if (w == scenario_.stall_rank) {
+          push(static_cast<std::int16_t>(w), aStall, w, -1, kWrk(w));
+        }
+        break;
+      }
+      case Phase::kWaitShutdown:
+        if (wk.shutdown_seen) push(static_cast<std::int16_t>(w), aExit, w, -1, kWrk(w));
+        break;
+      case Phase::kExited:
+      case Phase::kCrashed:
+        break;
+    }
+
+    if ((wk.phase == Phase::kStart || wk.phase == Phase::kRun) && may_crash(w) &&
+        s.crash_budget > 0) {
+      push(static_cast<std::int16_t>(w), aCrash, w, -1, kWrk(w) | kCrashBudget);
+    }
+
+    // Reader thread: pump one frame off the down link into the mailbox
+    // (respecting capacity backpressure; poison lifts the bound, exactly
+    // like Mailbox::deposit).
+    if ((wk.phase == Phase::kRun || wk.phase == Phase::kWaitShutdown) &&
+        !s.down[w].empty()) {
+      const Msg& head = s.down[w].front();
+      bool enabled = true;
+      if (head.kind == Msg::Kind::kData && scenario_.mailbox_capacity > 0 &&
+          static_cast<int>(wk.mailbox.size()) >= scenario_.mailbox_capacity &&
+          !wk.poisoned) {
+        enabled = false;  // deposit blocks while the mailbox is full
+      }
+      if (enabled) {
+        push(kReaderActor(w), aPump, w, static_cast<int>(head.kind),
+             kWrk(w) | kDown(w) | kMbox(w));
+      }
+    }
+  }
+
+  // Supervisor poll loop (one sequential actor).
+  for (int w = 0; w < W; ++w) {
+    if (!s.sup[w].link_closed && !s.up[w].empty()) {
+      push(kSupActor, aSupPump, w, static_cast<int>(s.up[w].front().kind),
+           kUp(w) | kSup | kDownAll);
+    }
+    if (s.worker[w].phase == Phase::kCrashed && !s.sup[w].failed && !s.sup[w].done) {
+      push(kSupActor, aSupReap, w, -1, kWrk(w) | kUp(w) | kSup | kDownAll);
+    }
+    if (s.worker[w].stalled && !s.sup[w].failed && !s.sup[w].done &&
+        scenario_.mutant != Mutant::kNoWatchdog) {
+      push(kSupActor, aWatchdog, w, -1, kWrk(w) | kUp(w) | kSup | kDownAll);
+    }
+  }
+  if (!s.shutdown_sent) {
+    bool settled = true;
+    for (int w = 0; w < W; ++w) {
+      if (!s.sup[w].done && !s.sup[w].failed) settled = false;
+    }
+    if (settled) push(kSupActor, aSupShutdown, -1, -1, kSup | kDownAll);
+  }
+}
+
+SupervisionModel::State SupervisionModel::apply(const State& s, const Action& act) const {
+  State n = s;
+  const int W = scenario_.workers;
+  const int w = act.a;
+
+  // fail(): record + close the link + broadcast kPeerFailed to every open
+  // promoted peer — mirrors supervisor.cpp fail()/mark_failed() (which skips
+  // invalid links; that gap is what the failure-history replay closes).
+  const auto fail = [&](State& st, int r) {
+    if (st.sup[r].failed || st.sup[r].done) return;
+    st.sup[r].failed = true;
+    st.failures.push_back(static_cast<std::int8_t>(r));
+    st.sup[r].link_closed = true;
+    st.sup[r].parked.clear();
+    st.up[r].clear();    // unread socket buffer lost with the link
+    st.down[r].clear();  // outbound queue cleared
+    if (scenario_.mutant == Mutant::kSkipPoisonBroadcast) return;
+    for (int v = 0; v < W; ++v) {
+      if (v == r || !st.sup[v].promoted || st.sup[v].failed || st.sup[v].link_closed) {
+        continue;
+      }
+      st.down[v].push_back({Msg::Kind::kPeerFailed, static_cast<std::int8_t>(r), -1});
+    }
+  };
+
+  switch (act.kind) {
+    case aConnect:
+      n.worker[w].phase = Phase::kRun;
+      n.up[w].push_back({Msg::Kind::kHello, static_cast<std::int8_t>(w), -1});
+      break;
+    case aDupHello:
+      n.worker[w].dup_hello_sent = true;
+      n.up[w].push_back({Msg::Kind::kHello, static_cast<std::int8_t>(w), -1});
+      break;
+    case aSend: {
+      const int dest = (w + 1) % W;
+      n.up[w].push_back({Msg::Kind::kData, static_cast<std::int8_t>(dest),
+                         static_cast<std::int8_t>(act.b)});
+      ++n.worker[w].pc;
+      break;
+    }
+    case aRecv: {
+      auto& mbox = n.worker[w].mailbox;
+      const auto it = std::find(mbox.begin(), mbox.end(), static_cast<std::int8_t>(act.b));
+      if (it != mbox.end()) mbox.erase(it);
+      ++n.worker[w].pc;
+      break;
+    }
+    case aAbort:
+      n.worker[w].aborted = true;
+      n.worker[w].phase = Phase::kWaitShutdown;
+      n.up[w].push_back({Msg::Kind::kGoodbye, static_cast<std::int8_t>(w), -1});
+      break;
+    case aGoodbye:
+      n.worker[w].phase = Phase::kWaitShutdown;
+      n.up[w].push_back({Msg::Kind::kGoodbye, static_cast<std::int8_t>(w), -1});
+      break;
+    case aExit:
+      n.worker[w].phase = Phase::kExited;
+      break;
+    case aCrash:
+      n.worker[w].phase = Phase::kCrashed;
+      --n.crash_budget;
+      break;
+    case aStall:
+      n.worker[w].stalled = true;
+      break;
+    case aPump: {
+      const Msg head = n.down[w].front();
+      n.down[w].erase(n.down[w].begin());
+      switch (head.kind) {
+        case Msg::Kind::kData: {
+          n.worker[w].mailbox.push_back(head.b);
+          if (++n.delivered[static_cast<std::size_t>(head.b)] > 1) {
+            n.bad = BadState::kDuplicateDelivery;
+          }
+          break;
+        }
+        case Msg::Kind::kPeerFailed:
+          n.worker[w].poisoned = true;
+          break;
+        case Msg::Kind::kShutdown:
+          n.worker[w].shutdown_seen = true;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    case aSupPump: {
+      const Msg head = n.up[w].front();
+      n.up[w].erase(n.up[w].begin());
+      switch (head.kind) {
+        case Msg::Kind::kHello: {
+          if (n.sup[w].promoted) {
+            // Real supervisor: "duplicate hello: harmless". The mutant
+            // re-runs the whole promotion instead.
+            if (scenario_.mutant != Mutant::kDoublePromotion) break;
+          }
+          n.sup[w].promoted = true;
+          if (++n.sup[w].promotions > 1) n.bad = BadState::kDoublePromotion;
+          if (scenario_.mutant != Mutant::kSkipBacklogReplay) {
+            for (const std::int8_t id : n.sup[w].parked) {
+              n.down[w].push_back({Msg::Kind::kData, -1, id});
+            }
+          }
+          n.sup[w].parked.clear();
+          if (scenario_.mutant != Mutant::kSkipFailureReplay) {
+            for (const std::int8_t fr : n.failures) {
+              if (fr == w) continue;
+              n.down[w].push_back({Msg::Kind::kPeerFailed, fr, -1});
+            }
+          }
+          break;
+        }
+        case Msg::Kind::kData: {
+          const int dest = head.a;
+          if (n.sup[dest].failed || n.sup[dest].link_closed) break;  // drop
+          if (!n.sup[dest].promoted) {
+            if (scenario_.mutant == Mutant::kNoParking) break;  // race #1
+            n.sup[dest].parked.push_back(head.b);
+            break;
+          }
+          if (!n.sup[dest].promoted) {
+            // Unreachable through the branches above; kept as the invariant
+            // the parking logic exists to protect.
+            n.bad = BadState::kRouteUnpromoted;
+            break;
+          }
+          n.down[dest].push_back({Msg::Kind::kData, -1, head.b});
+          break;
+        }
+        case Msg::Kind::kGoodbye:
+          n.sup[w].done = true;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    case aSupReap:
+      fail(n, w);
+      break;
+    case aWatchdog:
+      fail(n, w);
+      n.worker[w].phase = Phase::kCrashed;  // fail() SIGKILLs the straggler
+      break;
+    case aSupShutdown:
+      n.shutdown_sent = true;
+      for (int v = 0; v < W; ++v) {
+        if (n.sup[v].promoted && !n.sup[v].link_closed) {
+          n.down[v].push_back({Msg::Kind::kShutdown, -1, -1});
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+bool SupervisionModel::accepting(const State& s) const {
+  if (!s.shutdown_sent) return false;
+  for (int w = 0; w < scenario_.workers; ++w) {
+    const Phase p = s.worker[w].phase;
+    if (p != Phase::kExited && p != Phase::kCrashed) return false;
+  }
+  return true;
+}
+
+std::optional<check::Diagnostic> SupervisionModel::violation(const State& s) const {
+  const auto diag = [](check::Diagnostic::Code code, std::string msg) {
+    check::Diagnostic d;
+    d.code = code;
+    d.message = std::move(msg);
+    return d;
+  };
+  switch (s.bad) {
+    case BadState::kDuplicateDelivery:
+      return diag(check::Diagnostic::Code::kInvariant,
+                  "a frame was deposited twice into the same mailbox");
+    case BadState::kRouteUnpromoted:
+      return diag(check::Diagnostic::Code::kInvariant,
+                  "supervisor queued kData to a rank that was never promoted");
+    case BadState::kDoublePromotion:
+      return diag(check::Diagnostic::Code::kInvariant, "a rank was promoted twice");
+    default:
+      break;
+  }
+  if (!accepting(s)) return std::nullopt;
+
+  // Final-state invariants (the run has terminated legally).
+  const int W = scenario_.workers;
+  if (s.failures.empty()) {
+    for (int id = 0; id < scenario_.stages * W; ++id) {
+      if (s.delivered[static_cast<std::size_t>(id)] != 1) {
+        return diag(check::Diagnostic::Code::kInvariant,
+                    "frame #" + std::to_string(id) +
+                        " was lost although no rank failed");
+      }
+    }
+    for (int w = 0; w < W; ++w) {
+      if (s.worker[w].phase != Phase::kExited ||
+          s.worker[w].pc != static_cast<std::int8_t>(ops()) || s.worker[w].aborted) {
+        return diag(check::Diagnostic::Code::kInvariant,
+                    "worker " + std::to_string(w) +
+                        " did not complete its program although no rank failed");
+      }
+    }
+  } else {
+    for (int w = 0; w < W; ++w) {
+      if (s.worker[w].phase == Phase::kExited &&
+          s.worker[w].pc != static_cast<std::int8_t>(ops()) && !s.worker[w].aborted) {
+        return diag(check::Diagnostic::Code::kInvariant,
+                    "worker " + std::to_string(w) +
+                        " exited mid-program without aborting");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void SupervisionModel::encode(const State& s, std::string& out) const {
+  out.clear();
+  const int W = scenario_.workers;
+  for (int w = 0; w < W; ++w) {
+    const Worker& wk = s.worker[w];
+    put8(out, static_cast<std::uint8_t>(wk.phase));
+    put8(out, static_cast<std::uint8_t>(wk.pc));
+    put8(out, static_cast<std::uint8_t>(
+                  (wk.aborted ? 1 : 0) | (wk.stalled ? 2 : 0) | (wk.poisoned ? 4 : 0) |
+                  (wk.shutdown_seen ? 8 : 0) | (wk.dup_hello_sent ? 16 : 0)));
+    put8(out, static_cast<std::uint8_t>(wk.mailbox.size()));
+    for (const std::int8_t id : wk.mailbox) put8(out, static_cast<std::uint8_t>(id));
+
+    const Sup& sp = s.sup[w];
+    put8(out, static_cast<std::uint8_t>((sp.promoted ? 1 : 0) | (sp.done ? 2 : 0) |
+                                        (sp.failed ? 4 : 0) | (sp.link_closed ? 8 : 0)));
+    put8(out, static_cast<std::uint8_t>(sp.promotions));
+    put8(out, static_cast<std::uint8_t>(sp.parked.size()));
+    for (const std::int8_t id : sp.parked) put8(out, static_cast<std::uint8_t>(id));
+
+    for (const auto* q : {&s.up[w], &s.down[w]}) {
+      put8(out, static_cast<std::uint8_t>(q->size()));
+      for (const Msg& m : *q) {
+        put8(out, static_cast<std::uint8_t>(m.kind));
+        put8(out, static_cast<std::uint8_t>(m.a));
+        put8(out, static_cast<std::uint8_t>(m.b));
+      }
+    }
+  }
+  put8(out, static_cast<std::uint8_t>(s.failures.size()));
+  for (const std::int8_t r : s.failures) put8(out, static_cast<std::uint8_t>(r));
+  for (int id = 0; id < scenario_.stages * W; ++id) {
+    put8(out, static_cast<std::uint8_t>(s.delivered[static_cast<std::size_t>(id)]));
+  }
+  put8(out, static_cast<std::uint8_t>((s.shutdown_sent ? 1 : 0) |
+                                      (static_cast<int>(s.crash_budget) << 1)));
+  put8(out, static_cast<std::uint8_t>(s.bad));
+}
+
+std::string SupervisionModel::describe(const Action& act) const {
+  const std::string w = "worker " + std::to_string(act.a);
+  const auto msg_kind = [&]() -> std::string {
+    switch (static_cast<Msg::Kind>(act.b)) {
+      case Msg::Kind::kHello: return "hello";
+      case Msg::Kind::kData: return "data";
+      case Msg::Kind::kGoodbye: return "goodbye";
+      case Msg::Kind::kPeerFailed: return "peer-failed";
+      case Msg::Kind::kShutdown: return "shutdown";
+    }
+    return "?";
+  };
+  switch (act.kind) {
+    case aConnect: return w + ": connect and send hello";
+    case aDupHello: return w + ": send duplicate hello";
+    case aSend:
+      return w + ": send frame #" + std::to_string(act.b) + " to rank " +
+             std::to_string((act.a + 1) % scenario_.workers);
+    case aRecv: return w + ": receive frame #" + std::to_string(act.b);
+    case aAbort: return w + ": poisoned at receive, abort with goodbye";
+    case aGoodbye: return w + ": program complete, send goodbye";
+    case aExit: return w + ": shutdown seen, exit";
+    case aCrash: return w + ": crashes (SIGKILL)";
+    case aStall: return w + ": stalls (SIGSTOP)";
+    case aPump: return w + " reader: deliver " + msg_kind() + " from the down link";
+    case aSupPump:
+      return "supervisor: pump " + msg_kind() + " from " + w + "'s uplink";
+    case aSupReap: return "supervisor: reap crashed " + w + ", broadcast peer-failed";
+    case aWatchdog:
+      return "supervisor: heartbeat watchdog promotes silent " + w + " to failed";
+    case aSupShutdown: return "supervisor: all ranks settled, broadcast shutdown";
+    default: return "?";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetransmitModel
+// ---------------------------------------------------------------------------
+
+namespace {
+// Retransmit-model resources (sender, receiver, adversary actors 0/1/2).
+constexpr std::uint32_t kCh = 1;
+constexpr std::uint32_t kNakQ = 2;
+constexpr std::uint32_t kSnd = 4;
+constexpr std::uint32_t kRcv = 8;
+constexpr std::uint32_t kDamage = 16;
+constexpr std::int16_t kSenderActor = 0;
+constexpr std::int16_t kReceiverActor = 1;
+constexpr std::int16_t kAdversaryActor = 2;
+}  // namespace
+
+RetransmitModel::RetransmitModel(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+RetransmitModel::State RetransmitModel::initial() const {
+  State s;
+  s.damage_budget = static_cast<std::int8_t>(scenario_.damage_budget);
+  s.nak_budget = static_cast<std::int8_t>(2 * scenario_.damage_budget + 4);
+  return s;
+}
+
+void RetransmitModel::enumerate(const State& s, std::vector<Action>& out) const {
+  out.clear();
+  const int k = scenario_.messages;
+  const int cap = k + 2;
+  const auto push = [&](std::int16_t actor, std::int16_t kind, int a, int b,
+                        std::uint32_t touches) {
+    Action act;
+    act.actor = actor;
+    act.kind = kind;
+    act.a = static_cast<std::int16_t>(a);
+    act.b = static_cast<std::int16_t>(b);
+    act.touches = touches;
+    out.push_back(act);
+  };
+
+  if (s.next_send < k && static_cast<int>(s.channel.size()) < cap) {
+    push(kSenderActor, sSend, -1, s.next_send, kSnd | kCh);
+  }
+  if (!s.naks.empty() && static_cast<int>(s.channel.size()) < cap) {
+    push(kSenderActor, sRetx, -1, s.naks.front(), kSnd | kNakQ | kCh);
+  }
+  for (int i = 0; i < static_cast<int>(s.channel.size()); ++i) {
+    if (s.damage_budget > 0) {
+      push(kAdversaryActor, eDrop, i, s.channel[static_cast<std::size_t>(i)].seq,
+           kCh | kDamage);
+      if (!s.channel[static_cast<std::size_t>(i)].corrupted) {
+        push(kAdversaryActor, eCorrupt, i, s.channel[static_cast<std::size_t>(i)].seq,
+             kCh | kDamage);
+      }
+    }
+    push(kReceiverActor, rTake, i, s.channel[static_cast<std::size_t>(i)].seq,
+         kRcv | kCh | kNakQ);
+  }
+  if (s.channel.empty() && s.naks.empty() && s.next_send >= k && s.expected < k &&
+      !s.abandoned) {
+    push(kReceiverActor, rTimeoutNak, -1, s.expected, kRcv | kCh | kNakQ | kSnd);
+  }
+}
+
+RetransmitModel::State RetransmitModel::apply(const State& s, const Action& act) const {
+  State n = s;
+  const int k = scenario_.messages;
+  const auto bit = [](int seq) { return static_cast<std::uint8_t>(1U << seq); };
+  const auto nak = [&](int seq) {
+    if (std::find(n.naks.begin(), n.naks.end(), static_cast<std::int8_t>(seq)) !=
+        n.naks.end()) {
+      return;  // already queued for retransmission
+    }
+    if (n.nak_budget <= 0) {
+      n.abandoned = true;  // retry exhaustion: RetryExhaustedError territory
+      return;
+    }
+    --n.nak_budget;
+    n.naks.push_back(static_cast<std::int8_t>(seq));
+  };
+
+  switch (act.kind) {
+    case sSend:
+      n.channel.push_back({n.next_send, false});
+      ++n.next_send;
+      break;
+    case sRetx: {
+      const std::int8_t seq = n.naks.front();
+      n.naks.erase(n.naks.begin());
+      if (scenario_.mutant == Mutant::kRenumberRetransmit) {
+        // Defect: a fresh envelope instead of the stored original.
+        n.channel.push_back({n.next_send, false});
+        ++n.next_send;
+      } else {
+        n.channel.push_back({seq, false});
+      }
+      break;
+    }
+    case eDrop:
+      n.channel.erase(n.channel.begin() + act.a);
+      --n.damage_budget;
+      break;
+    case eCorrupt:
+      n.channel[static_cast<std::size_t>(act.a)].corrupted = true;
+      --n.damage_budget;
+      break;
+    case rTake: {
+      const Packet p = n.channel[static_cast<std::size_t>(act.a)];
+      n.channel.erase(n.channel.begin() + act.a);
+      if (p.seq >= static_cast<std::int8_t>(k)) {
+        // A sequence number the protocol never issued for this window:
+        // only a renumbered retransmit can produce it.
+        n.bad = BadState::kRenumberedSeq;
+        break;
+      }
+      if (p.corrupted) {
+        if (scenario_.mutant == Mutant::kAckBeforeDeposit && p.seq >= n.expected) {
+          // Defect: cursor advanced before the envelope was validated.
+          n.expected = static_cast<std::int8_t>(p.seq + 1);
+        }
+        nak(p.seq);
+        break;
+      }
+      if (p.seq < n.expected) break;  // duplicate: already deposited
+      if (p.seq == n.expected) {
+        n.delivered = static_cast<std::uint8_t>(n.delivered | bit(p.seq));
+        ++n.expected;
+        while (n.expected < static_cast<std::int8_t>(k) &&
+               (n.stashed & bit(n.expected)) != 0) {
+          n.stashed = static_cast<std::uint8_t>(n.stashed & ~bit(n.expected));
+          n.delivered = static_cast<std::uint8_t>(n.delivered | bit(n.expected));
+          ++n.expected;
+        }
+        break;
+      }
+      // Ahead of sequence: stash and NAK the gap head.
+      if ((n.stashed & bit(p.seq)) == 0) {
+        n.stashed = static_cast<std::uint8_t>(n.stashed | bit(p.seq));
+      }
+      nak(n.expected);
+      break;
+    }
+    case rTimeoutNak:
+      nak(act.b);
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+bool RetransmitModel::accepting(const State& s) const {
+  const int k = scenario_.messages;
+  const auto full = static_cast<std::uint8_t>((1U << k) - 1U);
+  return s.expected >= static_cast<std::int8_t>(k) && s.delivered == full &&
+         s.next_send >= static_cast<std::int8_t>(k) && s.channel.empty() &&
+         s.naks.empty() && !s.abandoned;
+}
+
+std::optional<check::Diagnostic> RetransmitModel::violation(const State& s) const {
+  const auto diag = [](std::string msg) {
+    check::Diagnostic d;
+    d.code = check::Diagnostic::Code::kInvariant;
+    d.message = std::move(msg);
+    return d;
+  };
+  if (s.bad == BadState::kRenumberedSeq) {
+    return diag("retransmit carried a renumbered sequence (not the stored original)");
+  }
+  // Cursor integrity: every sequence the receive cursor has passed must have
+  // been deposited — acknowledging an envelope that never reached the
+  // mailbox silently loses its payload.
+  const int upto = std::min<int>(s.expected, scenario_.messages);
+  for (int seq = 0; seq < upto; ++seq) {
+    if ((s.delivered & (1U << seq)) == 0) {
+      return diag("receive cursor passed seq " + std::to_string(seq) +
+                  " but its payload was never deposited");
+    }
+  }
+  return std::nullopt;
+}
+
+void RetransmitModel::encode(const State& s, std::string& out) const {
+  out.clear();
+  put8(out, static_cast<std::uint8_t>(s.next_send));
+  put8(out, static_cast<std::uint8_t>(s.expected));
+  put8(out, s.delivered);
+  put8(out, s.stashed);
+  put8(out, static_cast<std::uint8_t>(s.channel.size()));
+  for (const Packet& p : s.channel) {
+    put8(out, static_cast<std::uint8_t>(p.seq));
+    put8(out, p.corrupted ? 1 : 0);
+  }
+  put8(out, static_cast<std::uint8_t>(s.naks.size()));
+  for (const std::int8_t q : s.naks) put8(out, static_cast<std::uint8_t>(q));
+  put8(out, static_cast<std::uint8_t>(s.damage_budget));
+  put8(out, static_cast<std::uint8_t>(s.nak_budget));
+  put8(out, static_cast<std::uint8_t>((s.abandoned ? 1 : 0)));
+  put8(out, static_cast<std::uint8_t>(s.bad));
+}
+
+std::string RetransmitModel::describe(const Action& act) const {
+  const std::string seq = "seq " + std::to_string(act.b);
+  switch (act.kind) {
+    case sSend: return "sender: emit envelope " + seq;
+    case sRetx: return "sender: retransmit " + seq + " from the in-flight store";
+    case eDrop: return "adversary: drop in-flight envelope " + seq;
+    case eCorrupt: return "adversary: corrupt in-flight envelope " + seq;
+    case rTake: return "receiver: take envelope " + seq + " off the channel";
+    case rTimeoutNak: return "receiver: drop-detect timeout, NAK " + seq;
+    default: return "?";
+  }
+}
+
+}  // namespace slspvr::model

@@ -1,0 +1,256 @@
+// Code-mirroring state machines for the PR 6 supervision protocol and the
+// PR 4 envelope NAK/retransmit channel, checked exhaustively by
+// model::explore (checker.hpp).
+//
+// SupervisionModel mirrors, actor by actor, the real runtime:
+//   * the supervisor poll loop (supervisor.cpp): per-link pump, kData
+//     routing with parking for not-yet-promoted destinations, promotion at
+//     kHello with backlog + failure-history replay, kGoodbye accounting,
+//     waitpid reap -> fail() -> kPeerFailed broadcast to valid links only,
+//     heartbeat watchdog, kShutdown broadcast once every rank is settled;
+//   * the worker lifecycle (proc_runner.cpp + socket_transport.cpp):
+//     connect/backoff -> kHello -> promoted -> a ring exchange of sends and
+//     mailbox receives -> kGoodbye -> drain until kShutdown -> exit, with
+//     PeerFailedError aborts when the local context is poisoned;
+//   * the worker-side reader thread: down-link frames deposit into the
+//     local mailbox under capacity backpressure (deposit blocks while the
+//     mailbox is full, poison lifts the bound), kPeerFailed poisons.
+// Crash (SIGKILL) and stall (SIGSTOP) actions are enabled per scenario.
+//
+// Heartbeats are abstracted: the model does not enqueue kHeartbeat frames
+// (they carry no protocol state) — the watchdog is modelled as an action
+// enabled once a worker is stalled. That keeps every counter in the state
+// monotone, so the supervision state graph is finite and acyclic.
+//
+// RetransmitModel mirrors envelope.hpp + the Comm retry path: a sender with
+// an in-flight store, a lossy/reordering/corrupting channel with a bounded
+// damage budget, and a receiver that deposits in-sequence envelopes, stashes
+// ahead-of-sequence ones and NAKs gaps/corruption for retransmission.
+//
+// Mutants re-introduce real (fixed) defects or plant plausible ones; the
+// checker must produce a counterexample for every mutant (scenarios.cpp
+// pairs each scenario with the mutants it can catch).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/verify.hpp"
+#include "model/checker.hpp"
+
+namespace slspvr::model {
+
+inline constexpr int kMaxWorkers = 4;
+
+/// A seeded protocol defect. kNone is the shipped protocol; everything else
+/// must be caught by the checker (mutation coverage for the model itself).
+enum class Mutant : std::uint8_t {
+  kNone = 0,
+  /// PR 6 startup race #1: drop (instead of park) kData addressed to a rank
+  /// that has not completed its kHello yet.
+  kNoParking,
+  /// Park, but discard the parked backlog at promotion instead of replaying
+  /// it onto the fresh link.
+  kSkipBacklogReplay,
+  /// PR 6 startup race #2: do not replay the failure history to a late
+  /// joiner — it waits on a dead rank forever.
+  kSkipFailureReplay,
+  /// Record a failure without broadcasting kPeerFailed: survivors block.
+  kSkipPoisonBroadcast,
+  /// Re-run promotion on a duplicate kHello (the real supervisor ignores
+  /// it): the backlog/failure replay runs twice.
+  kDoublePromotion,
+  /// Disable the heartbeat watchdog: a SIGSTOPped worker wedges the run.
+  kNoWatchdog,
+  /// Retransmit layer: advance the receive cursor before validating the
+  /// envelope — a corrupt frame is acknowledged and its payload lost.
+  kAckBeforeDeposit,
+  /// Retransmit layer: give retransmitted envelopes fresh sequence numbers
+  /// instead of the originals from the in-flight store.
+  kRenumberRetransmit,
+};
+
+[[nodiscard]] const char* mutant_name(Mutant m);
+
+/// One checkable configuration: which protocol, how many actors, which
+/// adversarial actions are armed, and which mutant (if any) is planted.
+struct Scenario {
+  enum class Kind : std::uint8_t { kSupervision, kRetransmit };
+
+  std::string name;
+  Kind kind = Kind::kSupervision;
+
+  // --- supervision parameters ---
+  int workers = 2;           ///< 2..kMaxWorkers
+  int stages = 1;            ///< ring-exchange rounds per worker
+  int mailbox_capacity = 0;  ///< 0 = unbounded (Mailbox semantics)
+  int uplink_capacity = 3;   ///< worker->supervisor channel bound
+  /// -1: crashes disabled; kMaxWorkers: any single worker may crash
+  /// (nondeterministic choice); else: only this rank may crash.
+  int crash_rank = -1;
+  int stall_rank = -1;  ///< -1: stalls disabled (SIGSTOP model)
+
+  // --- retransmit parameters ---
+  int messages = 3;       ///< envelopes to deliver on the channel
+  int damage_budget = 2;  ///< total drops + corruptions the adversary gets
+
+  Mutant mutant = Mutant::kNone;
+};
+
+/// Internal invariant codes carried in a state until violation() reports
+/// them (states hold no strings so encoding stays canonical).
+enum class BadState : std::uint8_t {
+  kNone = 0,
+  kDuplicateDelivery,   ///< a frame deposited twice into a mailbox
+  kRouteUnpromoted,     ///< supervisor queued kData to an unpromoted rank
+  kDoublePromotion,     ///< a rank promoted twice
+  kLostWithoutFailure,  ///< final: frame undelivered yet nobody failed
+  kPrematureExit,       ///< final: worker exited mid-program, not aborted
+  kRenumberedSeq,       ///< retransmit carried a never-issued seq number
+  kAckedButLost,        ///< receiver cursor passed an undeposited payload
+};
+
+// ---------------------------------------------------------------------------
+// Supervision protocol model
+// ---------------------------------------------------------------------------
+
+/// In-model message (both directions). Up: kHello/kData{dest,id}/kGoodbye.
+/// Down: kData{id}/kPeerFailed{rank}/kShutdown.
+struct Msg {
+  enum class Kind : std::uint8_t { kHello = 1, kData, kGoodbye, kPeerFailed, kShutdown };
+  Kind kind = Kind::kHello;
+  std::int8_t a = -1;  ///< kData up: dest; kPeerFailed: failed rank
+  std::int8_t b = -1;  ///< kData: frame id
+};
+
+class SupervisionModel {
+ public:
+  /// Worker lifecycle phases, mirroring proc_runner::worker_main.
+  enum class Phase : std::uint8_t { kStart = 0, kRun, kWaitShutdown, kExited, kCrashed };
+
+  struct Worker {
+    Phase phase = Phase::kStart;
+    std::int8_t pc = 0;  ///< next op in the ring program (2*stages ops)
+    bool aborted = false;
+    bool stalled = false;
+    bool poisoned = false;
+    bool shutdown_seen = false;
+    bool dup_hello_sent = false;
+    std::vector<std::int8_t> mailbox;  ///< deposited frame ids, FIFO
+  };
+
+  struct Sup {
+    bool promoted = false;
+    std::int8_t promotions = 0;
+    bool done = false;    ///< kGoodbye seen
+    bool failed = false;  ///< failure recorded
+    bool link_closed = false;
+    std::vector<std::int8_t> parked;  ///< frame ids parked for this rank
+  };
+
+  struct State {
+    std::array<Worker, kMaxWorkers> worker;
+    std::array<Sup, kMaxWorkers> sup;
+    std::array<std::vector<Msg>, kMaxWorkers> up;    ///< worker -> supervisor
+    std::array<std::vector<Msg>, kMaxWorkers> down;  ///< supervisor -> worker
+    std::array<std::int8_t, kMaxWorkers * 8> delivered{};  ///< per frame id
+    std::vector<std::int8_t> failures;  ///< detection order, mirrors out.failures
+    bool shutdown_sent = false;
+    std::int8_t crash_budget = 0;
+    BadState bad = BadState::kNone;
+  };
+
+  /// Action kinds (Action::kind); Action::a = worker rank where relevant.
+  enum Kind : std::int16_t {
+    aConnect = 1,  ///< connect + kHello
+    aDupHello,     ///< second kHello (kDoublePromotion mutant only)
+    aSend,         ///< ring op: kData to the next rank
+    aRecv,         ///< ring op: matching mailbox receive
+    aAbort,        ///< poisoned at a blocked receive: goodbye + abort
+    aGoodbye,      ///< program complete: kGoodbye
+    aExit,         ///< kShutdown seen: process exits
+    aCrash,        ///< SIGKILL mid-run
+    aStall,        ///< SIGSTOP (worker stops scheduling any action)
+    aPump,         ///< reader thread: pop one down-link frame
+    aSupPump,      ///< supervisor: pop one up-link frame
+    aSupReap,      ///< supervisor: waitpid/EOF on a crashed worker
+    aWatchdog,     ///< heartbeat timeout promotes a stalled worker to failed
+    aSupShutdown,  ///< all settled: broadcast kShutdown
+  };
+
+  explicit SupervisionModel(Scenario scenario);
+
+  [[nodiscard]] State initial() const;
+  void enumerate(const State& s, std::vector<Action>& out) const;
+  [[nodiscard]] State apply(const State& s, const Action& act) const;
+  [[nodiscard]] std::optional<check::Diagnostic> violation(const State& s) const;
+  [[nodiscard]] bool accepting(const State& s) const;
+  void encode(const State& s, std::string& out) const;
+  [[nodiscard]] std::string describe(const Action& act) const;
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  /// Total ops in each worker's ring program (2 per stage: send, recv).
+  [[nodiscard]] int ops() const { return 2 * scenario_.stages; }
+  /// Frame id sent by `rank` in `round`; its receiver is (rank+1) % workers.
+  [[nodiscard]] int frame_id(int round, int rank) const {
+    return round * scenario_.workers + rank;
+  }
+
+ private:
+  [[nodiscard]] bool may_crash(int w) const;
+  Scenario scenario_;
+};
+
+// ---------------------------------------------------------------------------
+// Envelope NAK/retransmit model
+// ---------------------------------------------------------------------------
+
+class RetransmitModel {
+ public:
+  struct Packet {
+    std::int8_t seq = 0;
+    bool corrupted = false;
+  };
+
+  struct State {
+    std::int8_t next_send = 0;  ///< sender cursor (also: fresh-seq counter)
+    std::int8_t expected = 0;   ///< receiver cursor
+    std::uint8_t delivered = 0;  ///< bitmask of deposited payload seqs
+    std::uint8_t stashed = 0;    ///< bitmask of ahead-of-sequence seqs held
+    std::vector<Packet> channel;  ///< in flight; delivery from any index
+    std::vector<std::int8_t> naks;  ///< receiver -> sender retransmit queue
+    std::int8_t damage_budget = 0;
+    std::int8_t nak_budget = 0;
+    bool abandoned = false;  ///< a needed NAK was out of budget
+    BadState bad = BadState::kNone;
+  };
+
+  enum Kind : std::int16_t {
+    sSend = 1,    ///< sender: emit the next fresh envelope
+    sRetx,        ///< sender: serve one NAK from the in-flight store
+    eDrop,        ///< adversary: drop channel[a]
+    eCorrupt,     ///< adversary: flip bits in channel[a]
+    rTake,        ///< receiver: take channel[a] (any index = reordering)
+    rTimeoutNak,  ///< receiver: drop-detect timeout NAK for `expected`
+  };
+
+  explicit RetransmitModel(Scenario scenario);
+
+  [[nodiscard]] State initial() const;
+  void enumerate(const State& s, std::vector<Action>& out) const;
+  [[nodiscard]] State apply(const State& s, const Action& act) const;
+  [[nodiscard]] std::optional<check::Diagnostic> violation(const State& s) const;
+  [[nodiscard]] bool accepting(const State& s) const;
+  void encode(const State& s, std::string& out) const;
+  [[nodiscard]] std::string describe(const Action& act) const;
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace slspvr::model

@@ -1,0 +1,72 @@
+// Conformance replay: pin the model to the code.
+//
+// A counterexample found by the checker is only interesting if its schedule
+// means something for the real runtime. derive_schedule() projects a
+// counterexample trace onto the knobs the real system exposes — per-rank
+// connect delays (who joins late), a planted crash/stall point, mailbox
+// capacity — and replay_schedule() executes that schedule against the real
+// mp::Supervisor + SocketTransport (supervision scenarios) or the real
+// Comm retry path under a seeded FaultInjector (retransmit scenarios).
+//
+// Because the shipped code *fixed* the races the mutants re-introduce, a
+// mutant counterexample replayed against the real runtime must come out
+// clean: frames delivered, traces happens-before consistent, supervisor
+// protocol events in a legal order, failure provenance as modelled. A
+// replay that does NOT come out clean means the model found a real defect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mp/supervisor.hpp"
+#include "model/protocol.hpp"
+
+namespace slspvr::model {
+
+/// A counterexample projected onto real-runtime knobs.
+struct ReplaySchedule {
+  std::string scenario;  ///< the scenario the trace came from
+  int workers = 2;
+  int stages = 1;
+  std::size_t mailbox_capacity = 0;  ///< 0 = unbounded
+  /// Per-rank delay before connecting, derived from the trace's connect
+  /// order: ranks whose kHello the trace interleaves after other traffic
+  /// connect late, reproducing the parking / failure-replay windows.
+  std::vector<int> connect_delay_ms;
+  int crash_rank = -1;  ///< raise(SIGKILL) after `crash_after_ops` ring ops
+  int crash_after_ops = 0;
+  bool crash_before_connect = false;  ///< die before even reaching kHello
+  int stall_rank = -1;  ///< raise(SIGSTOP) after `stall_after_ops` ring ops
+  int stall_after_ops = 0;
+  // Retransmit scenarios: adversarial damage to re-inflict for real.
+  int messages = 0;  ///< 0: supervision schedule
+  int drops = 0;
+  int corruptions = 0;
+};
+
+/// Project a supervision counterexample (or any explored trace) onto a
+/// replayable schedule. Works for mutant counterexamples: the schedule
+/// reproduces the *interleaving*, the shipped code supplies the (fixed)
+/// protocol.
+[[nodiscard]] ReplaySchedule derive_schedule(const SupervisionModel& model,
+                                             const Counterexample& cex);
+
+/// Same, for retransmit counterexamples (damage counts + message count).
+[[nodiscard]] ReplaySchedule derive_schedule(const RetransmitModel& model,
+                                             const Counterexample& cex);
+
+struct ReplayReport {
+  bool ok = false;
+  std::vector<std::string> problems;  ///< empty iff ok
+  std::vector<mp::ProtocolEvent> events;
+  std::vector<mp::WorkerFailure> failures;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Execute the schedule against the real runtime and verify conformance:
+/// protocol events legal (single promotion, every parked frame replayed),
+/// vector-clock happens-before clean on surviving ranks, expected failure
+/// provenance when a crash/stall was planted, frames delivered when not.
+[[nodiscard]] ReplayReport replay_schedule(const ReplaySchedule& schedule);
+
+}  // namespace slspvr::model

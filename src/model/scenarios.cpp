@@ -1,0 +1,104 @@
+#include "model/scenarios.hpp"
+
+#include <algorithm>
+
+namespace slspvr::model {
+
+namespace {
+
+Scenario supervision(std::string name, int workers, int stages) {
+  Scenario s;
+  s.name = std::move(name);
+  s.kind = Scenario::Kind::kSupervision;
+  s.workers = workers;
+  s.stages = stages;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> all_scenarios(int max_workers) {
+  const int top = std::clamp(max_workers, 2, kMaxWorkers);
+  std::vector<Scenario> out;
+
+  // hello: the startup path — parking for not-yet-promoted ranks, promotion
+  // with backlog replay, goodbye/shutdown drain. Exhaustive up to `top`.
+  for (int w = 2; w <= top; ++w) {
+    out.push_back(supervision("hello-w" + std::to_string(w), w, 1));
+  }
+
+  // drain: two exchange rounds so late frames overlap the goodbye path.
+  out.push_back(supervision("drain-w" + std::to_string(std::min(3, top)),
+                            std::min(3, top), 2));
+
+  // crash: one nondeterministic SIGKILL (any rank, any point) — poison
+  // propagation, failure-history replay to late joiners, reap ordering.
+  for (int w = 2; w <= std::min(3, top); ++w) {
+    Scenario s = supervision("crash-w" + std::to_string(w), w, 1);
+    s.crash_rank = kMaxWorkers;  // any single rank may crash
+    out.push_back(s);
+  }
+  if (top >= 4) {
+    Scenario s = supervision("crash-w4", 4, 1);
+    s.crash_rank = 0;  // fixed rank keeps the exhaustive run tractable
+    out.push_back(s);
+  }
+
+  // heartbeat: a SIGSTOPped rank must be promoted to failed by the watchdog.
+  {
+    Scenario s = supervision("heartbeat-w" + std::to_string(std::min(3, top)),
+                             std::min(3, top), 1);
+    s.stall_rank = 1;
+    out.push_back(s);
+  }
+
+  // backpressure: capacity-1 mailboxes, two rounds, a possible crash — the
+  // deposit-blocked/poison-wakes interplay of Mailbox::set_capacity.
+  {
+    Scenario s = supervision("backpressure-w2", 2, 2);
+    s.mailbox_capacity = 1;
+    s.crash_rank = kMaxWorkers;
+    out.push_back(s);
+  }
+
+  // retransmit: the envelope NAK channel under drops, corruption and
+  // reordering (receiver may take any in-flight envelope).
+  {
+    Scenario s;
+    s.name = "retransmit-k3";
+    s.kind = Scenario::Kind::kRetransmit;
+    s.messages = 3;
+    s.damage_budget = 2;
+    out.push_back(s);
+  }
+
+  return out;
+}
+
+std::vector<Mutant> mutants_for(const Scenario& scenario) {
+  if (scenario.kind == Scenario::Kind::kRetransmit) {
+    return {Mutant::kAckBeforeDeposit, Mutant::kRenumberRetransmit};
+  }
+  std::vector<Mutant> out;
+  // The two PR 6 startup races need the plain startup path to surface.
+  if (scenario.crash_rank < 0 && scenario.stall_rank < 0) {
+    out.push_back(Mutant::kNoParking);         // race #1: early frames dropped
+    out.push_back(Mutant::kSkipBacklogReplay);
+    out.push_back(Mutant::kDoublePromotion);
+  }
+  if (scenario.crash_rank >= 0) {
+    out.push_back(Mutant::kSkipFailureReplay);  // race #2: late joiner wedges
+    out.push_back(Mutant::kSkipPoisonBroadcast);
+  }
+  if (scenario.stall_rank >= 0) out.push_back(Mutant::kNoWatchdog);
+  return out;
+}
+
+CheckResult run_scenario(const Scenario& scenario, const Limits& limits) {
+  if (scenario.kind == Scenario::Kind::kRetransmit) {
+    return explore(RetransmitModel(scenario), limits);
+  }
+  return explore(SupervisionModel(scenario), limits);
+}
+
+}  // namespace slspvr::model

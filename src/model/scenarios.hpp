@@ -1,0 +1,23 @@
+// The shipped scenario registry: every protocol configuration slspvr-model
+// verifies, and the mutant matrix (which seeded defect each scenario is able
+// to rediscover — mutation coverage for the model checker itself).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/protocol.hpp"
+
+namespace slspvr::model {
+
+/// Every shipped scenario for worker counts 2..max_workers (retransmit
+/// scenarios ignore max_workers — the channel has one sender/receiver pair).
+[[nodiscard]] std::vector<Scenario> all_scenarios(int max_workers);
+
+/// The mutants this scenario is expected to catch (counterexample required).
+[[nodiscard]] std::vector<Mutant> mutants_for(const Scenario& scenario);
+
+/// Dispatch on Scenario::kind and run the checker.
+[[nodiscard]] CheckResult run_scenario(const Scenario& scenario, const Limits& limits);
+
+}  // namespace slspvr::model

@@ -151,6 +151,17 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
 
   const auto rank_link = [&](int r) -> Link& { return ranks[static_cast<std::size_t>(r)]; };
 
+  const auto observe = [&](ProtocolEvent::Kind kind, int r, int count = 0,
+                           std::string detail = {}) {
+    if (!opts.observer) return;
+    ProtocolEvent ev;
+    ev.kind = kind;
+    ev.rank = r;
+    ev.count = count;
+    ev.detail = std::move(detail);
+    opts.observer(ev);
+  };
+
   // Record a failure and broadcast kPeerFailed: every survivor aborts with
   // PeerFailedError through its poisoned context, exactly as in-process
   // poisoning does. The failed worker's link is left untouched — a worker
@@ -161,6 +172,7 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
     if (w.failed || w.done) return;  // first failure wins; finished ranks are safe
     w.failed = true;
     out.failures.push_back({r, w.stage, reason});
+    observe(ProtocolEvent::Kind::kFailureRecorded, r, 0, reason);
 
     Frame pf;
     pf.kind = FrameKind::kPeerFailed;
@@ -230,6 +242,7 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
         // learns of the death through the kPeerFailed broadcast instead.
         if (d.failed || d.closed) break;
         if (!d.fd.valid()) {
+          observe(ProtocolEvent::Kind::kParked, f.dest);
           parked[static_cast<std::size_t>(f.dest)].push_back(pack_frame(f));
           break;
         }
@@ -244,6 +257,7 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
         break;
       case FrameKind::kGoodbye:
         w.done = true;
+        observe(ProtocolEvent::Kind::kGoodbye, r);
         break;
       case FrameKind::kFailed: {
         // The worker announces its own primary failure (an exception in its
@@ -336,6 +350,7 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
       if (!shutdown_broadcast) {
         shutdown_broadcast = true;
         drain_start = now;
+        observe(ProtocolEvent::Kind::kShutdownBroadcast, -1);
         Frame sd;
         sd.kind = FrameKind::kShutdown;
         const std::vector<std::byte> wire = pack_frame(sd);
@@ -422,14 +437,21 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
           w.fd = std::move(p.fd);
           w.reader = std::move(p.reader);
           w.last_heard = now;
+          observe(ProtocolEvent::Kind::kPromoted, hello_rank);
           auto& backlog = parked[static_cast<std::size_t>(hello_rank)];
+          if (!backlog.empty()) {
+            observe(ProtocolEvent::Kind::kBacklogReplayed, hello_rank,
+                    static_cast<int>(backlog.size()));
+          }
           for (auto& wire : backlog) w.outbound.push_back(std::move(wire));
           backlog.clear();
           // Replay failure history: a peer that died before this worker
           // finished connecting was broadcast to valid links only, so the
           // late joiner would otherwise wait on a dead rank forever.
+          int replayed = 0;
           for (const WorkerFailure& wf : out.failures) {
             if (wf.rank == hello_rank) continue;
+            ++replayed;
             Frame pf;
             pf.kind = FrameKind::kPeerFailed;
             pf.source = wf.rank;
@@ -437,6 +459,9 @@ SupervisorOutcome Supervisor::run(const SupervisorOptions& opts, const WorkerBod
             pf.payload.resize(wf.what.size());
             std::memcpy(pf.payload.data(), wf.what.data(), wf.what.size());
             w.outbound.push_back(pack_frame(pf));
+          }
+          if (replayed > 0) {
+            observe(ProtocolEvent::Kind::kFailureReplayed, hello_rank, replayed);
           }
           ++connected;
           dead_pending.push_back(k);

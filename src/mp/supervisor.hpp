@@ -46,6 +46,26 @@ inline constexpr int kWorkerExitConnect = 4;
 /// Any other error.
 inline constexpr int kWorkerExitError = 5;
 
+/// One observable protocol decision of the supervisor poll loop. The model
+/// checker (src/model) replays its counterexample schedules against the real
+/// supervisor and asserts these events arrive in a protocol-legal order, so
+/// the hand-written model stays pinned to this code.
+struct ProtocolEvent {
+  enum class Kind {
+    kParked,             ///< kData for a not-yet-promoted rank parked
+    kPromoted,           ///< kHello accepted; rank joined the hub
+    kBacklogReplayed,    ///< parked frames moved to the fresh link (count)
+    kFailureReplayed,    ///< failure history replayed to a late joiner (count)
+    kFailureRecorded,    ///< a real failure recorded + kPeerFailed broadcast
+    kShutdownBroadcast,  ///< kShutdown queued to every open link
+    kGoodbye,            ///< kGoodbye received; rank is done
+  };
+  Kind kind = Kind::kParked;
+  int rank = -1;       ///< the rank the event is about
+  int count = 0;       ///< replay events: how many frames were replayed
+  std::string detail;  ///< kFailureRecorded: the provenance string
+};
+
 struct SupervisorOptions {
   Endpoint endpoint;  ///< where to listen; tcp port 0 = ephemeral
   int procs = 0;
@@ -54,6 +74,10 @@ struct SupervisorOptions {
   /// After all ranks finished or failed: how long to wait for goodbyes to
   /// drain and children to exit before SIGKILLing stragglers.
   std::chrono::milliseconds drain_deadline{5000};
+  /// Optional instrumentation hook, invoked synchronously from the (single
+  /// threaded) poll loop. Must not throw and must not call back into the
+  /// supervisor.
+  std::function<void(const ProtocolEvent&)> observer;
 };
 
 /// One real failure the supervisor observed, with transport provenance

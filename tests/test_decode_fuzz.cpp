@@ -14,6 +14,7 @@
 #include "core/counters.hpp"
 #include "core/wire.hpp"
 #include "mp/envelope.hpp"
+#include "mp/socket.hpp"
 #include "test_helpers.hpp"
 
 namespace core = slspvr::core;
@@ -240,4 +241,164 @@ TEST(DecodeFuzz, Crc32cMatchesKnownVector) {
   // RFC 3720 test vector: CRC32C of 32 zero bytes is 0x8A9136AA.
   const std::vector<std::byte> zeros(32, std::byte{0});
   EXPECT_EQ(mp::crc32c(zeros), 0x8A9136AAu);
+}
+
+// ---- FrameReader: the supervisor's incremental SLPW parser ------------------
+
+namespace {
+
+/// A representative frame stream: hello, a data frame with clock + payload,
+/// goodbye — the shapes the supervisor's router actually sees.
+std::vector<mp::Frame> sample_frames() {
+  mp::Frame hello;
+  hello.kind = mp::FrameKind::kHello;
+  hello.source = 2;
+
+  mp::Frame data;
+  data.kind = mp::FrameKind::kData;
+  data.source = 2;
+  data.dest = 0;
+  data.tag = 5;
+  data.seq = 41;
+  data.clock = {3, 0, 7, 1};
+  data.payload.assign(29, std::byte{0xA7});
+
+  mp::Frame goodbye;
+  goodbye.kind = mp::FrameKind::kGoodbye;
+  goodbye.source = 2;
+  return {hello, data, goodbye};
+}
+
+std::vector<std::byte> pack_stream(const std::vector<mp::Frame>& frames) {
+  std::vector<std::byte> stream;
+  for (const mp::Frame& f : frames) {
+    const std::vector<std::byte> packed = mp::pack_frame(f);
+    stream.insert(stream.end(), packed.begin(), packed.end());
+  }
+  return stream;
+}
+
+void expect_frames_equal(const std::vector<mp::Frame>& want,
+                         const std::vector<mp::Frame>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].kind, got[i].kind) << "frame " << i;
+    EXPECT_EQ(want[i].source, got[i].source) << "frame " << i;
+    EXPECT_EQ(want[i].dest, got[i].dest) << "frame " << i;
+    EXPECT_EQ(want[i].tag, got[i].tag) << "frame " << i;
+    EXPECT_EQ(want[i].seq, got[i].seq) << "frame " << i;
+    EXPECT_EQ(want[i].clock, got[i].clock) << "frame " << i;
+    EXPECT_EQ(want[i].payload, got[i].payload) << "frame " << i;
+  }
+}
+
+}  // namespace
+
+// recv() can hand the router any split of the byte stream. Re-parse the
+// sample stream once per possible split point — every byte boundary,
+// including mid-magic, mid-length and mid-envelope — and require identical
+// frames out each time.
+TEST(DecodeFuzz, FrameReaderReassemblesAcrossEverySplitPoint) {
+  const std::vector<mp::Frame> want = sample_frames();
+  const std::vector<std::byte> stream = pack_stream(want);
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    mp::FrameReader reader;
+    reader.feed(std::span<const std::byte>(stream.data(), split));
+    std::vector<mp::Frame> got;
+    while (std::optional<mp::Frame> f = reader.next()) got.push_back(*std::move(f));
+    reader.feed(std::span<const std::byte>(stream.data() + split, stream.size() - split));
+    while (std::optional<mp::Frame> f = reader.next()) got.push_back(*std::move(f));
+    ASSERT_NO_FATAL_FAILURE(expect_frames_equal(want, got)) << "split at " << split;
+    EXPECT_EQ(reader.buffered(), 0u) << "split at " << split;
+  }
+}
+
+// Degenerate delivery: one byte per feed() call, which exercises every
+// internal buffering boundary at once.
+TEST(DecodeFuzz, FrameReaderSurvivesByteAtATimeDelivery) {
+  const std::vector<mp::Frame> want = sample_frames();
+  const std::vector<std::byte> stream = pack_stream(want);
+  mp::FrameReader reader;
+  std::vector<mp::Frame> got;
+  for (const std::byte b : stream) {
+    reader.feed(std::span<const std::byte>(&b, 1));
+    while (std::optional<mp::Frame> f = reader.next()) got.push_back(*std::move(f));
+  }
+  expect_frames_equal(want, got);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+// A truncated stream is not an error for the incremental parser — the peer
+// may still be writing. next() must return nothing and leave the partial
+// frame buffered (which the supervisor reports if EOF follows).
+TEST(DecodeFuzz, FrameReaderHoldsTruncatedFramesWithoutThrowing) {
+  const std::vector<mp::Frame> frames = sample_frames();
+  const std::vector<std::byte> stream = pack_stream(frames);
+  // Cumulative end offset of each whole frame in the stream.
+  std::vector<std::size_t> ends;
+  std::size_t off = 0;
+  for (const mp::Frame& f : frames) {
+    off += mp::pack_frame(f).size();
+    ends.push_back(off);
+  }
+  for (std::size_t len = 0; len < stream.size(); ++len) {
+    mp::FrameReader reader;
+    reader.feed(std::span<const std::byte>(stream.data(), len));
+    std::size_t drained = 0;
+    while (true) {
+      std::optional<mp::Frame> f;
+      ASSERT_NO_THROW(f = reader.next()) << "prefix length " << len;
+      if (!f) break;
+      ++drained;
+    }
+    // Exactly the whole frames fitting in the prefix come out; the torn
+    // tail stays buffered for the next feed().
+    std::size_t whole = 0;
+    std::size_t consumed = 0;
+    while (whole < ends.size() && ends[whole] <= len) consumed = ends[whole++];
+    EXPECT_EQ(drained, whole) << "prefix length " << len;
+    EXPECT_EQ(reader.buffered(), len - consumed) << "prefix length " << len;
+  }
+}
+
+// A garbage prefix (stream out of sync) must be a typed TransportError, not
+// a hang or a misparse that invents a frame.
+TEST(DecodeFuzz, FrameReaderRejectsGarbagePrefix) {
+  const std::vector<std::byte> stream = pack_stream(sample_frames());
+  std::uint64_t state = 0x5EEDF00DULL;
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::byte> garbled;
+    const std::uint64_t junk = 4 + splitmix64(state) % 16;
+    for (std::uint64_t i = 0; i < junk; ++i) {
+      std::byte b{static_cast<unsigned char>(splitmix64(state) % 256)};
+      // Keep the first byte off 'S' so the magic check, not a length check,
+      // is what trips.
+      if (i == 0 && b == std::byte{'S'}) b = std::byte{'X'};
+      garbled.push_back(b);
+    }
+    garbled.insert(garbled.end(), stream.begin(), stream.end());
+    mp::FrameReader reader;
+    reader.feed(garbled);
+    EXPECT_THROW((void)reader.next(), mp::TransportError) << "trial " << trial;
+  }
+}
+
+// Seed-mutated frame streams: the reader either yields frames or throws its
+// typed TransportError. Any other exception (or an out-of-bounds read under
+// the sanitizer jobs) is a parser bug.
+TEST(DecodeFuzz, FrameReaderSurvivesMutatedStreams) {
+  const std::vector<std::byte> stream = pack_stream(sample_frames());
+  for (std::uint64_t seed = 1; seed <= 250; ++seed) {
+    const std::vector<std::byte> bytes = mutate(stream, seed * 0x9E3779B9ULL);
+    mp::FrameReader reader;
+    try {
+      reader.feed(bytes);
+      while (reader.next()) {
+      }
+    } catch (const mp::TransportError&) {
+      // typed reject: fine
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "FrameReader seed " << seed << ": untyped exception " << e.what();
+    }
+  }
 }

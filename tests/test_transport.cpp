@@ -139,6 +139,67 @@ TEST(MailboxCapacity, ZeroRestoresUnboundedDeposits) {
   EXPECT_EQ(box.pending(), 64u);
 }
 
+TEST(MailboxCapacity, ShrinkBelowCurrentDepthKeepsMessagesAndBlocksDeposits) {
+  // Shrinking under the current depth must not drop queued messages; it only
+  // gates *new* deposits until matches drain the queue under the new bound.
+  mp::Mailbox box;
+  for (int tag = 0; tag < 3; ++tag) box.deposit(make_msg(0, tag));
+  box.set_capacity(1);
+  EXPECT_EQ(box.pending(), 3u);
+
+  std::atomic<bool> deposited{false};
+  std::thread depositor([&] {
+    box.deposit(make_msg(0, 99));
+    deposited.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(deposited.load());
+
+  // Draining to depth 2 (still over the bound) must not release the
+  // depositor; draining under the bound must.
+  EXPECT_EQ(box.match(0, 0).tag, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(deposited.load());
+  EXPECT_EQ(box.match(0, 1).tag, 1);
+  EXPECT_EQ(box.match(0, 2).tag, 2);
+  depositor.join();
+  EXPECT_TRUE(deposited.load());
+  EXPECT_EQ(box.match(0, 99).tag, 99);
+}
+
+TEST(MailboxCapacity, WideningWakesABlockedDepositorWithoutAMatch) {
+  mp::Mailbox box;
+  box.set_capacity(1);
+  box.deposit(make_msg(0, 1));
+
+  std::atomic<bool> deposited{false};
+  std::thread depositor([&] {
+    box.deposit(make_msg(0, 2));
+    deposited.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(deposited.load());
+  box.set_capacity(2);  // reconfiguration alone must wake the waiter
+  depositor.join();
+  EXPECT_TRUE(deposited.load());
+  EXPECT_EQ(box.pending(), 2u);
+}
+
+TEST(MailboxCapacity, LiftingTheBoundReleasesABlockedDepositor) {
+  // set_capacity(0) mid-run acts like the poison path's bound-lift but
+  // without failing the mailbox: the waiter deposits and matching proceeds.
+  mp::Mailbox box;
+  box.set_capacity(1);
+  box.deposit(make_msg(0, 1));
+
+  std::thread depositor([&] { box.deposit(make_msg(0, 2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.set_capacity(0);
+  depositor.join();
+  EXPECT_EQ(box.pending(), 2u);
+  EXPECT_EQ(box.match(0, 2).tag, 2);
+}
+
 // --- Retry exhaustion: window eviction surfaces a typed error ----------------
 
 TEST(RetryExhaustion, EvictedMessageAbandonsChannelWithTypedError) {

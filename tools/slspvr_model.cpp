@@ -1,0 +1,226 @@
+// slspvr-model: explicit-state model checking of the supervision, transport
+// and recovery protocols.
+//
+//   slspvr-model --all-scenarios --max-workers 4     # exhaustive verification
+//   slspvr-model --scenario crash-w3 -v              # one scenario, verbose
+//   slspvr-model --mutants                           # mutation coverage gate
+//   slspvr-model --all-scenarios --replay            # + replay counterexample
+//                                                    #   schedules for real
+//
+// Exit codes: 0 all checks passed, 1 a verification failed (invariant
+// violation, deadlock, livelock, budget exhausted, undetected mutant, or a
+// replay nonconformance), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/replay.hpp"
+#include "model/scenarios.hpp"
+
+namespace {
+
+using namespace slspvr;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--all-scenarios] [--scenario NAME] [--mutants] [--max-workers N]\n"
+      "          [--max-states N] [--max-seconds S] [--no-por] [--replay]\n"
+      "          [--trace-dir DIR] [-v]\n"
+      "\n"
+      "  --all-scenarios   verify every shipped scenario (default)\n"
+      "  --scenario NAME   verify one scenario by name\n"
+      "  --mutants         seed every protocol mutant and require that the\n"
+      "                    checker finds a counterexample for each\n"
+      "  --max-workers N   scenario worker-count ceiling, 2..4 (default 4)\n"
+      "  --max-states N    visited-state budget per run (default 2000000)\n"
+      "  --max-seconds S   wall-clock budget per run (default 120)\n"
+      "  --no-por          disable the sleep-set reduction (debugging aid)\n"
+      "  --replay          replay derived schedules against the real runtime\n"
+      "  --trace-dir DIR   write counterexample traces to DIR/<name>.trace\n"
+      "  -v                per-scenario state counts\n",
+      argv0);
+}
+
+struct Cli {
+  bool all = true;
+  std::string scenario;
+  bool mutants = false;
+  int max_workers = 4;
+  model::Limits limits;
+  bool replay = false;
+  std::string trace_dir;
+  bool verbose = false;
+};
+
+bool parse_int(const char* s, long min, long max, long& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < min || v > max) return false;
+  out = v;
+  return true;
+}
+
+void write_trace(const Cli& cli, const std::string& name,
+                 const model::Counterexample& cex) {
+  if (cli.trace_dir.empty()) return;
+  const std::string path = cli.trace_dir + "/" + name + ".trace";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("  (could not write %s)\n", path.c_str());
+    return;
+  }
+  const std::string text = cex.format();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("  trace written to %s\n", path.c_str());
+}
+
+/// Replay a counterexample's schedule against the real runtime. For mutants
+/// the shipped code has the fix, so the replay must come out clean; returns
+/// false (a real defect!) when it does not.
+bool replay_counterexample(const model::Scenario& sc, const model::Counterexample& cex) {
+  model::ReplaySchedule schedule;
+  if (sc.kind == model::Scenario::Kind::kRetransmit) {
+    schedule = model::derive_schedule(model::RetransmitModel(sc), cex);
+  } else {
+    schedule = model::derive_schedule(model::SupervisionModel(sc), cex);
+  }
+  const model::ReplayReport rep = model::replay_schedule(schedule);
+  std::printf("  replay [%s]: %s\n", schedule.scenario.c_str(), rep.summary().c_str());
+  return rep.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    long v = 0;
+    if (std::strcmp(arg, "--all-scenarios") == 0) {
+      cli.all = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      cli.scenario = next();
+      cli.all = false;
+    } else if (std::strcmp(arg, "--mutants") == 0) {
+      cli.mutants = true;
+    } else if (std::strcmp(arg, "--max-workers") == 0) {
+      if (!parse_int(next(), 2, model::kMaxWorkers, v)) {
+        std::fprintf(stderr, "--max-workers must be 2..%d\n", model::kMaxWorkers);
+        return 2;
+      }
+      cli.max_workers = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--max-states") == 0) {
+      if (!parse_int(next(), 1000, 1000000000L, v)) {
+        std::fprintf(stderr, "--max-states must be 1000..1e9\n");
+        return 2;
+      }
+      cli.limits.max_states = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(arg, "--max-seconds") == 0) {
+      if (!parse_int(next(), 1, 86400, v)) {
+        std::fprintf(stderr, "--max-seconds must be 1..86400\n");
+        return 2;
+      }
+      cli.limits.max_seconds = static_cast<double>(v);
+    } else if (std::strcmp(arg, "--no-por") == 0) {
+      cli.limits.por = false;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      cli.replay = true;
+    } else if (std::strcmp(arg, "--trace-dir") == 0) {
+      cli.trace_dir = next();
+    } else if (std::strcmp(arg, "-v") == 0) {
+      cli.verbose = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<model::Scenario> scenarios = model::all_scenarios(cli.max_workers);
+  int verified = 0;
+  int failed = 0;
+
+  for (const model::Scenario& sc : scenarios) {
+    if (!cli.all && sc.name != cli.scenario) continue;
+
+    if (!cli.mutants) {
+      const model::CheckResult res = model::run_scenario(sc, cli.limits);
+      if (res.ok()) {
+        ++verified;
+        if (cli.verbose) {
+          std::printf("ok   %-18s %s\n", sc.name.c_str(), res.summary().c_str());
+        } else {
+          std::printf("ok   %-18s %llu states\n", sc.name.c_str(),
+                      static_cast<unsigned long long>(res.states));
+        }
+      } else {
+        ++failed;
+        std::printf("FAIL %-18s %s\n", sc.name.c_str(), res.summary().c_str());
+        if (res.counterexample) {
+          write_trace(cli, sc.name, *res.counterexample);
+          if (cli.replay && !replay_counterexample(sc, *res.counterexample)) {
+            std::printf("  (the counterexample also reproduces against the real "
+                        "runtime)\n");
+          }
+        }
+      }
+      continue;
+    }
+
+    // Mutation coverage: every seeded defect must yield a counterexample.
+    for (const model::Mutant m : model::mutants_for(sc)) {
+      model::Scenario mutated = sc;
+      mutated.mutant = m;
+      const std::string label = sc.name + "+" + model::mutant_name(m);
+      const model::CheckResult res = model::run_scenario(mutated, cli.limits);
+      if (!res.complete) {
+        ++failed;
+        std::printf("FAIL %-34s budget exhausted before a verdict\n", label.c_str());
+        continue;
+      }
+      if (!res.counterexample) {
+        ++failed;
+        std::printf("FAIL %-34s mutant NOT detected (%s)\n", label.c_str(),
+                    res.summary().c_str());
+        continue;
+      }
+      bool ok = true;
+      if (cli.replay) {
+        // The real runtime has the fix: the mutant's adversarial schedule
+        // must replay cleanly, pinning the model to the code.
+        ok = replay_counterexample(mutated, *res.counterexample);
+      }
+      if (ok) {
+        ++verified;
+        std::printf("ok   %-34s caught: %s (%llu states)\n", label.c_str(),
+                    check::diagnostic_code_name(res.counterexample->diagnostic.code).data(),
+                    static_cast<unsigned long long>(res.states));
+        if (cli.verbose) std::printf("%s", res.counterexample->format().c_str());
+      } else {
+        ++failed;
+        std::printf("FAIL %-34s counterexample does not replay cleanly\n", label.c_str());
+        write_trace(cli, label, *res.counterexample);
+      }
+    }
+  }
+
+  if (verified + failed == 0) {
+    std::fprintf(stderr, "no scenario matched %s\n", cli.scenario.c_str());
+    return 2;
+  }
+  std::printf("%d verified, %d failed\n", verified, failed);
+  return failed == 0 ? 0 : 1;
+}
