@@ -1,9 +1,17 @@
 #include "core/codec.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/wire.hpp"
+#include "core/worker_pool.hpp"
+#include "image/kernels.hpp"
 
 namespace slspvr::core {
 
@@ -27,7 +35,118 @@ void PayloadCodec::decode_range(img::Image&, const img::InterleavedRange&, img::
   throw std::logic_error(std::string(name()) + ": codec does not decode progressions");
 }
 
+img::Rect PayloadCodec::decode_rect_into(DecodeSink& sink, const img::Rect& part,
+                                         img::UnpackBuffer& in) const {
+  return decode_rect(sink.image, part, in, sink.incoming_in_front, sink.counters);
+}
+
+void PayloadCodec::decode_range_into(DecodeSink& sink, const img::InterleavedRange& part,
+                                     img::UnpackBuffer& in) const {
+  decode_range(sink.image, part, in, sink.incoming_in_front, sink.counters);
+}
+
 namespace {
+
+// ---- streaming-decode plumbing -------------------------------------------
+
+/// Scratch for sinks that carry no pool (tests and tools calling
+/// decode_*_into directly): one arena per calling thread, like the legacy
+/// thread_local arenas these paths replaced.
+EngineScratch& loose_scratch() {
+  thread_local EngineScratch scratch;
+  return scratch;
+}
+
+EngineScratch& sink_scratch(const DecodeSink& sink, int worker) {
+  return sink.pool != nullptr ? sink.pool->scratch(worker) : loose_scratch();
+}
+
+[[nodiscard]] int sink_workers(const DecodeSink& sink) {
+  return sink.pool != nullptr ? sink.pool->workers() : 1;
+}
+
+/// Fan a banded task across the sink's pool, or run it inline without one.
+void run_banded(const DecodeSink& sink, const std::function<void(int)>& fn) {
+  if (sink.pool != nullptr) {
+    sink.pool->run(fn);
+  } else {
+    fn(0);
+  }
+}
+
+/// Reinterpret a borrowed wire section as `T[count]`, bouncing through
+/// `bounce` when the in-buffer address is misaligned for T (possible only if
+/// the transport hands us an oddly based buffer — reinterpreting anyway
+/// would be UB, so the copy is the safe slow path).
+template <typename T>
+const T* aligned_view(std::span<const std::byte> bytes, std::size_t count,
+                      std::vector<T>& bounce) {
+  if ((reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(T)) == 0) {
+    return reinterpret_cast<const T*>(bytes.data());
+  }
+  bounce.resize(count);
+  std::memcpy(bounce.data(), bytes.data(), count * sizeof(T));
+  return bounce.data();
+}
+
+/// Band-parallel blend of a raw row-major pixel payload over `rect`,
+/// straight out of the receive buffer (FullPixel / BoundingRect bodies).
+void composite_raw_rect_view(DecodeSink& sink, const img::Rect& rect, img::UnpackBuffer& in) {
+  const std::span<const std::byte> bytes =
+      in.get_bytes(static_cast<std::size_t>(rect.area()) * sizeof(img::Pixel));
+  const img::Pixel* pixels =
+      aligned_view(bytes, static_cast<std::size_t>(rect.area()), sink_scratch(sink, 0).bounce);
+  const int nworkers = sink_workers(sink);
+  img::Image& image = sink.image;
+  const bool in_front = sink.incoming_in_front;
+  run_banded(sink, [&](int w) {
+    const ChunkBounds band = chunk_bounds(rect.height(), nworkers, w);
+    for (std::int64_t y = band.first; y < band.last; ++y) {
+      img::kern::composite_span(&image.at(rect.x0, rect.y0 + static_cast<int>(y)),
+                                pixels + y * rect.width(), rect.width(), in_front);
+    }
+  });
+  sink.counters.over_ops += rect.area();
+  sink.counters.pixels_received += rect.area();
+}
+
+/// Blend one band of an interleaved-RLE message: the strided equivalent of
+/// kern::composite_rle_span, reproducing composite_rle_strided's per-run
+/// gather → composite_span → scatter arithmetic over the band's elements
+/// (runs split at band boundaries change only the chunking, not any pixel's
+/// arithmetic). Returns the number of pixels composited.
+std::int64_t composite_rle_strided_band(img::Image& image, const img::InterleavedRange& range,
+                                        const wire::RleView& view, img::kern::RleCursor cur,
+                                        std::int64_t pos, std::int64_t n, bool in_front,
+                                        std::vector<img::Pixel>& staging) {
+  std::int64_t composited = 0;
+  while (n > 0) {
+    if (cur.run_left == 0) {
+      if (cur.code >= view.ncodes) break;
+      cur.blank = !cur.blank;
+      cur.run_left = view.codes[cur.code++];
+      continue;
+    }
+    const std::int64_t take = std::min(cur.run_left, n);
+    if (!cur.blank) {
+      if (static_cast<std::int64_t>(staging.size()) < take) {
+        staging.resize(static_cast<std::size_t>(take));
+      }
+      const std::int64_t offset = range.index(pos);
+      img::kern::gather_strided(image.pixels().data(), offset, range.stride, take,
+                                staging.data());
+      img::kern::composite_span(staging.data(), view.pixels + cur.pixel, take, in_front);
+      img::kern::scatter_strided(staging.data(), take, image.pixels().data(), offset,
+                                 range.stride);
+      cur.pixel += take;
+      composited += take;
+    }
+    cur.run_left -= take;
+    pos += take;
+    n -= take;
+  }
+  return composited;
+}
 
 /// Raw region pixels, no header: 16 B/pixel over the whole part.
 class FullPixelCodec final : public PayloadCodec {
@@ -45,6 +164,12 @@ class FullPixelCodec final : public PayloadCodec {
   img::Rect decode_rect(img::Image& image, const img::Rect& part, img::UnpackBuffer& in,
                         bool incoming_in_front, Counters& counters) const override {
     wire::unpack_composite_rect(image, part, in, incoming_in_front, counters);
+    return part;
+  }
+  img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
+                             img::UnpackBuffer& in) const override {
+    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    composite_raw_rect_view(sink, part, in);
     return part;
   }
 };
@@ -66,6 +191,13 @@ class BoundingRectCodec final : public PayloadCodec {
     return wire::unpack_composite_raw_rect(image, in, image.bounds(), incoming_in_front,
                                            counters);
   }
+  img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
+                             img::UnpackBuffer& in) const override {
+    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
+    if (!rect.empty()) composite_raw_rect_view(sink, rect, in);
+    return rect;
+  }
 };
 
 /// WireRect header + row-major RLE of the clipped rectangle (BSBRC).
@@ -85,6 +217,43 @@ class RleRectCodec final : public PayloadCodec {
                         bool incoming_in_front, Counters& counters) const override {
     return wire::unpack_composite_rle_rect(image, in, image.bounds(), incoming_in_front,
                                            counters);
+  }
+  img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
+                             img::UnpackBuffer& in) const override {
+    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
+    if (rect.empty()) return rect;
+    EngineScratch& s0 = sink_scratch(sink, 0);
+    const wire::RleView view = wire::parse_rle_view(in, rect.area(), s0.bounce, s0.code_bounce);
+    const int nworkers = sink_workers(sink);
+    // Serial prescan: band w's cursor is the walk state at its first
+    // sequence element (runs — including kMaxRun escape chains — straddle
+    // band boundaries freely; rle_skip resumes mid-run).
+    std::vector<img::kern::RleCursor> cursors(static_cast<std::size_t>(nworkers));
+    img::kern::RleCursor cur;
+    std::int64_t at = 0;
+    for (int w = 0; w < nworkers; ++w) {
+      const ChunkBounds band = chunk_bounds(rect.area(), nworkers, w);
+      img::kern::rle_skip(view.codes, view.ncodes, cur, band.first - at);
+      at = band.first;
+      cursors[static_cast<std::size_t>(w)] = cur;
+    }
+    std::vector<std::int64_t> composited(static_cast<std::size_t>(nworkers), 0);
+    img::Image& image = sink.image;
+    const bool in_front = sink.incoming_in_front;
+    run_banded(sink, [&](int w) {
+      const ChunkBounds band = chunk_bounds(rect.area(), nworkers, w);
+      if (band.count() == 0) return;
+      img::kern::RleCursor c = cursors[static_cast<std::size_t>(w)];
+      composited[static_cast<std::size_t>(w)] = img::kern::composite_rle_span(
+          &image.at(rect.x0, rect.y0), band.first, rect.width(), image.width(), view.codes,
+          view.ncodes, view.pixels, c, band.count(), in_front);
+    });
+    std::int64_t total = 0;
+    for (const std::int64_t c : composited) total += c;
+    sink.counters.over_ops += total;
+    sink.counters.pixels_received += total;
+    return rect;
   }
 };
 
@@ -106,6 +275,54 @@ class SpanRectCodec final : public PayloadCodec {
                         bool incoming_in_front, Counters& counters) const override {
     return wire::unpack_composite_span_rect(image, in, image.bounds(), incoming_in_front,
                                             counters);
+  }
+  img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
+                             img::UnpackBuffer& in) const override {
+    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
+    if (rect.empty()) return rect;
+    const wire::SpanView view = wire::parse_spans_view(in, rect, sink_scratch(sink, 0).bounce);
+    const int nworkers = sink_workers(sink);
+    // Serial prescan: prefix sums of span and payload counts up to each row
+    // band, so every worker starts at its band's first span and pixel.
+    struct BandStart {
+      std::size_t span = 0;
+      std::int64_t pixel = 0;
+    };
+    std::vector<BandStart> starts(static_cast<std::size_t>(nworkers));
+    {
+      std::size_t span_idx = 0;
+      std::int64_t pixel_idx = 0;
+      std::int64_t row = 0;
+      for (int w = 0; w < nworkers; ++w) {
+        const ChunkBounds band = chunk_bounds(rect.height(), nworkers, w);
+        starts[static_cast<std::size_t>(w)] = BandStart{span_idx, pixel_idx};
+        for (; row < band.last; ++row) {
+          const std::uint16_t nspans = view.row_counts[row];
+          for (std::uint16_t s = 0; s < nspans; ++s) {
+            pixel_idx += view.spans[span_idx + s].len;
+          }
+          span_idx += nspans;
+        }
+      }
+    }
+    std::vector<std::int64_t> composited(static_cast<std::size_t>(nworkers), 0);
+    img::Image& image = sink.image;
+    const bool in_front = sink.incoming_in_front;
+    run_banded(sink, [&](int w) {
+      const ChunkBounds band = chunk_bounds(rect.height(), nworkers, w);
+      if (band.count() == 0) return;
+      const BandStart& start = starts[static_cast<std::size_t>(w)];
+      composited[static_cast<std::size_t>(w)] = img::kern::composite_span_rows(
+          &image.at(rect.x0, rect.y0 + static_cast<int>(band.first)), image.width(),
+          view.row_counts + band.first, band.count(), view.spans + start.span,
+          view.pixels + start.pixel, in_front);
+    });
+    std::int64_t total = 0;
+    for (const std::int64_t c : composited) total += c;
+    sink.counters.over_ops += total;
+    sink.counters.pixels_received += total;
+    return rect;
   }
 };
 
@@ -130,6 +347,36 @@ class InterleavedRleCodec final : public PayloadCodec {
                     Counters& counters) const override {
     const img::Rle incoming = wire::parse_rle(in, part.count);
     wire::composite_rle_strided(image, part, incoming, incoming_in_front, counters);
+  }
+  void decode_range_into(DecodeSink& sink, const img::InterleavedRange& part,
+                         img::UnpackBuffer& in) const override {
+    if (!fused_decode()) return PayloadCodec::decode_range_into(sink, part, in);
+    EngineScratch& s0 = sink_scratch(sink, 0);
+    const wire::RleView view = wire::parse_rle_view(in, part.count, s0.bounce, s0.code_bounce);
+    const int nworkers = sink_workers(sink);
+    std::vector<img::kern::RleCursor> cursors(static_cast<std::size_t>(nworkers));
+    img::kern::RleCursor cur;
+    std::int64_t at = 0;
+    for (int w = 0; w < nworkers; ++w) {
+      const ChunkBounds band = chunk_bounds(part.count, nworkers, w);
+      img::kern::rle_skip(view.codes, view.ncodes, cur, band.first - at);
+      at = band.first;
+      cursors[static_cast<std::size_t>(w)] = cur;
+    }
+    std::vector<std::int64_t> composited(static_cast<std::size_t>(nworkers), 0);
+    img::Image& image = sink.image;
+    const bool in_front = sink.incoming_in_front;
+    run_banded(sink, [&](int w) {
+      const ChunkBounds band = chunk_bounds(part.count, nworkers, w);
+      if (band.count() == 0) return;
+      composited[static_cast<std::size_t>(w)] = composite_rle_strided_band(
+          image, part, view, cursors[static_cast<std::size_t>(w)], band.first, band.count(),
+          in_front, sink_scratch(sink, w).staging);
+    });
+    std::int64_t total = 0;
+    for (const std::int64_t c : composited) total += c;
+    sink.counters.over_ops += total;
+    sink.counters.pixels_received += total;
   }
 };
 

@@ -27,14 +27,17 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
                          TrackerKind tracker_kind, mp::Comm& comm, img::Image& image,
                          const SwapOrder& order, Counters& counters);
 
-/// The engine's per-rank scratch send buffer: one arena per thread, reused
-/// across sends, stages and frames (clear() keeps the capacity), instead of
-/// a fresh allocation every stage. Safe because a rank is one thread.
+/// The engine's per-rank scratch send buffer: worker 0's arena in the
+/// calling rank's WorkerPool (core/worker_pool.hpp), reused across sends,
+/// stages and frames (clear() keeps the capacity) instead of a fresh
+/// allocation every stage. A rank is no longer necessarily one thread — its
+/// pool may fan bands across workers_per_rank() lanes — but only the rank's
+/// own PE thread walks the stage loop and touches this buffer.
 [[nodiscard]] img::PackBuffer& scratch_pack_buffer();
 
-/// The engine's per-rank scratch frame: the depth-order compositing stages
-/// accumulate into this thread-local image instead of allocating (and
-/// zero-initializing) a fresh full-frame buffer every stage. Reuses the
+/// The engine's per-rank scratch frame (worker 0's in the rank's pool): the
+/// depth-order compositing stages accumulate into it instead of allocating
+/// (and zero-initializing) a fresh full-frame buffer every stage. Reuses the
 /// buffer when the dimensions match, blanking it with the vectorized
 /// kern::fill_zero; the engine swaps it with the rank's frame at the end of
 /// the stage, so consecutive stages ping-pong two long-lived allocations.

@@ -1,6 +1,9 @@
 #include "core/compositor.hpp"
 
+#include <cstdint>
+
 #include "core/wire.hpp"
+#include "image/kernels.hpp"
 #include "image/pack.hpp"
 
 namespace slspvr::core {
@@ -62,9 +65,22 @@ img::Image gather_final(mp::Comm& comm, const img::Image& local, const Ownership
     switch (static_cast<Ownership::Kind>(h.kind)) {
       case Ownership::Kind::kRect: {
         const img::Rect r{h.x0, h.y0, h.x1, h.y1};
+        // Each placed row is written exactly once and never re-read this
+        // frame, so stream it straight from the message with non-temporal
+        // stores (44-byte header keeps the payload 4-aligned for Pixel; fall
+        // back to the copying read if a transport ever hands us worse).
         for (int y = r.y0; y < r.y1; ++y) {
-          const auto row = in.get_vector<img::Pixel>(static_cast<std::size_t>(r.width()));
-          for (int i = 0; i < r.width(); ++i) out.at(r.x0 + i, y) = row[static_cast<std::size_t>(i)];
+          const auto n = static_cast<std::size_t>(r.width());
+          const std::span<const std::byte> bytes = in.get_bytes(n * sizeof(img::Pixel));
+          if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(img::Pixel) == 0) {
+            img::kern::copy_span_nt(&out.at(r.x0, y),
+                                    reinterpret_cast<const img::Pixel*>(bytes.data()),
+                                    r.width());
+          } else {
+            std::vector<img::Pixel> row(n);
+            std::memcpy(row.data(), bytes.data(), n * sizeof(img::Pixel));
+            img::kern::copy_span_nt(&out.at(r.x0, y), row.data(), r.width());
+          }
         }
         break;
       }
@@ -76,7 +92,12 @@ img::Image gather_final(mp::Comm& comm, const img::Image& local, const Ownership
         break;
       }
       case Ownership::Kind::kFullAtRoot:
-        if (own != nullptr) out = *own;  // root already holds the whole image
+        // The root already holds the whole image: stream it into the output
+        // frame (freshly allocated, write-once) instead of a caching copy.
+        if (own != nullptr) {
+          img::kern::copy_span_nt(out.pixels().data(), own->pixels().data(),
+                                  out.pixel_count());
+        }
         break;
     }
   };

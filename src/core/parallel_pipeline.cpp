@@ -1,6 +1,7 @@
 #include "core/parallel_pipeline.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -66,9 +67,11 @@ Ownership ParallelPipelineCompositor::composite(mp::Comm& comm, img::Image& imag
     if (s == 0) {
       partial_a.clear();
       partial_b.clear();
-      // Seed segment A with our own contribution (q == band_index here).
+      // Seed segment A with our own contribution (q == band_index here),
+      // a straight row copy.
       for (int y = band.y0; y < band.y1; ++y) {
-        for (int x = band.x0; x < band.x1; ++x) partial_a.at(x, y) = image.at(x, y);
+        std::memcpy(&partial_a.at(band.x0, y), &image.at(band.x0, y),
+                    static_cast<std::size_t>(band.width()) * sizeof(img::Pixel));
       }
     } else {
       comm.set_stage(s);

@@ -1,6 +1,7 @@
 #include "core/wire.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,15 +12,34 @@ namespace slspvr::core::wire {
 
 namespace {
 
-/// Per-thread staging area for the BSLC strided gather/scatter kernels:
-/// interleaved progressions are gathered contiguous here so the batched
-/// classify/composite kernels can run over them, then scattered back.
+/// Staging area for the BSLC strided gather/scatter kernels: interleaved
+/// progressions are gathered contiguous here so the batched
+/// classify/composite kernels can run over them, then scattered back. One
+/// arena per calling thread — with the tile-parallel engine that means one
+/// per pool worker, since each worker thread that reaches these legacy
+/// paths gets its own copy (the band-parallel streaming decoders use the
+/// explicit per-worker EngineScratch instead).
 std::vector<img::Pixel>& strided_scratch(std::int64_t count) {
   thread_local std::vector<img::Pixel> scratch;
   if (static_cast<std::int64_t>(scratch.size()) < count) {
     scratch.resize(static_cast<std::size_t>(count));
   }
   return scratch;
+}
+
+/// Reinterpret a borrowed wire section as `T[count]`, bouncing through
+/// `bounce` when the in-buffer address is not aligned for T (pixel payloads
+/// sit 2-mod-4 after an odd code count). The returned pointer aliases either
+/// the message or the bounce vector.
+template <typename T>
+const T* typed_view(std::span<const std::byte> bytes, std::size_t count,
+                    std::vector<T>& bounce) {
+  if ((reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(T)) == 0) {
+    return reinterpret_cast<const T*>(bytes.data());
+  }
+  bounce.resize(count);
+  std::memcpy(bounce.data(), bytes.data(), count * sizeof(T));
+  return bounce.data();
 }
 
 }  // namespace
@@ -59,11 +79,15 @@ img::Rle encode_rect(const img::Image& image, const img::Rect& rect, Counters& c
 
 img::Rle encode_strided(const img::Image& image, const img::InterleavedRange& range,
                         Counters& counters) {
+  return encode_strided_base(image.pixels().data(), range, counters);
+}
+
+img::Rle encode_strided_base(const img::Pixel* base, const img::InterleavedRange& range,
+                             Counters& counters) {
   // Gather the interleaved progression contiguous, then classify it with
   // the same batched kernel the rectangle path uses.
   std::vector<img::Pixel>& scratch = strided_scratch(range.count);
-  img::kern::gather_strided(image.pixels().data(), range.offset, range.stride, range.count,
-                            scratch.data());
+  img::kern::gather_strided(base, range.offset, range.stride, range.count, scratch.data());
   img::Rle rle;
   rle.length = range.count;
   img::kern::RunState state;
@@ -261,6 +285,80 @@ void composite_spans(img::Image& image, const img::SpanImage& spans,
   const std::int64_t ops = img::span_composite(image, spans, incoming_in_front);
   counters.over_ops += ops;
   counters.pixels_received += ops;
+}
+
+RleView parse_rle_view(img::UnpackBuffer& buf, std::int64_t expected_length,
+                       std::vector<img::Pixel>& pixel_bounce,
+                       std::vector<std::uint16_t>& code_bounce) {
+  // Prescan the code section in place (memcpy per 2-byte code — alignment-
+  // agnostic) to find where it ends, exactly mirroring parse_rle: stop as
+  // soon as the total reaches the expected length, throw on overshoot, and
+  // let truncation surface as a short read.
+  const std::span<const std::byte> rest = buf.peek_remaining();
+  std::size_t ncodes = 0;
+  std::int64_t total = 0;
+  std::int64_t foreground = 0;
+  bool blank = true;
+  while (total < expected_length) {
+    if ((ncodes + 1) * sizeof(std::uint16_t) > rest.size()) {
+      throw img::DecodeError("parse_rle_view: short read (codes truncated at " +
+                             std::to_string(total) + " of " +
+                             std::to_string(expected_length) + " pixels)");
+    }
+    std::uint16_t code = 0;
+    std::memcpy(&code, rest.data() + ncodes * sizeof(std::uint16_t), sizeof(code));
+    ++ncodes;
+    total += code;
+    if (!blank) foreground += code;
+    blank = !blank;
+  }
+  if (total != expected_length) {
+    throw img::DecodeError("parse_rle_view: codes overshoot the expected length (" +
+                           std::to_string(total) + " > " + std::to_string(expected_length) +
+                           ")");
+  }
+  RleView view;
+  view.ncodes = ncodes;
+  view.non_blank = foreground;
+  view.codes = typed_view(buf.get_bytes(ncodes * sizeof(std::uint16_t)), ncodes, code_bounce);
+  view.pixels =
+      typed_view(buf.get_bytes(static_cast<std::size_t>(foreground) * sizeof(img::Pixel)),
+                 static_cast<std::size_t>(foreground), pixel_bounce);
+  return view;
+}
+
+SpanView parse_spans_view(img::UnpackBuffer& buf, const img::Rect& rect,
+                          std::vector<img::Pixel>& pixel_bounce) {
+  SpanView view;
+  if (rect.empty()) return view;
+  const auto height = static_cast<std::size_t>(rect.height());
+  // row_counts and spans are 2-byte-aligned by construction (they follow an
+  // 8-byte header and 2-byte-multiple sections), so these views never
+  // bounce; the DecodeError checks match parse_spans exactly.
+  const std::span<const std::byte> counts_bytes = buf.get_bytes(height * sizeof(std::uint16_t));
+  thread_local std::vector<std::uint16_t> counts_bounce;
+  view.row_counts = typed_view(counts_bytes, height, counts_bounce);
+  std::size_t total_spans = 0;
+  for (std::size_t r = 0; r < height; ++r) total_spans += view.row_counts[r];
+  thread_local std::vector<img::Span> span_bounce;
+  view.spans = typed_view(buf.get_bytes(total_spans * sizeof(img::Span)), total_spans,
+                          span_bounce);
+  view.nspans = total_spans;
+  std::size_t total_pixels = 0;
+  for (std::size_t s = 0; s < total_spans; ++s) {
+    const img::Span& span = view.spans[s];
+    // A corrupted span must not index outside the rectangle when composited.
+    if (static_cast<int>(span.x) + static_cast<int>(span.len) > rect.width()) {
+      throw img::DecodeError("parse_spans_view: span [" + std::to_string(span.x) + "+" +
+                             std::to_string(span.len) + "] exceeds rectangle width " +
+                             std::to_string(rect.width()));
+    }
+    total_pixels += span.len;
+  }
+  view.pixels = typed_view(buf.get_bytes(total_pixels * sizeof(img::Pixel)), total_pixels,
+                           pixel_bounce);
+  view.non_blank = static_cast<std::int64_t>(total_pixels);
+  return view;
 }
 
 }  // namespace slspvr::core::wire

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/counters.hpp"
 #include "image/image.hpp"
@@ -32,6 +33,15 @@ void unpack_composite_rect(img::Image& image, const img::Rect& rect, img::Unpack
 [[nodiscard]] img::Rle encode_strided(const img::Image& image,
                                       const img::InterleavedRange& range,
                                       Counters& counters);
+
+/// Same, over a raw pixel array instead of a frame — the BSLC SoA engine
+/// keeps its progression compacted in scratch between stages and encodes
+/// parts of it in element space. Identical sequence values mean identical
+/// codes, payload and counters, so the wire bytes match the frame-based
+/// encode exactly.
+[[nodiscard]] img::Rle encode_strided_base(const img::Pixel* base,
+                                           const img::InterleavedRange& range,
+                                           Counters& counters);
 
 /// Append an Rle to `buf`: codes then pixels, no header — the decoder knows
 /// the expected sequence length, so wire bytes are exactly
@@ -93,6 +103,44 @@ void pack_span_rect(const img::Image& image, const img::Rect& rect, img::PackBuf
 [[nodiscard]] img::Rect unpack_composite_span_rect(img::Image& image, img::UnpackBuffer& buf,
                                                    const img::Rect& bounds,
                                                    bool incoming_in_front, Counters& counters);
+
+// ---- streaming views (fused decode→composite path) -----------------------
+// The fused decoders blend straight out of the receive buffer, so instead of
+// materializing img::Rle / img::SpanImage (allocating and copying codes and
+// pixels) they take zero-copy *views* of the payload. Validation is the same
+// as the materializing parsers — truncation, overshooting code totals and
+// out-of-rect spans all throw img::DecodeError before any pixel is touched.
+// Pixel payloads land 2-mod-4 whenever an odd number of 2-byte codes
+// precedes them; a misaligned section is copied once into the caller's
+// bounce vector (still cheaper than the full materializing parse).
+
+/// Zero-copy view of a pack_rle message: codes + payload, still in `buf`.
+struct RleView {
+  const std::uint16_t* codes = nullptr;
+  std::size_t ncodes = 0;
+  const img::Pixel* pixels = nullptr;
+  std::int64_t non_blank = 0;  ///< total payload pixels (sum of non-blank runs)
+};
+
+/// Parse an RLE view for `expected_length` sequence elements. Consumes the
+/// message bytes from `buf`; `pixel_bounce`/`code_bounce` back misaligned
+/// sections and must outlive every use of the view.
+[[nodiscard]] RleView parse_rle_view(img::UnpackBuffer& buf, std::int64_t expected_length,
+                                     std::vector<img::Pixel>& pixel_bounce,
+                                     std::vector<std::uint16_t>& code_bounce);
+
+/// Zero-copy view of a pack_spans message for a known rectangle.
+struct SpanView {
+  const std::uint16_t* row_counts = nullptr;  ///< rect.height() entries
+  const img::Span* spans = nullptr;
+  std::size_t nspans = 0;
+  const img::Pixel* pixels = nullptr;
+  std::int64_t non_blank = 0;
+};
+
+/// Parse a span view for `rect` (same validation as parse_spans).
+[[nodiscard]] SpanView parse_spans_view(img::UnpackBuffer& buf, const img::Rect& rect,
+                                        std::vector<img::Pixel>& pixel_bounce);
 
 // ---- scanline-span codec (future-work encoding; see image/spans.hpp) -----
 

@@ -1,0 +1,110 @@
+#include "core/worker_pool.hpp"
+
+#include <atomic>
+
+namespace slspvr::core {
+
+namespace {
+
+std::atomic<int> g_workers_per_rank{1};
+std::atomic<bool> g_fused_decode{true};
+
+}  // namespace
+
+int workers_per_rank() noexcept {
+  return g_workers_per_rank.load(std::memory_order_relaxed);
+}
+
+void set_workers_per_rank(int workers) noexcept {
+  g_workers_per_rank.store(workers < 1 ? 1 : workers, std::memory_order_relaxed);
+}
+
+bool fused_decode() noexcept { return g_fused_decode.load(std::memory_order_relaxed); }
+
+void set_fused_decode(bool on) noexcept {
+  g_fused_decode.store(on, std::memory_order_relaxed);
+}
+
+ChunkBounds chunk_bounds(std::int64_t n, int parts, int j) noexcept {
+  const std::int64_t p = parts;
+  return ChunkBounds{(n * j + p - 1) / p, (n * (j + 1) + p - 1) / p};
+}
+
+WorkerPool::WorkerPool(int workers) : scratch_(static_cast<std::size_t>(workers < 1 ? 1 : workers)) {
+  threads_.reserve(scratch_.size() - 1);
+  for (int i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0; its exception (if any) wins over the helpers'.
+  std::exception_ptr own_error;
+  try {
+    fn(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+  std::exception_ptr error = own_error != nullptr ? own_error : first_error_;
+  first_error_ = nullptr;
+  if (error != nullptr) {
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void WorkerPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(int)>* task = task_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+WorkerPool& WorkerPool::for_this_rank() {
+  thread_local std::unique_ptr<WorkerPool> pool;
+  const int want = workers_per_rank();
+  if (pool == nullptr || pool->workers() != want) {
+    pool.reset();  // join the old helpers before spawning the new set
+    pool = std::make_unique<WorkerPool>(want);
+  }
+  return *pool;
+}
+
+}  // namespace slspvr::core

@@ -1,0 +1,112 @@
+// Per-rank worker pool: intra-rank tile/row parallelism for the engine.
+//
+// A rank used to be exactly one thread, and the engine's scratch arenas were
+// thread_local on the strength of that invariant. The tile-parallel engine
+// replaces it: each rank owns a WorkerPool of `workers_per_rank()` workers
+// (the rank's own PE thread acts as worker 0; the pool spawns the rest) and
+// every band-parallel step — streaming decode, blending, compaction — fans
+// out across them. Scratch is therefore *explicit*: one EngineScratch per
+// worker, owned by the pool, handed out by index. workers_per_rank() == 1
+// (the default) spawns no threads and runs every task inline, byte- and
+// schedule-identical to the historical single-thread engine; larger counts
+// only change who executes which rows, never the arithmetic or its order
+// within a pixel, so frames stay byte-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "image/image.hpp"
+#include "image/pack.hpp"
+#include "image/pixel.hpp"
+
+namespace slspvr::core {
+
+/// Explicit per-worker scratch, replacing the engine's old thread_local
+/// arenas. Worker 0's `pack` and `frame` are the rank-level arenas (the
+/// send-buffer arena and the depth-order ping-pong frame); every worker's
+/// staging vectors back the strided gather/blend/scatter bands and the
+/// misaligned-payload bounce copies of the streaming decode path.
+struct EngineScratch {
+  img::PackBuffer pack;                  ///< send-buffer arena (worker 0)
+  img::Image frame;                      ///< depth-order scratch frame (worker 0)
+  std::vector<img::Pixel> staging;       ///< strided gather/blend staging
+  std::vector<img::Pixel> staging2;      ///< second gather operand
+  std::vector<img::Pixel> bounce;        ///< misaligned wire-pixel bounce
+  std::vector<std::uint16_t> code_bounce;  ///< misaligned wire-code bounce
+  std::vector<img::Pixel> soa_a, soa_b;  ///< BSLC SoA progression ping-pong
+};
+
+/// Fork/join pool of `workers` lanes. The constructing thread participates
+/// as worker 0 in every run() call; `workers - 1` helper threads are spawned
+/// up front and parked on a condition variable between tasks, so per-stage
+/// fan-out costs a wakeup, not a thread spawn. Exceptions thrown by any
+/// worker (e.g. img::DecodeError from a band decode) are captured and the
+/// first one rethrown from run() on the caller.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int workers() const noexcept { return static_cast<int>(scratch_.size()); }
+
+  /// Run fn(worker_index) once per worker, in parallel, and join. The
+  /// caller executes index 0. Not reentrant (the engine never nests bands).
+  void run(const std::function<void(int)>& fn);
+
+  [[nodiscard]] EngineScratch& scratch(int worker) {
+    return scratch_[static_cast<std::size_t>(worker)];
+  }
+
+  /// The calling PE thread's pool, sized to the current workers_per_rank()
+  /// setting (recreated when the setting changes between frames). Each rank
+  /// thread of a run gets its own pool; the pool and its scratch die with
+  /// the thread.
+  [[nodiscard]] static WorkerPool& for_this_rank();
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<EngineScratch> scratch_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Process-global intra-rank worker count (default 1 = the historical
+/// one-thread-per-rank engine). Read by plan_composite at each frame; set
+/// before the run (the multi-process backend inherits it across fork, and
+/// ProcOptions::workers_per_rank pins it explicitly in each worker).
+[[nodiscard]] int workers_per_rank() noexcept;
+void set_workers_per_rank(int workers) noexcept;
+
+/// Process-global toggle for the fused decode→composite streaming path
+/// (default on). Off restores the historical unpack-then-blend decode —
+/// byte-identical output either way; slspvr-perf benches both.
+[[nodiscard]] bool fused_decode() noexcept;
+void set_fused_decode(bool on) noexcept;
+
+/// Ceil-partition [0, n) into `parts` blocks; block j is [first, last).
+struct ChunkBounds {
+  std::int64_t first = 0;
+  std::int64_t last = 0;
+  [[nodiscard]] std::int64_t count() const noexcept { return last - first; }
+};
+[[nodiscard]] ChunkBounds chunk_bounds(std::int64_t n, int parts, int j) noexcept;
+
+}  // namespace slspvr::core

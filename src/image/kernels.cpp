@@ -432,4 +432,120 @@ void fill_zero(Pixel* dst, std::int64_t n) noexcept {
   std::memset(static_cast<void*>(dst), 0, static_cast<std::size_t>(n) * sizeof(Pixel));
 }
 
+// ---------------------------------------------------------------------------
+// Fused wire→frame kernels. The run/span walk is control logic shared by
+// both ISAs; every pixel touch goes through the dispatched composite_span,
+// so the scalar-oracle contract is inherited rather than duplicated.
+
+void rle_skip(const std::uint16_t* codes, std::size_t ncodes, RleCursor& cur,
+              std::int64_t n) noexcept {
+  while (n > 0) {
+    if (cur.run_left == 0) {
+      if (cur.code >= ncodes) return;  // caller validated totals; stop short
+      cur.run_left = codes[cur.code++];
+      cur.blank = !cur.blank;  // alternation starts blank (kMaxRun escapes
+      continue;                // are zero-length runs and just flip twice)
+    }
+    const std::int64_t take = n < cur.run_left ? n : cur.run_left;
+    if (!cur.blank) cur.pixel += take;
+    n -= take;
+    cur.run_left -= take;
+  }
+}
+
+std::int64_t composite_rle_span(Pixel* base, std::int64_t pos, std::int64_t width,
+                                std::int64_t row_stride, const std::uint16_t* codes,
+                                std::size_t ncodes, const Pixel* pixels, RleCursor& cur,
+                                std::int64_t n, bool incoming_in_front) {
+  std::int64_t composited = 0;
+  while (n > 0) {
+    if (cur.run_left == 0) {
+      if (cur.code >= ncodes) break;
+      cur.run_left = codes[cur.code++];
+      cur.blank = !cur.blank;
+      continue;
+    }
+    const std::int64_t take = n < cur.run_left ? n : cur.run_left;
+    if (!cur.blank) {
+      // Whole runs at a time, split only where the run crosses a grid row.
+      const Pixel* src = pixels + cur.pixel;
+      std::int64_t left = take;
+      std::int64_t p = pos;
+      while (left > 0) {
+        const std::int64_t x = p % width;
+        const std::int64_t chunk = left < width - x ? left : width - x;
+        composite_span(base + (p / width) * row_stride + x, src, chunk, incoming_in_front);
+        p += chunk;
+        src += chunk;
+        left -= chunk;
+      }
+      cur.pixel += take;
+      composited += take;
+    }
+    pos += take;
+    n -= take;
+    cur.run_left -= take;
+  }
+  return composited;
+}
+
+std::int64_t composite_span_rows(Pixel* top_left, std::int64_t row_stride,
+                                 const std::uint16_t* row_counts, std::int64_t rows,
+                                 const Span* spans, const Pixel* pixels,
+                                 bool incoming_in_front) {
+  std::int64_t composited = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    Pixel* row = top_left + r * row_stride;
+    for (std::uint16_t s = 0; s < row_counts[r]; ++s) {
+      const Span& span = *spans++;
+      composite_span(row + span.x, pixels, span.len, incoming_in_front);
+      pixels += span.len;
+      composited += span.len;
+    }
+  }
+  return composited;
+}
+
+// ---------------------------------------------------------------------------
+// Non-temporal copy.
+
+#if defined(SLSPVR_KERNELS_X86)
+
+namespace {
+
+SLSPVR_TARGET_AVX2 void copy_span_nt_avx2(Pixel* dst, const Pixel* src,
+                                          std::int64_t n) noexcept {
+  auto* out = reinterpret_cast<float*>(dst);
+  const auto* in = reinterpret_cast<const float*>(src);
+  std::int64_t i = 0;
+  // Scalar head until the destination is 32-byte aligned (streaming stores
+  // require it); Pixel is 16 bytes, so at most one head pixel.
+  while (i < n && (reinterpret_cast<std::uintptr_t>(out) & 31u) != 0) {
+    dst[i] = src[i];
+    ++i;
+    out += 4;
+    in += 4;
+  }
+  for (; i + 2 <= n; i += 2, out += 8, in += 8) {
+    _mm256_stream_ps(out, _mm256_loadu_ps(in));
+  }
+  if (i < n) dst[i] = src[i];
+  _mm_sfence();  // streaming stores are weakly ordered; publish before return
+}
+
+}  // namespace
+
+#endif  // SLSPVR_KERNELS_X86
+
+void copy_span_nt(Pixel* dst, const Pixel* src, std::int64_t n) noexcept {
+#if defined(SLSPVR_KERNELS_X86)
+  if (active_isa() == Isa::kAvx2) {
+    copy_span_nt_avx2(dst, src, n);
+    return;
+  }
+#endif
+  std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+              static_cast<std::size_t>(n) * sizeof(Pixel));
+}
+
 }  // namespace slspvr::img::kern

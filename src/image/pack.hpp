@@ -82,6 +82,26 @@ class UnpackBuffer {
     return values;
   }
 
+  /// Borrow `n` bytes in place (zero-copy) and advance the cursor. The view
+  /// aliases the receive buffer — valid only while the message bytes live.
+  /// The streaming decoders use this to blend straight off the wire; callers
+  /// casting to a typed pointer must check alignment themselves (wire pixel
+  /// payloads can land 2-mod-4 when an odd code count precedes them).
+  [[nodiscard]] std::span<const std::byte> get_bytes(std::size_t n) {
+    if (n > remaining()) {
+      throw DecodeError("UnpackBuffer: short read (want " + std::to_string(n) +
+                        ", have " + std::to_string(remaining()) + ")");
+    }
+    const std::span<const std::byte> view = data_.subspan(cursor_, n);
+    cursor_ += n;
+    return view;
+  }
+
+  /// Everything after the cursor, without consuming (decode prescans).
+  [[nodiscard]] std::span<const std::byte> peek_remaining() const noexcept {
+    return data_.subspan(cursor_);
+  }
+
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - cursor_; }
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
 

@@ -11,6 +11,7 @@
 
 #include "core/engine.hpp"
 #include "core/fold.hpp"
+#include "core/worker_pool.hpp"
 #include "core/timeline.hpp"
 #include "mp/communicator.hpp"
 #include "mp/socket.hpp"
@@ -112,6 +113,10 @@ int worker_main(int rank, const mp::Endpoint& endpoint, const core::Compositor& 
       }
     };
     sock->start();
+
+    // Pin the intra-rank worker count before the engine builds its pool
+    // (0 = keep the fork-inherited process-global from --workers-per-rank).
+    if (opts.workers_per_rank > 0) core::set_workers_per_rank(opts.workers_per_rank);
 
     SnapshotStore store(ranks);
     mp::Comm comm(&ctx, rank);

@@ -1,0 +1,317 @@
+// Streaming decode→composite identity: decode_rect_into / decode_range_into
+// blend straight out of the receive buffer and promise *byte*-identical
+// frames and identical counters to the legacy unpack-then-blend decoders —
+// for every codec, every part width (including empty and the 0..33 sweep
+// that crosses every vector-kernel remainder case), any worker-pool fan-out,
+// and RLE runs that straddle both kMaxRun escape chains and band boundaries.
+// The suite closes with whole-frame identity of the tile-parallel engine:
+// every paper method at P ∈ {2,4,8} must gather the same bytes for
+// workers-per-rank ∈ {1,2,3}, fused or legacy decode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binary_swap.hpp"
+#include "core/binary_tree.hpp"
+#include "core/bsbr.hpp"
+#include "core/bsbrc.hpp"
+#include "core/bsbrs.hpp"
+#include "core/bslc.hpp"
+#include "core/codec.hpp"
+#include "core/direct_send.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/worker_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace core = slspvr::core;
+namespace img = slspvr::img;
+namespace pvr = slspvr::pvr;
+using slspvr::testing::make_default_order;
+using slspvr::testing::make_subimages;
+using slspvr::testing::run_method;
+
+namespace {
+
+/// RAII restore of the process-global engine knobs this suite twiddles.
+struct EngineKnobs {
+  int workers = core::workers_per_rank();
+  bool fused = core::fused_decode();
+  ~EngineKnobs() {
+    core::set_workers_per_rank(workers);
+    core::set_fused_decode(fused);
+  }
+};
+
+/// Byte-exact frame comparison (the fused paths promise identity, not
+/// tolerance), with a first-differing-pixel report on failure.
+void expect_bytes_identical(const img::Image& got, const img::Image& want) {
+  ASSERT_EQ(got.width(), want.width());
+  ASSERT_EQ(got.height(), want.height());
+  if (got.pixel_count() == 0) return;
+  if (std::memcmp(got.pixels().data(), want.pixels().data(),
+                  static_cast<std::size_t>(got.pixel_count()) * sizeof(img::Pixel)) == 0) {
+    return;
+  }
+  for (std::int64_t i = 0; i < got.pixel_count(); ++i) {
+    const img::Pixel& g = got.at_index(i);
+    const img::Pixel& w = want.at_index(i);
+    ASSERT_EQ(0, std::memcmp(&g, &w, sizeof(img::Pixel)))
+        << "first differing pixel at index " << i << ": got (" << g.r << ", " << g.g << ", "
+        << g.b << ", " << g.a << ") want (" << w.r << ", " << w.g << ", " << w.b << ", "
+        << w.a << ")";
+  }
+}
+
+/// Encode `part` of a random source, then decode it twice into copies of the
+/// same random destination — legacy decode_rect vs streaming
+/// decode_rect_into — and require identical bytes, covered rect, and
+/// counters.
+void check_rect_codec_identity(core::CodecKind kind, int width, core::WorkerPool* pool,
+                               bool in_front) {
+  constexpr int kHeight = 7;
+  const auto seed = static_cast<std::uint32_t>(100 * static_cast<int>(kind) + width);
+  const img::Image source = pvr::random_subimage(40, kHeight, 0.45, 77 + seed);
+  const img::Image base = pvr::random_subimage(40, kHeight, 0.60, 900 + seed);
+  const img::Rect part{3, 0, 3 + width, kHeight};
+  const core::PayloadCodec& codec = core::codec_for(kind);
+
+  img::PackBuffer buf;
+  core::Counters encode_counters;
+  codec.encode_rect(source, part, part, buf, encode_counters);
+
+  img::Image legacy = base;
+  core::Counters legacy_counters;
+  img::UnpackBuffer legacy_in(buf.bytes());
+  const img::Rect legacy_rect =
+      codec.decode_rect(legacy, part, legacy_in, in_front, legacy_counters);
+
+  img::Image fused = base;
+  core::Counters fused_counters;
+  img::UnpackBuffer fused_in(buf.bytes());
+  core::DecodeSink sink{fused, in_front, fused_counters, pool};
+  const img::Rect fused_rect = codec.decode_rect_into(sink, part, fused_in);
+
+  EXPECT_EQ(fused_rect, legacy_rect);
+  expect_bytes_identical(fused, legacy);
+  EXPECT_EQ(fused_counters.totals(), legacy_counters.totals());
+}
+
+/// The scalar-codec twin: an interleaved progression of `count` elements at
+/// `stride` through a shared source/destination pair.
+void check_scalar_codec_identity(std::int64_t count, std::int64_t stride,
+                                 core::WorkerPool* pool, bool in_front) {
+  const auto seed = static_cast<std::uint32_t>(17 * count + stride);
+  const img::Image source = pvr::random_subimage(16, 12, 0.45, 31 + seed);
+  const img::Image base = pvr::random_subimage(16, 12, 0.60, 500 + seed);
+  const img::InterleavedRange part{1, stride, count};
+  ASSERT_LE(part.index(count > 0 ? count - 1 : 0), source.pixel_count() - 1);
+  const core::PayloadCodec& codec = core::codec_for(core::CodecKind::kInterleavedRle);
+
+  img::PackBuffer buf;
+  core::Counters encode_counters;
+  codec.encode_range(source, part, buf, encode_counters);
+
+  img::Image legacy = base;
+  core::Counters legacy_counters;
+  img::UnpackBuffer legacy_in(buf.bytes());
+  codec.decode_range(legacy, part, legacy_in, in_front, legacy_counters);
+
+  img::Image fused = base;
+  core::Counters fused_counters;
+  img::UnpackBuffer fused_in(buf.bytes());
+  core::DecodeSink sink{fused, in_front, fused_counters, pool};
+  codec.decode_range_into(sink, part, fused_in);
+
+  expect_bytes_identical(fused, legacy);
+  EXPECT_EQ(fused_counters.totals(), legacy_counters.totals());
+}
+
+/// An image whose row-major RLE has one blank and one non-blank run, both
+/// longer than kern::kMaxRun (65535) — so the wire stream carries zero-length
+/// escape codes, and any band partition of a multi-worker decode lands
+/// boundaries inside both escape chains.
+img::Image long_run_image(int width, int height, int blank_rows, int solid_rows) {
+  img::Image image(width, height);
+  for (int y = blank_rows; y < blank_rows + solid_rows; ++y) {
+    for (int x = 0; x < width; ++x) {
+      image.at(x, y) =
+          img::Pixel{0.1f + 0.01f * static_cast<float>(x % 7),
+                     0.2f + 0.01f * static_cast<float>(y % 5),
+                     0.3f + 0.01f * static_cast<float>((x + y) % 3), 0.5f};
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+TEST(StreamingDecode, RectCodecsMatchLegacyAtEveryWidth) {
+  EngineKnobs knobs;
+  core::set_fused_decode(true);
+  core::WorkerPool pool(3);
+  for (const core::CodecKind kind :
+       {core::CodecKind::kFullPixel, core::CodecKind::kBoundingRect,
+        core::CodecKind::kRleRect, core::CodecKind::kSpanRect}) {
+    for (int width = 0; width <= 33; ++width) {
+      for (const bool in_front : {false, true}) {
+        SCOPED_TRACE(std::string(core::codec_name(kind)) + " width " +
+                     std::to_string(width) + (in_front ? " front" : " back"));
+        check_rect_codec_identity(kind, width, nullptr, in_front);
+        check_rect_codec_identity(kind, width, &pool, in_front);
+      }
+    }
+  }
+}
+
+TEST(StreamingDecode, ScalarCodecMatchesLegacyAtEveryLength) {
+  EngineKnobs knobs;
+  core::set_fused_decode(true);
+  core::WorkerPool pool(3);
+  for (const std::int64_t stride : {1, 2, 5}) {
+    for (std::int64_t count = 0; count <= 33; ++count) {
+      for (const bool in_front : {false, true}) {
+        SCOPED_TRACE("stride " + std::to_string(stride) + " count " + std::to_string(count) +
+                     (in_front ? " front" : " back"));
+        check_scalar_codec_identity(count, stride, nullptr, in_front);
+        check_scalar_codec_identity(count, stride, &pool, in_front);
+      }
+    }
+  }
+}
+
+// Runs longer than kMaxRun force zero-length escape codes into the stream;
+// with a 3-wide pool over a 400x400 part the band boundaries (ceil thirds of
+// 160000 elements) fall inside both the blank chain (68000 blanks, escape at
+// 65535) and the non-blank chain (80000 pixels, escape at element 133535) —
+// rle_skip must resume mid-chain without desynchronizing code/pixel cursors.
+TEST(StreamingDecode, RunsStraddleKMaxRunAndBandBoundaries) {
+  EngineKnobs knobs;
+  core::set_fused_decode(true);
+  core::WorkerPool pool(3);
+  const img::Image source = long_run_image(400, 400, /*blank_rows=*/170, /*solid_rows=*/200);
+  const img::Image base = pvr::random_subimage(400, 400, 0.5, 4242);
+  const img::Rect part{0, 0, 400, 400};
+
+  for (const bool in_front : {false, true}) {
+    SCOPED_TRACE(in_front ? "front" : "back");
+    {
+      const core::PayloadCodec& codec = core::codec_for(core::CodecKind::kRleRect);
+      img::PackBuffer buf;
+      core::Counters encode_counters;
+      codec.encode_rect(source, part, part, buf, encode_counters);
+
+      img::Image legacy = base;
+      core::Counters legacy_counters;
+      img::UnpackBuffer legacy_in(buf.bytes());
+      codec.decode_rect(legacy, part, legacy_in, in_front, legacy_counters);
+
+      img::Image fused = base;
+      core::Counters fused_counters;
+      img::UnpackBuffer fused_in(buf.bytes());
+      core::DecodeSink sink{fused, in_front, fused_counters, &pool};
+      codec.decode_rect_into(sink, part, fused_in);
+
+      expect_bytes_identical(fused, legacy);
+      EXPECT_EQ(fused_counters.totals(), legacy_counters.totals());
+    }
+    {
+      const core::PayloadCodec& codec = core::codec_for(core::CodecKind::kInterleavedRle);
+      const img::InterleavedRange whole = img::InterleavedRange::whole(source.pixel_count());
+      img::PackBuffer buf;
+      core::Counters encode_counters;
+      codec.encode_range(source, whole, buf, encode_counters);
+
+      img::Image legacy = base;
+      core::Counters legacy_counters;
+      img::UnpackBuffer legacy_in(buf.bytes());
+      codec.decode_range(legacy, whole, legacy_in, in_front, legacy_counters);
+
+      img::Image fused = base;
+      core::Counters fused_counters;
+      img::UnpackBuffer fused_in(buf.bytes());
+      core::DecodeSink sink{fused, in_front, fused_counters, &pool};
+      codec.decode_range_into(sink, whole, fused_in);
+
+      expect_bytes_identical(fused, legacy);
+      EXPECT_EQ(fused_counters.totals(), legacy_counters.totals());
+    }
+  }
+}
+
+// set_fused_decode(false) must route every decode_*_into call through the
+// legacy decoders verbatim (that is what slspvr-perf benchmarks against).
+TEST(StreamingDecode, FusedOffFallsBackToLegacyByteIdentically) {
+  EngineKnobs knobs;
+  core::set_fused_decode(false);
+  core::WorkerPool pool(2);
+  for (const core::CodecKind kind :
+       {core::CodecKind::kFullPixel, core::CodecKind::kBoundingRect,
+        core::CodecKind::kRleRect, core::CodecKind::kSpanRect}) {
+    SCOPED_TRACE(core::codec_name(kind));
+    check_rect_codec_identity(kind, 21, &pool, true);
+  }
+  check_scalar_codec_identity(29, 3, &pool, true);
+}
+
+// Whole-frame identity: for every paper method, the gathered frame and the
+// per-rank op totals must be byte-for-byte independent of the intra-rank
+// worker fan-out and of fused vs legacy decode. The reference is the
+// historical engine (1 worker, unfused); everything else must match it.
+TEST(StreamingDecode, WholeFrameIdenticalAcrossWorkersAndFusedDecode) {
+  EngineKnobs knobs;
+
+  struct MethodCase {
+    std::string name;
+    std::unique_ptr<core::Compositor> method;
+  };
+  std::vector<MethodCase> methods;
+  methods.push_back({"BS", std::make_unique<core::BinarySwapCompositor>()});
+  methods.push_back({"BSBR", std::make_unique<core::BsbrCompositor>()});
+  methods.push_back({"BSBRC", std::make_unique<core::BsbrcCompositor>()});
+  methods.push_back({"BSBRS", std::make_unique<core::BsbrsCompositor>()});
+  methods.push_back({"BSLC", std::make_unique<core::BslcCompositor>()});
+  methods.push_back({"BSLC-contig", std::make_unique<core::BslcCompositor>(false)});
+  methods.push_back({"BinaryTree", std::make_unique<core::BinaryTreeCompositor>()});
+  methods.push_back({"DirectSend-sparse", std::make_unique<core::DirectSendCompositor>(true)});
+  methods.push_back({"Pipeline", std::make_unique<core::ParallelPipelineCompositor>()});
+
+  struct Config {
+    int workers;
+    bool fused;
+  };
+  const std::vector<Config> configs = {{1, true}, {2, true}, {3, true}, {3, false}};
+
+  for (const MethodCase& mc : methods) {
+    for (const int ranks : {2, 4, 8}) {
+      int levels = 0;
+      while ((1 << levels) < ranks) ++levels;
+      const auto subimages = make_subimages(ranks, 48, 36, 0.4,
+                                            static_cast<std::uint32_t>(7 * ranks + 1));
+      const core::SwapOrder order = make_default_order(levels);
+
+      core::set_workers_per_rank(1);
+      core::set_fused_decode(false);
+      const auto reference = run_method(*mc.method, subimages, order);
+
+      for (const Config& cfg : configs) {
+        SCOPED_TRACE(mc.name + " P" + std::to_string(ranks) + " workers " +
+                     std::to_string(cfg.workers) + (cfg.fused ? " fused" : " legacy"));
+        core::set_workers_per_rank(cfg.workers);
+        core::set_fused_decode(cfg.fused);
+        const auto got = run_method(*mc.method, subimages, order);
+        expect_bytes_identical(got.final_image, reference.final_image);
+        ASSERT_EQ(got.per_rank.size(), reference.per_rank.size());
+        for (std::size_t r = 0; r < got.per_rank.size(); ++r) {
+          EXPECT_EQ(got.per_rank[r].totals(), reference.per_rank[r].totals())
+              << "rank " << r;
+        }
+      }
+      core::set_workers_per_rank(1);
+      core::set_fused_decode(true);
+    }
+  }
+}

@@ -32,6 +32,10 @@
 //                                corruption heal instead of degrading)
 //     --retry-base-ms <ms>       first retry backoff step (default 1)
 //     --recv-timeout <ms>        receive deadline + blocked-rank watchdog
+//     --workers-per-rank <n>     intra-rank engine workers: each rank fans
+//                                its decode/composite bands across n threads
+//                                (default 1; frames are byte-identical for
+//                                any n, on both backends)
 //     --procs <n>                multi-process backend: n real worker
 //                                processes over sockets (excludes the
 //                                in-process --fault-*/--retry-*/--recv-timeout
@@ -61,6 +65,7 @@
 #include "core/bslc.hpp"
 #include "core/direct_send.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "core/worker_pool.hpp"
 #include "image/compare.hpp"
 #include "image/image_io.hpp"
 #include "mp/fault.hpp"
@@ -95,6 +100,7 @@ struct Args {
   slspvr::mp::FaultPlan faults;
   bool fault_flags = false;  ///< any --fault-*/--retry-*/--recv-timeout seen
   bool ranks_given = false;
+  int workers_per_rank = 1;
   slspvr::tools::ProcCli procs;
 };
 
@@ -141,6 +147,8 @@ Args parse(int argc, char** argv) {
     } else if (a == "--ranks") {
       args.ranks = std::atoi(next());
       args.ranks_given = true;
+    } else if (a == "--workers-per-rank") {
+      args.workers_per_rank = slspvr::tools::parse_workers_per_rank(next());
     } else if (slspvr::tools::try_parse_proc_flag(args.procs, a, next)) {
       // consumed by the multi-process flag family
     } else if (a == "--image") {
@@ -313,12 +321,18 @@ int run_tool(const Args& args) {
 
   const auto method = make_method(args.method);
 
+  // Intra-rank fan-out: the thread backend reads the process-global when
+  // each rank builds its pool; the --procs backend both inherits it across
+  // fork and pins it explicitly per worker via ProcOptions.
+  core::set_workers_per_rank(args.workers_per_rank);
+
   pvr::MethodResult result;
   pvr::FaultReport fault_report;
   const auto execute = [&](const pvr::Experiment& experiment) {
     if (args.procs.active()) {
-      pvr::FtMethodResult ft =
-          experiment.run_procs(*method, slspvr::tools::to_proc_options(args.procs));
+      pvr::ProcOptions popts = slspvr::tools::to_proc_options(args.procs);
+      popts.workers_per_rank = args.workers_per_rank;
+      pvr::FtMethodResult ft = experiment.run_procs(*method, popts);
       result = std::move(ft.result);
       fault_report = std::move(ft.report);
     } else if (args.faults.empty()) {
