@@ -27,6 +27,11 @@
 // damage budget, and a receiver that deposits in-sequence envelopes, stashes
 // ahead-of-sequence ones and NAKs gaps/corruption for retransmission.
 //
+// ResurrectionModel (PR 9) mirrors Supervisor::run_sequence: multi-frame
+// runs with kFrameStart/kFrameDone barriers, boundary respawn of crashed
+// ranks under a budget, circuit-breaker demotion, and (rank, generation)
+// identity with generation-checked delivery on both edges of the hub.
+//
 // Mutants re-introduce real (fixed) defects or plant plausible ones; the
 // checker must produce a counterexample for every mutant (scenarios.cpp
 // pairs each scenario with the mutants it can catch).
@@ -71,6 +76,20 @@ enum class Mutant : std::uint8_t {
   /// Retransmit layer: give retransmitted envelopes fresh sequence numbers
   /// instead of the originals from the in-flight store.
   kRenumberRetransmit,
+  /// PR 9 rejoin: drop the envelope generation check (supervisor and worker
+  /// side) — a dead incarnation's delayed frame lands in a later frame.
+  kDropGenerationCheck,
+  /// PR 9 rejoin: promote a respawned rank without replaying the frames
+  /// parked for it while its hello was in flight — the fresh incarnation
+  /// waits on a message that was silently discarded.
+  kRespawnNoBacklogReplay,
+  /// PR 9 respawn: resurrect a rank that is not dead (the single-respawn-
+  /// per-death guard removed) — two incarnations of one rank alive at once.
+  kResurrectTwice,
+  /// PR 9 respawn: fork the replacement without bumping the generation —
+  /// its per-link sequence space restarts and collides with its
+  /// predecessor's.
+  kRespawnSameGeneration,
 };
 
 [[nodiscard]] const char* mutant_name(Mutant m);
@@ -78,7 +97,7 @@ enum class Mutant : std::uint8_t {
 /// One checkable configuration: which protocol, how many actors, which
 /// adversarial actions are armed, and which mutant (if any) is planted.
 struct Scenario {
-  enum class Kind : std::uint8_t { kSupervision, kRetransmit };
+  enum class Kind : std::uint8_t { kSupervision, kRetransmit, kResurrection };
 
   std::string name;
   Kind kind = Kind::kSupervision;
@@ -97,6 +116,11 @@ struct Scenario {
   int messages = 3;       ///< envelopes to deliver on the channel
   int damage_budget = 2;  ///< total drops + corruptions the adversary gets
 
+  // --- resurrection (sequence-mode) parameters ---
+  int frames = 2;          ///< rendering frames in the multi-frame sequence
+  int respawn_budget = 1;  ///< RespawnPolicy::max_respawns_per_rank
+  int crash_budget = 1;    ///< total mid-frame crashes the adversary gets
+
   Mutant mutant = Mutant::kNone;
 };
 
@@ -111,6 +135,9 @@ enum class BadState : std::uint8_t {
   kPrematureExit,       ///< final: worker exited mid-program, not aborted
   kRenumberedSeq,       ///< retransmit carried a never-issued seq number
   kAckedButLost,        ///< receiver cursor passed an undeposited payload
+  kStaleDelivery,       ///< a dead incarnation's frame deposited in a mailbox
+  kDoubleResurrection,  ///< a rank respawned while an incarnation was alive
+  kSeqReuse,            ///< one (rank, generation, seq) delivered twice
 };
 
 // ---------------------------------------------------------------------------
@@ -201,6 +228,152 @@ class SupervisionModel {
 
  private:
   [[nodiscard]] bool may_crash(int w) const;
+  Scenario scenario_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequence-mode resurrection model (PR 9)
+// ---------------------------------------------------------------------------
+
+/// Mirrors Supervisor::run_sequence + the sequence worker loop: rendering
+/// frames gated by kFrameStart/kFrameDone barriers, one ring exchange per
+/// frame, a mid-frame crash adversary, boundary resurrection with
+/// generation bumps, the circuit-breaker demotion when the respawn budget
+/// runs dry, and generation-checked delivery on both the supervisor and
+/// worker edges.
+///
+/// Rank identity is (rank, generation). A crashed incarnation's unread
+/// uplink traffic moves to a per-rank `limbo` channel the supervisor may
+/// pump at any later point — the model's abstraction of in-flight bytes
+/// from a dying connection that the transport cannot retract. The shipped
+/// protocol rejects limbo frames whose generation disagrees with the
+/// roster; the kDropGenerationCheck mutant routes them and trips
+/// BadState::kStaleDelivery when one lands in a later frame's mailbox.
+///
+/// Invariants (beyond deadlock/livelock-freedom):
+///  * no stale-generation delivery: every deposited frame carries the
+///    roster generation of its source (kStaleDelivery);
+///  * no double resurrection: a respawn only ever targets a dead rank
+///    (kDoubleResurrection);
+///  * no seq reuse across generations: the supervisor never sees one
+///    (rank, generation, seq) triple twice (kSeqReuse);
+///  * every frame that was neither faulted nor degraded delivers each of
+///    its messages exactly once — post-recovery frames are whole again.
+class ResurrectionModel {
+ public:
+  /// In-model message. Up: kHello{gen} / kData{dest,id,gen,seq} /
+  /// kFrameDone{aborted,frame}. Down: kData{src,id,gen} / kFrameStart{frame}
+  /// / kPeerFailed{rank} / kShutdown.
+  struct SeqMsg {
+    enum class Kind : std::uint8_t {
+      kHello = 1,
+      kData,
+      kFrameStart,
+      kFrameDone,
+      kPeerFailed,
+      kShutdown,
+    };
+    Kind kind = Kind::kHello;
+    std::int8_t a = -1;   ///< kData up: dest; down: src. kFrameDone: aborted.
+    std::int8_t b = -1;   ///< kData: frame id; kFrameStart/kFrameDone: frame
+    std::int8_t gen = 0;  ///< sender incarnation
+    std::int8_t seq = 0;  ///< kData up: per-incarnation channel sequence
+  };
+
+  /// Worker lifecycle phases, mirroring sequence_worker_main: connect ->
+  /// idle between frames -> run a frame -> idle -> ... -> exit on shutdown.
+  enum class Phase : std::uint8_t { kStart = 0, kIdle, kRun, kCrashed, kExited };
+
+  struct Worker {
+    Phase phase = Phase::kStart;
+    std::int8_t gen = 0;
+    std::int8_t next_seq = 0;  ///< per-incarnation channel sequence counter
+    std::int8_t pc = 0;        ///< 0 = send, 1 = recv, 2 = frame-done pending
+    std::int8_t frame = -1;    ///< the frame this worker is running
+    std::int8_t frames_completed = 0;
+    bool poisoned = false;
+    bool shutdown_seen = false;
+    /// The roster the last kFrameStart carried: per-source generations the
+    /// worker-side reader checks kData against, and whether the frame runs
+    /// degraded (any rank folded out).
+    std::array<std::int8_t, kMaxWorkers> roster_gen{};
+    bool roster_degraded = false;
+    std::vector<std::int8_t> mailbox;  ///< deposited frame ids, FIFO
+  };
+
+  struct Sup {
+    std::int8_t gen = 0;  ///< roster generation for this rank
+    std::int8_t respawns = 0;
+    bool promoted = false;  ///< current incarnation's kHello processed
+    bool dead = false;      ///< crashed and reaped, not yet resurrected
+    bool demoted = false;   ///< circuit breaker open: folded out for good
+    bool frame_done = false;
+    std::vector<SeqMsg> parked;  ///< kData awaiting this rank's promotion
+  };
+
+  struct State {
+    std::array<Worker, kMaxWorkers> worker;
+    std::array<Sup, kMaxWorkers> sup;
+    std::array<std::vector<SeqMsg>, kMaxWorkers> up;     ///< live uplink
+    std::array<std::vector<SeqMsg>, kMaxWorkers> down;   ///< supervisor -> worker
+    std::array<std::vector<SeqMsg>, kMaxWorkers> limbo;  ///< dead-incarnation leftovers
+    /// Delivery count per frame id (frame * workers + src), all frames.
+    std::array<std::int8_t, kMaxWorkers * 4> delivered{};
+    /// (gen * frames + seq) bitmask of uplink kData the supervisor has seen,
+    /// per source rank — the no-seq-reuse-across-generations monitor.
+    std::array<std::uint16_t, kMaxWorkers> seen_seq{};
+    std::int8_t frame = -1;        ///< open frame (valid while frame_active)
+    std::int8_t frames_done = 0;
+    std::uint8_t faulted_frames = 0;   ///< bitmask: a failure struck mid-frame
+    std::uint8_t degraded_frames = 0;  ///< bitmask: opened with a demoted rank
+    bool frame_active = false;
+    bool shutdown_sent = false;
+    bool any_failure = false;
+    std::int8_t stale_rejects = 0;  ///< generation-checked drops (both edges)
+    std::int8_t crash_budget = 0;
+    BadState bad = BadState::kNone;
+  };
+
+  /// Action kinds (Action::kind); Action::a = rank where relevant.
+  enum Kind : std::int16_t {
+    aConnect = 1,  ///< connect + kHello{generation}
+    aSend,         ///< ring op: kData to the next rank
+    aRecv,         ///< ring op: matching mailbox receive
+    aAbortFrame,   ///< poisoned at a blocked receive: kFrameDone{aborted}
+    aFrameDone,    ///< frame complete: kFrameDone
+    aExit,         ///< kShutdown seen: process exits
+    aCrash,        ///< SIGKILL mid-frame
+    aPump,         ///< reader thread: pop one down-link frame
+    aSupPump,      ///< supervisor: pop one live up-link frame
+    aLimboPump,    ///< supervisor: pop one dead-incarnation leftover frame
+    aSupReap,      ///< supervisor: waitpid on a crashed worker, fail + poison
+    aRespawn,      ///< frame boundary: fork the rank again, generation + 1
+    aDemote,       ///< frame boundary: respawn budget dry, fold the rank out
+    aFrameOpen,    ///< all ranks resolved: broadcast kFrameStart
+    aSettle,       ///< every live rank finished the frame
+    aShutdown,     ///< sequence over: broadcast kShutdown
+  };
+
+  explicit ResurrectionModel(Scenario scenario);
+
+  [[nodiscard]] State initial() const;
+  void enumerate(const State& s, std::vector<Action>& out) const;
+  [[nodiscard]] State apply(const State& s, const Action& act) const;
+  [[nodiscard]] std::optional<check::Diagnostic> violation(const State& s) const;
+  [[nodiscard]] bool accepting(const State& s) const;
+  void encode(const State& s, std::string& out) const;
+  [[nodiscard]] std::string describe(const Action& act) const;
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  /// Frame id sent by `rank` in `frame`; its receiver is (rank+1) % workers.
+  [[nodiscard]] int frame_id(int frame, int rank) const {
+    return frame * scenario_.workers + rank;
+  }
+
+ private:
+  [[nodiscard]] bool may_crash(int w) const;
+  void deposit(State& st, int w, const SeqMsg& msg) const;
+  void route(State& st, int src, const SeqMsg& msg) const;
   Scenario scenario_;
 };
 

@@ -42,6 +42,12 @@ struct ReplaySchedule {
   int messages = 0;  ///< 0: supervision schedule
   int drops = 0;
   int corruptions = 0;
+  // Resurrection scenarios: a multi-frame sequence run. frames > 0 selects
+  // the Supervisor::run_sequence replay; the crash knobs above then plant
+  // the SIGKILL into the first incarnation of crash_rank (crash_after_ops
+  // counts ring ops cumulatively across frames).
+  int frames = 0;          ///< 0: not a sequence schedule
+  int respawn_budget = 1;  ///< RespawnPolicy::max_respawns_per_rank
 };
 
 /// Project a supervision counterexample (or any explored trace) onto a
@@ -53,6 +59,13 @@ struct ReplaySchedule {
 
 /// Same, for retransmit counterexamples (damage counts + message count).
 [[nodiscard]] ReplaySchedule derive_schedule(const RetransmitModel& model,
+                                             const Counterexample& cex);
+
+/// Same, for resurrection counterexamples: the crash point is projected onto
+/// a cumulative ring-op count in the first incarnation of the crashed rank,
+/// and the schedule replays the full multi-frame sequence (respawn budget
+/// included) through the real Supervisor::run_sequence.
+[[nodiscard]] ReplaySchedule derive_schedule(const ResurrectionModel& model,
                                              const Counterexample& cex);
 
 struct ReplayReport {

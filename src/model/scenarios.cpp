@@ -15,6 +15,18 @@ Scenario supervision(std::string name, int workers, int stages) {
   return s;
 }
 
+Scenario resurrection(std::string name, int workers, int crash_rank) {
+  Scenario s;
+  s.name = std::move(name);
+  s.kind = Scenario::Kind::kResurrection;
+  s.workers = workers;
+  s.crash_rank = crash_rank;
+  s.frames = 2;
+  s.respawn_budget = 1;
+  s.crash_budget = 1;
+  return s;
+}
+
 }  // namespace
 
 std::vector<Scenario> all_scenarios(int max_workers) {
@@ -61,6 +73,36 @@ std::vector<Scenario> all_scenarios(int max_workers) {
     out.push_back(s);
   }
 
+  // respawn: the PR 9 sequence supervisor — two rendering frames, one
+  // nondeterministic mid-frame SIGKILL, boundary resurrection with a
+  // generation bump. Checks the rejoin window (backlog parking for the
+  // respawned rank), stale-generation rejection of the dead incarnation's
+  // delayed traffic, and that the post-recovery frame is whole again.
+  for (int w = 2; w <= std::min(3, top); ++w) {
+    out.push_back(resurrection("respawn-w" + std::to_string(w), w, kMaxWorkers));
+  }
+  if (top >= 4) {
+    // Fixed crash rank keeps the 4-worker exhaustive run tractable.
+    out.push_back(resurrection("respawn-w4", 4, 0));
+  }
+
+  // demote: the respawn budget is zero, so the circuit breaker opens at the
+  // first boundary and the second frame must fold out degraded.
+  {
+    Scenario s = resurrection("demote-w2", 2, kMaxWorkers);
+    s.respawn_budget = 0;
+    out.push_back(s);
+  }
+
+  // respawn-deep: the resurrected incarnation may itself be killed — the
+  // crash budget covers the same rank dying twice (or two ranks once each).
+  {
+    Scenario s = resurrection("respawn-deep-w2", 2, kMaxWorkers);
+    s.crash_budget = 2;
+    s.respawn_budget = 2;
+    out.push_back(s);
+  }
+
   // retransmit: the envelope NAK channel under drops, corruption and
   // reordering (receiver may take any in-flight envelope).
   {
@@ -78,6 +120,11 @@ std::vector<Scenario> all_scenarios(int max_workers) {
 std::vector<Mutant> mutants_for(const Scenario& scenario) {
   if (scenario.kind == Scenario::Kind::kRetransmit) {
     return {Mutant::kAckBeforeDeposit, Mutant::kRenumberRetransmit};
+  }
+  if (scenario.kind == Scenario::Kind::kResurrection) {
+    if (scenario.respawn_budget <= 0) return {};  // demotion path: no rejoin
+    return {Mutant::kDropGenerationCheck, Mutant::kRespawnNoBacklogReplay,
+            Mutant::kResurrectTwice, Mutant::kRespawnSameGeneration};
   }
   std::vector<Mutant> out;
   // The two PR 6 startup races need the plain startup path to surface.
@@ -97,6 +144,9 @@ std::vector<Mutant> mutants_for(const Scenario& scenario) {
 CheckResult run_scenario(const Scenario& scenario, const Limits& limits) {
   if (scenario.kind == Scenario::Kind::kRetransmit) {
     return explore(RetransmitModel(scenario), limits);
+  }
+  if (scenario.kind == Scenario::Kind::kResurrection) {
+    return explore(ResurrectionModel(scenario), limits);
   }
   return explore(SupervisionModel(scenario), limits);
 }

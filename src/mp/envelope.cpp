@@ -47,15 +47,17 @@ std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
   return ~crc;
 }
 
-std::vector<std::byte> pack_envelope(std::uint64_t seq, std::span<const std::byte> payload) {
+std::vector<std::byte> pack_envelope(std::uint64_t seq, std::span<const std::byte> payload,
+                                     std::uint32_t generation) {
   std::vector<std::byte> out;
   out.reserve(kEnvelopeHeaderBytes + payload.size());
   put_le<std::uint32_t>(out, kEnvelopeMagic);
   put_le<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
   put_le<std::uint64_t>(out, seq);
+  put_le<std::uint32_t>(out, generation);
   // CRC over the header-so-far chained with the payload, so a flipped
-  // length/seq field is as detectable as a flipped payload byte.
-  const std::uint32_t crc = crc32c(payload, crc32c(std::span(out.data(), 16)));
+  // length/seq/generation field is as detectable as a flipped payload byte.
+  const std::uint32_t crc = crc32c(payload, crc32c(std::span(out.data(), 20)));
   put_le<std::uint32_t>(out, crc);
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
@@ -77,9 +79,10 @@ ParsedEnvelope parse_envelope(std::span<const std::byte> framed) {
   }
   ParsedEnvelope parsed;
   parsed.seq = get_le<std::uint64_t>(framed, 8);
+  parsed.generation = get_le<std::uint32_t>(framed, 16);
   const auto payload = framed.subspan(kEnvelopeHeaderBytes);
-  const std::uint32_t want = get_le<std::uint32_t>(framed, 16);
-  const std::uint32_t got = crc32c(payload, crc32c(framed.first(16)));
+  const std::uint32_t want = get_le<std::uint32_t>(framed, 20);
+  const std::uint32_t got = crc32c(payload, crc32c(framed.first(20)));
   if (want != got) {
     throw EnvelopeError("envelope: CRC32C mismatch (corrupted in transit)");
   }

@@ -38,13 +38,24 @@ class EnvelopeError : public std::runtime_error {
 ///   [0..4)   magic "SLP1"
 ///   [4..8)   payload length (bytes)
 ///   [8..16)  per-channel (source, dest, tag) sequence number
-///   [16..20) CRC32C over bytes [0..16) followed by the payload
+///   [16..20) sender incarnation generation
+///   [20..24) CRC32C over bytes [0..20) followed by the payload
+///
+/// The generation field is the incarnation-safety hook for supervised
+/// respawn: rank identity on the wire is (rank, generation), and each
+/// respawned incarnation restarts its per-channel sequence spaces from
+/// zero. A receiver therefore must never compare sequence numbers across
+/// generations — a frame whose generation does not match the sender's
+/// current incarnation is rejected outright (a typed stale-generation
+/// reject, never a delivery). The in-process reliable transport always
+/// runs at generation 0.
 inline constexpr std::uint32_t kEnvelopeMagic = 0x3150'4C53u;  // "SLP1"
-inline constexpr std::size_t kEnvelopeHeaderBytes = 20;
+inline constexpr std::size_t kEnvelopeHeaderBytes = 24;
 
 /// Frame `payload` for the wire: header + payload copy.
 [[nodiscard]] std::vector<std::byte> pack_envelope(std::uint64_t seq,
-                                                   std::span<const std::byte> payload);
+                                                   std::span<const std::byte> payload,
+                                                   std::uint32_t generation = 0);
 
 /// Serial-number ordering (RFC 1982 style) on the per-channel sequence
 /// space: `a` precedes `b` iff the wrapped distance from `a` to `b` is
@@ -58,6 +69,7 @@ inline constexpr std::size_t kEnvelopeHeaderBytes = 20;
 
 struct ParsedEnvelope {
   std::uint64_t seq = 0;
+  std::uint32_t generation = 0;
   std::vector<std::byte> payload;
 };
 

@@ -62,13 +62,14 @@ Frame parse_frame_body(std::span<const std::byte> envelope_bytes) {
   }
   Frame frame;
   frame.kind = static_cast<FrameKind>(get_u32(body, 0));
-  if (frame.kind < FrameKind::kHello || frame.kind > FrameKind::kFailed) {
+  if (frame.kind < FrameKind::kHello || frame.kind > FrameKind::kFrameDone) {
     throw TransportError("unknown frame kind " + std::to_string(get_u32(body, 0)));
   }
   frame.source = static_cast<int>(get_u32(body, 4));
   frame.dest = static_cast<int>(get_u32(body, 8));
   frame.tag = static_cast<int>(get_u32(body, 12));
   frame.seq = envelope.seq;
+  frame.generation = envelope.generation;
   const std::size_t clock_count = get_u32(body, 16);
   if (clock_count > kMaxFrameClock) {
     throw TransportError("frame clock count " + std::to_string(clock_count) +
@@ -247,11 +248,28 @@ Fd accept_with_deadline(const Fd& listener, std::chrono::milliseconds deadline) 
   }
 }
 
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, int attempt, int rank) {
+  constexpr std::chrono::milliseconds kMaxDelay{200};
+  const auto base = std::max(policy.base_delay, std::chrono::milliseconds{1});
+  std::chrono::milliseconds delay = base;
+  for (int i = 1; i < attempt && delay < kMaxDelay; ++i) delay = std::min(delay * 2, kMaxDelay);
+  // Deterministic per-(rank, attempt) jitter in [0, base/2]: a splitmix64
+  // hash, not a live RNG, so every run replays exactly while P reconnecting
+  // workers still spread out instead of retrying in lockstep.
+  const auto span = static_cast<std::uint64_t>(base.count() / 2);
+  if (span == 0) return delay;
+  std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) |
+                    static_cast<std::uint32_t>(attempt);
+  z += 0x9E37'79B9'7F4A'7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+  z ^= z >> 31;
+  return delay + std::chrono::milliseconds(static_cast<long>(z % (span + 1)));
+}
+
 Fd connect_with_backoff(const Endpoint& ep, const RetryPolicy& policy, int rank) {
   const int max_attempts = std::max(policy.max_attempts, 1);
   const auto until = std::chrono::steady_clock::now() + policy.deadline;
-  auto delay = std::max(policy.base_delay, std::chrono::milliseconds{1});
-  constexpr std::chrono::milliseconds kMaxDelay{200};
   std::string last_error = "never attempted";
   for (int attempt = 1;; ++attempt) {
     Fd fd = try_connect(ep, last_error);
@@ -261,6 +279,7 @@ Fd connect_with_backoff(const Endpoint& ep, const RetryPolicy& policy, int rank)
                                 "connect to " + ep.describe() + " failed after " +
                                     std::to_string(attempt) + " attempt(s): " + last_error);
     }
+    const auto delay = backoff_delay(policy, attempt, rank);
     if (std::chrono::steady_clock::now() + delay >= until) {
       throw RetryExhaustedError(rank, /*peer=*/-1, /*tag=*/0, attempt,
                                 "connect to " + ep.describe() + " deadline (" +
@@ -268,7 +287,6 @@ Fd connect_with_backoff(const Endpoint& ep, const RetryPolicy& policy, int rank)
                                     " ms) expired: " + last_error);
     }
     std::this_thread::sleep_for(delay);
-    delay = std::min(delay * 2, kMaxDelay);  // capped exponential backoff
   }
 }
 
@@ -323,7 +341,7 @@ std::vector<std::byte> pack_frame(const Frame& frame) {
   for (const std::uint64_t c : frame.clock) put_u64(body, c);
   body.insert(body.end(), frame.payload.begin(), frame.payload.end());
 
-  const std::vector<std::byte> envelope = pack_envelope(frame.seq, body);
+  const std::vector<std::byte> envelope = pack_envelope(frame.seq, body, frame.generation);
   std::vector<std::byte> wire;
   wire.reserve(kFrameHeaderBytes + envelope.size());
   put_u32(wire, kFrameMagic);

@@ -108,12 +108,22 @@ class Fd {
 /// when the deadline expires (a worker that never connected).
 [[nodiscard]] Fd accept_with_deadline(const Fd& listener, std::chrono::milliseconds deadline);
 
-/// Connect to `ep` under capped exponential backoff: up to
-/// `policy.max_attempts` tries (at least one) spaced by base_delay·2^i,
+/// Connect to `ep` under capped exponential backoff with jitter: up to
+/// `policy.max_attempts` tries (at least one) spaced by backoff_delay(),
 /// bounded overall by `policy.deadline`. Exhaustion throws
 /// RetryExhaustedError attributed to `rank` (peer −1 = the supervisor), so
 /// a worker that cannot reach its supervisor dies typed, not hung.
 [[nodiscard]] Fd connect_with_backoff(const Endpoint& ep, const RetryPolicy& policy, int rank);
+
+/// The sleep before connect attempt `attempt` (1-based; the sleep happens
+/// after attempt `attempt` failed): capped exponential base_delay·2^(a−1)
+/// clamped to 200 ms, plus a deterministic per-(rank, attempt) jitter in
+/// [0, base/2]. Without the jitter, P respawned workers reconnecting after
+/// the same supervisor hiccup would hammer the listen socket in lockstep
+/// every backoff round (thundering herd); the jitter de-phases them while
+/// keeping every run reproducible. Pure — unit tests assert the bounds.
+[[nodiscard]] std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, int attempt,
+                                                      int rank);
 
 /// Write the whole buffer, resuming across partial writes and EINTR.
 /// Throws TransportError on a closed or reset peer (EPIPE/ECONNRESET).
@@ -138,16 +148,27 @@ enum class FrameKind : std::uint32_t {
   kFailed = 8,      ///< worker -> supervisor: I failed primarily (tag = stage,
                     ///< payload = reason); the worker stays alive to ship
                     ///< reports, the supervisor broadcasts kPeerFailed
+  kFrameStart = 9,  ///< supervisor -> worker (sequence mode): tag = frame
+                    ///< index, payload = the roster (per-rank generations +
+                    ///< demoted set); opens the next rendering frame
+  kFrameDone = 10,  ///< worker -> supervisor (sequence mode): tag = frame
+                    ///< index, payload[0] = 0 clean / 1 aborted; the frame
+                    ///< barrier that makes resurrection land between frames
 };
 
 /// One transport frame. For kData frames the fields mirror mp::Message
 /// one-to-one; control frames reuse source/tag as documented on FrameKind.
+/// `generation` is the sender's incarnation (SLP1 envelope field): the
+/// supervisor rejects frames whose generation does not match the link's
+/// incarnation, so a respawned rank can never be confused with its dead
+/// predecessor's in-flight traffic.
 struct Frame {
   FrameKind kind = FrameKind::kData;
   int source = -1;
   int dest = -1;
   int tag = 0;
   std::uint64_t seq = 0;
+  std::uint32_t generation = 0;
   std::vector<std::uint64_t> clock;
   std::vector<std::byte> payload;
 };

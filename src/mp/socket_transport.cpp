@@ -19,7 +19,10 @@ void SocketTransport::start() {
   }
 }
 
-void SocketTransport::write_frame(const Frame& frame) {
+void SocketTransport::write_frame(Frame& frame) {
+  // Every outbound frame carries this incarnation's generation, so the
+  // supervisor can refuse a dead predecessor's lingering traffic.
+  frame.generation = opts_.generation;
   const std::vector<std::byte> wire = pack_frame(frame);
   const std::lock_guard lock(write_mutex_);
   send_all(link_.get(), wire);
@@ -61,14 +64,18 @@ void SocketTransport::reader_loop() {
   // context so the compositing thread (blocked in a recv or barrier, or
   // about to be) aborts with PeerFailedError instead of waiting forever.
   const auto link_lost = [&](const std::string& reason) {
+    link_lost_.store(true, std::memory_order_relaxed);
     {
       const std::lock_guard lock(state_mutex_);
       shutdown_received_ = true;  // nobody will send kShutdown anymore
     }
     state_cv_.notify_all();
     if (!stopping_.load(std::memory_order_relaxed)) {
-      ctx_->fail(/*failed_rank=*/-1, stage_.load(std::memory_order_relaxed),
-                 "supervisor link lost: " + reason);
+      const std::lock_guard lock(ctx_mutex_);
+      if (ctx_ != nullptr) {
+        ctx_->fail(/*failed_rank=*/-1, stage_.load(std::memory_order_relaxed),
+                   "supervisor link lost: " + reason);
+      }
     }
   };
 
@@ -86,6 +93,30 @@ void SocketTransport::reader_loop() {
     }
     switch (frame->kind) {
       case FrameKind::kData: {
+        const std::lock_guard lock(ctx_mutex_);
+        // Incarnation safety at the receiving edge: the sender's generation
+        // must match the roster this frame opened with — a dead
+        // incarnation's in-flight message must never reach a live frame.
+        if (opts_.sequence) {
+          const int src = frame->source;
+          if (src < 0 || static_cast<std::size_t>(src) >= roster_.generations.size() ||
+              frame->generation != roster_.generations[static_cast<std::size_t>(src)]) {
+            stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        // A fast peer can legally race ahead of us: it got the same
+        // kFrameStart, finished rendering first, and its stage-0 exchange
+        // arrives while we are still rendering (before begin_frame binds the
+        // frame's context). Park it; begin_frame replays in arrival order.
+        if (ctx_ == nullptr) {
+          if (opts_.sequence) {
+            early_.push_back(std::move(*frame));
+          } else {
+            stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
         Message msg;
         msg.source = frame->source;
         msg.tag = frame->tag;
@@ -100,9 +131,43 @@ void SocketTransport::reader_loop() {
         break;
       }
       case FrameKind::kPeerFailed: {
+        const std::lock_guard lock(ctx_mutex_);
+        // A peer can die while we are still rendering this frame: park the
+        // poison too, or the composite would block forever on a rank the
+        // supervisor already declared dead.
+        if (ctx_ == nullptr) {
+          if (opts_.sequence) early_.push_back(std::move(*frame));
+          break;
+        }
         const std::string reason(reinterpret_cast<const char*>(frame->payload.data()),
                                  frame->payload.size());
         ctx_->fail(frame->source, frame->tag, reason);
+        break;
+      }
+      case FrameKind::kFrameStart: {
+        if (!opts_.sequence) {
+          link_lost("unexpected frame kind from supervisor");
+          return;
+        }
+        FrameRoster roster;
+        try {
+          roster = parse_roster(frame->tag, frame->payload);
+        } catch (const TransportError& e) {
+          link_lost(std::string("malformed roster: ") + e.what());
+          return;
+        }
+        {
+          const std::lock_guard lock(ctx_mutex_);
+          roster_ = roster;
+          // Anything still parked belongs to a frame that never began here
+          // (e.g. a demoted-roster frame, where no composite runs): drop it.
+          early_.clear();
+        }
+        {
+          const std::lock_guard lock(state_mutex_);
+          pending_roster_ = std::move(roster);
+        }
+        state_cv_.notify_all();
         break;
       }
       case FrameKind::kShutdown: {
@@ -140,6 +205,58 @@ void SocketTransport::heartbeat_loop() {
       return;
     }
     lock.lock();
+  }
+}
+
+std::optional<FrameRoster> SocketTransport::await_frame_start(std::chrono::milliseconds deadline) {
+  std::unique_lock lock(state_mutex_);
+  state_cv_.wait_for(lock, deadline,
+                     [&] { return pending_roster_.has_value() || shutdown_received_; });
+  if (!pending_roster_) return std::nullopt;  // shutdown, dead link, or timeout
+  std::optional<FrameRoster> roster = std::move(pending_roster_);
+  pending_roster_.reset();
+  return roster;
+}
+
+void SocketTransport::begin_frame(CommContext* ctx) {
+  const std::lock_guard lock(ctx_mutex_);
+  ctx_ = ctx;
+  // Replay whatever arrived while this worker was still rendering, in
+  // arrival order — generation checks already ran when each frame was read.
+  for (Frame& frame : early_) {
+    if (frame.kind == FrameKind::kPeerFailed) {
+      const std::string reason(reinterpret_cast<const char*>(frame.payload.data()),
+                               frame.payload.size());
+      ctx_->fail(frame.source, frame.tag, reason);
+      continue;
+    }
+    Message msg;
+    msg.source = frame.source;
+    msg.tag = frame.tag;
+    msg.seq = frame.seq;
+    msg.clock = std::move(frame.clock);
+    msg.payload = std::move(frame.payload);
+    ctx_->mailboxes[static_cast<std::size_t>(rank_)].deposit(std::move(msg));
+  }
+  early_.clear();
+}
+
+void SocketTransport::end_frame(int frame, bool aborted) {
+  {
+    // Once this lock is held, no delivery is in flight and none will start:
+    // the frame's CommContext may be destroyed after we return.
+    const std::lock_guard lock(ctx_mutex_);
+    ctx_ = nullptr;
+  }
+  Frame done;
+  done.kind = FrameKind::kFrameDone;
+  done.source = rank_;
+  done.tag = frame;
+  done.payload.push_back(static_cast<std::byte>(aborted ? 1 : 0));
+  try {
+    write_frame(done);
+  } catch (const TransportError&) {
+    // Dead supervisor: the reader notices and await_frame_start unblocks.
   }
 }
 

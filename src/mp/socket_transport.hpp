@@ -24,13 +24,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "mp/communicator.hpp"
 #include "mp/socket.hpp"
+#include "mp/supervisor.hpp"
 #include "mp/transport.hpp"
 
 namespace slspvr::mp {
@@ -40,12 +44,22 @@ class SocketTransport final : public Transport {
   struct Options {
     std::string backend = "unix";  ///< reported by name(): "unix" or "tcp"
     std::chrono::milliseconds heartbeat_interval{25};
+    /// This worker's incarnation: stamped into the SLP1 envelope of every
+    /// outbound frame so the supervisor can tell this process from its dead
+    /// predecessor on the same rank. Always 0 for single-frame (run()) use.
+    std::uint32_t generation = 0;
+    /// Sequence mode (Supervisor::run_sequence peer): the transport outlives
+    /// individual rendering frames — construct with ctx = nullptr, then bind
+    /// a fresh CommContext per frame via begin_frame()/end_frame() around
+    /// the kFrameStart/kFrameDone barrier.
+    bool sequence = false;
   };
 
   /// `ctx` must outlive this transport (it is installed into
   /// ctx->transport); `link` is the established connection to the
   /// supervisor (kHello already sent by the caller). Call start() after
-  /// installation to launch the reader and heartbeat threads.
+  /// installation to launch the reader and heartbeat threads. Sequence mode
+  /// passes ctx = nullptr and binds per frame instead.
   SocketTransport(CommContext* ctx, int rank, Fd link, Options opts);
   ~SocketTransport() override;
 
@@ -77,13 +91,56 @@ class SocketTransport final : public Transport {
   /// force-stops if the caller never did.
   void goodbye_and_wait(std::chrono::milliseconds drain);
 
+  // --- sequence mode -----------------------------------------------------
+
+  /// Block until the supervisor opens the next rendering frame. Returns the
+  /// kFrameStart roster, or nullopt when the sequence is over (kShutdown)
+  /// or the link died / `deadline` expired — check link_lost() to tell the
+  /// clean case from the broken one.
+  [[nodiscard]] std::optional<FrameRoster> await_frame_start(std::chrono::milliseconds deadline);
+
+  /// Bind this frame's CommContext: inbound kData/kPeerFailed start landing
+  /// in it. Between begin_frame and end_frame the reader thread may hold a
+  /// reference to `ctx`, so it must stay alive until end_frame returns.
+  void begin_frame(CommContext* ctx);
+
+  /// Close the frame: send kFrameDone (tag = frame, payload[0] = aborted)
+  /// and unbind the context. After this returns the reader is guaranteed to
+  /// never touch the frame's CommContext again — safe to destroy it.
+  void end_frame(int frame, bool aborted);
+
+  /// Inbound frames dropped because they arrived between frames or carried
+  /// a peer generation older than the current roster (dead-incarnation
+  /// leftovers). Diagnostics only.
+  [[nodiscard]] std::uint64_t stale_rejects() const noexcept {
+    return stale_rejects_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the supervisor link died (EOF, reset, stream damage) — as
+  /// opposed to an orderly kShutdown.
+  [[nodiscard]] bool link_lost() const noexcept {
+    return link_lost_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void write_frame(const Frame& frame);
+  void write_frame(Frame& frame);
   void reader_loop();
   void heartbeat_loop();
   void stop_threads();
 
+  /// Guards ctx_ and roster_ in sequence mode: the reader holds it across a
+  /// delivery, end_frame takes it to unbind — so a frame's CommContext can
+  /// never be destroyed under an in-flight deposit. (A depositor blocked on
+  /// a full mailbox cannot wedge end_frame: failure poisoning lifts the
+  /// mailbox bound, and a clean frame drained its traffic.) Uncontended in
+  /// single-frame mode, where ctx_ is fixed for the transport's lifetime.
+  std::mutex ctx_mutex_;
   CommContext* ctx_;
+  FrameRoster roster_;  ///< current frame's roster (sequence mode)
+  /// Generation-checked kData/kPeerFailed that arrived after kFrameStart but
+  /// before begin_frame bound the frame's context (a peer that finished
+  /// rendering first); begin_frame replays them in arrival order.
+  std::vector<Frame> early_;
   int rank_;
   Fd link_;
   Options opts_;
@@ -91,10 +148,13 @@ class SocketTransport final : public Transport {
   std::mutex write_mutex_;  ///< serializes submit/heartbeat/report writes
   std::atomic<int> stage_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> stale_rejects_{0};
+  std::atomic<bool> link_lost_{false};
 
   std::mutex state_mutex_;
   std::condition_variable state_cv_;
   bool shutdown_received_ = false;  ///< supervisor sent kShutdown (or link died)
+  std::optional<FrameRoster> pending_roster_;  ///< kFrameStart not yet consumed
 
   std::thread reader_;
   std::thread heart_;

@@ -28,7 +28,9 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,12 @@ struct ProtocolEvent {
     kFailureRecorded,    ///< a real failure recorded + kPeerFailed broadcast
     kShutdownBroadcast,  ///< kShutdown queued to every open link
     kGoodbye,            ///< kGoodbye received; rank is done
+    kRespawned,          ///< a dead rank forked again (count = new generation)
+    kDemoted,            ///< circuit breaker opened (count = respawns burned)
+    kStaleRejected,      ///< frame from a dead incarnation dropped
+                         ///< (count = the stale generation)
+    kFrameOpened,        ///< kFrameStart broadcast (rank −1, count = frame)
+    kFrameSettled,       ///< every live rank finished a frame (count = frame)
   };
   Kind kind = Kind::kParked;
   int rank = -1;       ///< the rank the event is about
@@ -104,6 +112,70 @@ struct SupervisorOutcome {
   [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
 };
 
+/// Respawn knobs for the sequence supervisor. A dead child is forked again
+/// at the next frame boundary under capped, jittered exponential backoff
+/// (mp::backoff_delay); after `max_respawns_per_rank` resurrections the
+/// circuit breaker opens and the rank is permanently demoted — subsequent
+/// frames finish degraded over the survivors, the existing bottom rung.
+struct RespawnPolicy {
+  int max_respawns_per_rank = 2;
+  std::chrono::milliseconds base_delay{5};  ///< first backoff step (jittered)
+  /// How long a respawned child gets to connect back and say hello before
+  /// the attempt counts as a failed resurrection.
+  std::chrono::milliseconds rejoin_deadline{3000};
+};
+
+struct SequenceOptions {
+  int frames = 1;  ///< rendering frames; a frame boundary sits between each
+  RespawnPolicy respawn;
+};
+
+/// Everything the supervisor observed for one rendering frame: the failures
+/// that struck during it, every report shipped during it, and the roster it
+/// ran under (per-rank incarnation generations + the demoted set).
+struct FrameOutcome {
+  int frame = -1;
+  std::vector<WorkerFailure> failures;
+  /// Failures recorded *between* the previous frame and this one (failed
+  /// resurrections, rejoin timeouts). Provenance only — the ranks involved
+  /// were live again (or demoted) by the time this frame opened, so these
+  /// must not mark the frame itself as faulted.
+  std::vector<WorkerFailure> boundary_failures;
+  std::vector<WorkerReport> reports;
+  std::vector<std::uint32_t> generations;  ///< per rank, as of this frame
+  std::vector<int> demoted;                ///< ranks folded out for good
+};
+
+struct SequenceOutcome {
+  std::vector<FrameOutcome> frames;
+  Endpoint endpoint;
+  double wall_ms = 0.0;
+  int respawns = 0;                        ///< successful resurrections
+  std::vector<std::uint32_t> generations;  ///< final per-rank incarnation
+  std::vector<int> demoted;                ///< permanently demoted ranks
+  std::uint64_t stale_rejects = 0;  ///< dead-incarnation frames refused
+  [[nodiscard]] bool clean() const noexcept {
+    for (const FrameOutcome& f : frames) {
+      if (!f.failures.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Roster carried by every kFrameStart payload: the per-rank incarnation
+/// generations this frame runs under plus the permanently demoted ranks —
+/// the failure history a respawned worker missed. Workers reject kData
+/// whose envelope generation disagrees with the roster.
+struct FrameRoster {
+  int frame = -1;
+  std::vector<std::uint32_t> generations;
+  std::vector<int> demoted;
+};
+
+[[nodiscard]] std::vector<std::byte> pack_roster(const FrameRoster& roster);
+/// Throws TransportError on a malformed payload.
+[[nodiscard]] FrameRoster parse_roster(int frame, std::span<const std::byte> payload);
+
 class Supervisor {
  public:
   /// Runs in the forked child with its rank and the (resolved) endpoint to
@@ -111,11 +183,27 @@ class Supervisor {
   /// caller's code path — the child exits with the returned code.
   using WorkerBody = std::function<int(int rank, const Endpoint& endpoint)>;
 
+  /// Sequence-mode body: also told which incarnation it is, so its hello
+  /// and every envelope it emits carry the generation.
+  using SequenceWorkerBody =
+      std::function<int(int rank, std::uint32_t generation, const Endpoint& endpoint)>;
+
   /// Fork `opts.procs` workers and supervise them to completion. Throws
   /// TransportError only for supervisor-local setup failures (cannot
   /// listen, fork failed); per-worker trouble is reported in the outcome.
   [[nodiscard]] static SupervisorOutcome run(const SupervisorOptions& opts,
                                              const WorkerBody& body);
+
+  /// Multi-frame sequence mode: workers stay resident across `seq.frames`
+  /// rendering frames, gated by kFrameStart/kFrameDone barriers. A worker
+  /// that dies mid-frame leaves the frame to the in-frame recovery ladder
+  /// (the survivors abort and ship evidence exactly as under run()); at the
+  /// frame boundary the supervisor resurrects the rank under `seq.respawn`
+  /// — fork with generation+1, jittered backoff, circuit breaker — so the
+  /// next frame runs at full strength again.
+  [[nodiscard]] static SequenceOutcome run_sequence(const SupervisorOptions& opts,
+                                                    const SequenceOptions& seq,
+                                                    const SequenceWorkerBody& body);
 };
 
 }  // namespace slspvr::mp

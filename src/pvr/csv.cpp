@@ -9,13 +9,15 @@ namespace slspvr::pvr {
 namespace {
 
 std::string make_row(const std::string& dataset, int image_size, int ranks,
-                     const MethodResult& result, const mp::RetryStats& retry) {
+                     const MethodResult& result, const mp::RetryStats& retry, int respawns,
+                     std::uint64_t stale_rejects) {
   std::ostringstream row;
   row << dataset << ',' << image_size << ',' << ranks << ',' << result.method << ','
       << result.times.comp_ms << ',' << result.times.comm_ms << ','
       << result.times.total_ms() << ',' << result.timeline.makespan_ms << ','
       << result.timeline.max_wait_ms << ',' << result.m_max << ',' << result.wall_ms << ','
-      << retry.naks << ',' << retry.retransmits << ',' << retry.healed_bytes;
+      << retry.naks << ',' << retry.retransmits << ',' << retry.healed_bytes << ','
+      << respawns << ',' << stale_rejects;
   return row.str();
 }
 
@@ -23,20 +25,22 @@ std::string make_row(const std::string& dataset, int image_size, int ranks,
 
 void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
                     const MethodResult& result) {
-  rows_.push_back(make_row(dataset, image_size, ranks, result, mp::RetryStats{}));
+  rows_.push_back(make_row(dataset, image_size, ranks, result, mp::RetryStats{}, 0, 0));
 }
 
 void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
                     const FtMethodResult& result) {
-  rows_.push_back(
-      make_row(dataset, image_size, ranks, result.result, result.report.retry_stats));
+  rows_.push_back(make_row(dataset, image_size, ranks, result.result,
+                           result.report.retry_stats, result.report.respawns,
+                           result.report.stale_rejects));
 }
 
 void CsvWriter::write(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
   out << "dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,"
-         "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes\n";
+         "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes,respawns,"
+         "stale_rejects\n";
   for (const auto& row : rows_) out << row << "\n";
   if (!out) throw std::runtime_error("CsvWriter: write failed " + path);
 }

@@ -11,9 +11,11 @@ namespace slspvr::pvr {
 
 /// Accumulates MethodResult rows and writes one CSV file. Columns:
 /// dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,
-/// wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes
-/// The last three are the reliable transport's RetryStats (zero for plain
-/// runs, or for fault-tolerant runs where nothing needed healing).
+/// wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes,respawns,
+/// stale_rejects
+/// naks/retransmits/healed_bytes are the reliable transport's RetryStats;
+/// respawns/stale_rejects are the sequence runner's resurrection accounting.
+/// All zero for plain runs (or runs where nothing needed healing).
 class CsvWriter {
  public:
   void add(const std::string& dataset, int image_size, int ranks,

@@ -112,6 +112,12 @@ std::string FaultReport::summary() const {
     healed += "; " + std::to_string(retry_stats.abandoned) +
               " channel(s) abandoned after retry exhaustion";
   }
+  if (respawns > 0) {
+    healed += "; resurrected " + std::to_string(respawns) + " worker incarnation(s)";
+    if (stale_rejects > 0) {
+      healed += ", " + std::to_string(stale_rejects) + " stale-generation frame(s) rejected";
+    }
+  }
   if (!faulted) return "no faults" + healed;
   std::string out = std::to_string(failed_ranks.size()) + " PE(s) failed (rank";
   for (const int r : failed_ranks) {

@@ -76,6 +76,14 @@ struct FaultReport {
   /// all attempts — nonzero heals with `faulted == false` mean drops or
   /// corruption occurred and were repaired without losing the frame.
   mp::RetryStats retry_stats;
+  /// Sequence mode (run_compositing_sequence): resurrection accounting.
+  /// `respawns` counts successful mid-sequence resurrections; `generations`
+  /// is the final per-rank incarnation number (0 = never died);
+  /// `stale_rejects` counts frames refused for carrying a dead
+  /// incarnation's generation. All zero/empty for single-frame runs.
+  int respawns = 0;
+  std::vector<std::uint32_t> generations;
+  std::uint64_t stale_rejects = 0;
 
   /// One-line human-readable digest ("2 PE(s) failed ... finished degraded").
   [[nodiscard]] std::string summary() const;

@@ -5,12 +5,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/engine.hpp"
 #include "core/fold.hpp"
+#include "core/reference.hpp"
 #include "core/worker_pool.hpp"
 #include "core/timeline.hpp"
 #include "mp/communicator.hpp"
@@ -19,6 +21,10 @@
 #include "mp/supervisor.hpp"
 #include "pvr/recovery.hpp"
 #include "pvr/serialize.hpp"
+#include "render/camera.hpp"
+#include "render/raycast.hpp"
+#include "render/splatting.hpp"
+#include "volume/partition.hpp"
 
 namespace slspvr::pvr {
 
@@ -29,6 +35,26 @@ constexpr int kReportState = 1;      ///< counters + traffic records + wall cloc
 constexpr int kReportImage = 2;      ///< rank 0's gathered final frame
 constexpr int kReportFailure = 3;    ///< stage, primary flag, reason
 constexpr int kReportSnapshots = 4;  ///< retained per-stage partials
+constexpr int kReportSubimage = 5;   ///< sequence mode, demoted roster: the
+                                     ///< rank's rendered subimage (the parent
+                                     ///< folds the frame out from these)
+
+/// Execute a planted process-level crash. kExit does not return.
+void trigger_crash(const ProcCrash& crash) {
+  switch (crash.kind) {
+    case ProcCrash::Kind::kSigstop:
+      (void)::raise(SIGSTOP);
+      break;
+    case ProcCrash::Kind::kSigsegv:
+      (void)::raise(SIGSEGV);
+      break;
+    case ProcCrash::Kind::kExit:
+      std::_Exit(crash.exit_code);
+    case ProcCrash::Kind::kSigkill:
+      (void)::raise(SIGKILL);
+      break;
+  }
+}
 
 void ship_state(mp::SocketTransport& sock, int rank, const mp::CommContext& ctx,
                 const core::Counters& counters, double wall_ms) {
@@ -109,7 +135,7 @@ int worker_main(int rank, const mp::Endpoint& endpoint, const core::Compositor& 
       if (opts.crash && opts.crash->rank == r && opts.crash->stage == stage) {
         // A *real* crash, not an injected exception: the process dies (or
         // goes silent) mid-frame and the supervisor finds out the hard way.
-        (void)::raise(opts.crash->kind == ProcCrash::Kind::kSigstop ? SIGSTOP : SIGKILL);
+        trigger_crash(*opts.crash);
       }
     };
     sock->start();
@@ -189,6 +215,277 @@ struct WorkerFailureReport {
   std::string what;
 };
 
+/// Everything the parent can decode out of one batch of worker reports
+/// (one full run, or one frame of a sequence).
+struct DecodedReports {
+  std::vector<core::Counters> counters;
+  std::vector<bool> have_state;
+  std::vector<double> walls;
+  std::optional<img::Image> final_image;
+  std::vector<WorkerFailureReport> worker_failures;
+  SnapshotStore store;
+  mp::TrafficTrace trace;
+  /// kReportSubimage per rank (sequence mode, demoted roster only).
+  std::vector<std::optional<img::Image>> subimages;
+
+  explicit DecodedReports(int ranks)
+      : counters(static_cast<std::size_t>(ranks)),
+        have_state(static_cast<std::size_t>(ranks), false),
+        walls(static_cast<std::size_t>(ranks), 0.0),
+        store(ranks),
+        trace(ranks),
+        subimages(static_cast<std::size_t>(ranks)) {}
+};
+
+/// Decode a report stream. A report truncated by a dying worker is dropped
+/// (its death is already a recorded failure); the frame CRC has vouched for
+/// everything that parses.
+DecodedReports decode_reports(const std::vector<mp::WorkerReport>& reports, int ranks) {
+  DecodedReports dec(ranks);
+  for (const mp::WorkerReport& rep : reports) {
+    if (rep.rank < 0 || rep.rank >= ranks) continue;
+    const std::size_t i = static_cast<std::size_t>(rep.rank);
+    ByteReader r(rep.payload);
+    try {
+      switch (rep.kind) {
+        case kReportState: {
+          dec.counters[i] = read_counters(r);
+          std::vector<mp::MessageRecord> sent(r.u32());
+          for (mp::MessageRecord& rec : sent) rec = read_record(r);
+          std::vector<mp::MessageRecord> received(r.u32());
+          for (mp::MessageRecord& rec : received) rec = read_record(r);
+          std::vector<std::uint64_t> clock(r.u32());
+          for (std::uint64_t& c : clock) c = r.u64();
+          const std::uint64_t naks = r.u64();
+          const std::uint64_t retries = r.u64();
+          const std::uint64_t retry_bytes = r.u64();
+          const std::uint64_t abandoned = r.u64();
+          dec.walls[i] = r.f64();
+          dec.trace.import_rank(rep.rank, std::move(sent), std::move(received),
+                                std::move(clock), naks, retries, retry_bytes, abandoned);
+          dec.have_state[i] = true;
+          break;
+        }
+        case kReportImage:
+          dec.final_image = read_image(r);
+          break;
+        case kReportFailure: {
+          WorkerFailureReport wf;
+          wf.rank = rep.rank;
+          wf.stage = r.i32();
+          wf.primary = r.u8() != 0;
+          wf.what = r.str();
+          dec.worker_failures.push_back(std::move(wf));
+          break;
+        }
+        case kReportSnapshots: {
+          const std::uint32_t n = r.u32();
+          for (std::uint32_t k = 0; k < n; ++k) {
+            const int stage = r.i32();
+            const img::Rect region = read_rect(r);
+            dec.store.add(rep.rank, stage, read_image(r), region);
+          }
+          break;
+        }
+        case kReportSubimage:
+          dec.subimages[i] = read_image(r);
+          break;
+        default:
+          break;  // unknown report kind: forward compatibility, skip
+      }
+    } catch (const std::out_of_range&) {
+      continue;
+    }
+  }
+  return dec;
+}
+
+// ---- sequence mode ------------------------------------------------------
+
+/// The camera for frame `f` of a sequence: the base view stepped per frame,
+/// exactly as examples/rotation_sweep steps views. Pure, so a respawned
+/// worker derives the same view as everyone else.
+ExperimentConfig sequence_frame_config(const ExperimentConfig& base,
+                                       const SequenceProcOptions& opts, int frame) {
+  ExperimentConfig cfg = base;
+  cfg.rot_x_deg = base.rot_x_deg + opts.rot_step_x * static_cast<float>(frame);
+  cfg.rot_y_deg = base.rot_y_deg + opts.rot_step_y * static_cast<float>(frame);
+  return cfg;
+}
+
+/// Partition + swap order for one frame's view — the Experiment constructor's
+/// partitioning phase without the rendering phase. Deterministic in
+/// (volume, config), which is what makes a respawned rank's world view
+/// byte-identical to its dead predecessor's.
+struct FrameGeometry {
+  std::vector<vol::Brick> bricks;
+  core::SwapOrder order;
+  bool folded = false;
+};
+
+FrameGeometry derive_frame_geometry(const vol::Dataset& dataset, const ExperimentConfig& cfg) {
+  const vol::Dims dims = dataset.volume.dims();
+  render::OrthoCamera camera(dims, cfg.image_size, cfg.image_size, cfg.rot_x_deg,
+                             cfg.rot_y_deg);
+  float dir[3];
+  camera.view_dir_array(dir);
+  FrameGeometry geom;
+  if (vol::is_power_of_two(cfg.ranks)) {
+    const vol::KdPartition partition =
+        cfg.balanced_partition ? vol::kd_partition_balanced(dataset.volume, cfg.ranks, 64)
+                               : vol::kd_partition(dims, cfg.ranks);
+    geom.bricks = partition.bricks;
+    geom.order = core::make_swap_order(partition, dir);
+  } else {
+    geom.bricks = vol::slab_partition(dims, cfg.ranks, /*axis=*/0);
+    geom.order = core::make_fold_order(cfg.ranks, /*axis=*/0, dir);
+    geom.folded = true;
+  }
+  return geom;
+}
+
+/// Render one rank's brick for one frame's view (the sort-last rendering
+/// phase, restricted to the caller's own brick).
+img::Image render_one_brick(const vol::Dataset& dataset, const ExperimentConfig& cfg,
+                            const vol::Brick& brick) {
+  render::OrthoCamera camera(dataset.volume.dims(), cfg.image_size, cfg.image_size,
+                             cfg.rot_x_deg, cfg.rot_y_deg);
+  img::Image sub(cfg.image_size, cfg.image_size);
+  if (cfg.use_splatting) {
+    render::splat_brick(dataset.volume, dataset.tf, camera, brick, sub);
+  } else {
+    render::RaycastOptions options;
+    options.step = cfg.step;
+    render::render_brick(dataset.volume, dataset.tf, camera, brick, sub, options);
+  }
+  return sub;
+}
+
+/// Non-owning Transport adapter: a sequence worker's SocketTransport
+/// outlives the per-frame CommContext, but CommContext::transport owns its
+/// pointee — so each frame installs one of these instead.
+class BorrowedTransport final : public mp::Transport {
+ public:
+  explicit BorrowedTransport(mp::SocketTransport* inner) : inner_(inner) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return inner_->name(); }
+  [[nodiscard]] bool shared_memory() const noexcept override { return false; }
+  void submit(int dest, mp::Message msg) override { inner_->submit(dest, std::move(msg)); }
+
+ private:
+  mp::SocketTransport* inner_;  ///< not owned; outlives every frame
+};
+
+/// A sequence worker's whole life (any incarnation): connect, hello with the
+/// generation, then loop kFrameStart -> render own brick -> composite ->
+/// kFrameDone until the supervisor says kShutdown. Every frame builds a
+/// fresh CommContext, so per-channel seq spaces restart cleanly per frame
+/// and per generation.
+int sequence_worker_main(int rank, std::uint32_t generation, const mp::Endpoint& endpoint,
+                         const core::Compositor& method, const vol::Dataset& dataset,
+                         const ExperimentConfig& base, const SequenceProcOptions& opts) {
+  mp::Fd link;
+  try {
+    link = mp::connect_with_backoff(endpoint, opts.proc.connect, rank);
+  } catch (...) {
+    return mp::kWorkerExitConnect;
+  }
+
+  try {
+    {
+      mp::Frame hello;
+      hello.kind = mp::FrameKind::kHello;
+      hello.source = rank;
+      hello.generation = generation;
+      mp::send_all(link.get(), mp::pack_frame(hello));
+    }
+
+    mp::SocketTransport::Options topts;
+    topts.backend = opts.proc.transport;
+    topts.heartbeat_interval = opts.proc.heartbeat_interval;
+    topts.generation = generation;
+    topts.sequence = true;
+    mp::SocketTransport sock(/*ctx=*/nullptr, rank, std::move(link), std::move(topts));
+    sock.start();
+
+    if (opts.proc.workers_per_rank > 0) core::set_workers_per_rank(opts.proc.workers_per_rank);
+
+    const int ranks = base.ranks;
+    const core::FoldCompositor folded_method(method);
+
+    for (;;) {
+      const std::optional<mp::FrameRoster> roster = sock.await_frame_start(opts.frame_deadline);
+      if (!roster) break;  // kShutdown, dead link, or frame deadline
+      const int frame = roster->frame;
+      const ExperimentConfig cfg = sequence_frame_config(base, opts, frame);
+      const FrameGeometry geom = derive_frame_geometry(dataset, cfg);
+      img::Image local =
+          render_one_brick(dataset, cfg, geom.bricks[static_cast<std::size_t>(rank)]);
+
+      if (!roster->demoted.empty()) {
+        // Demoted roster: no full-strength plan exists anymore. Every
+        // survivor ships its rendered subimage and the parent folds the
+        // frame out degraded — the bottom rung of the recovery ladder.
+        ByteWriter w;
+        write_image(w, local);
+        sock.send_report(kReportSubimage, w.data());
+        sock.end_frame(frame, /*aborted=*/false);
+        continue;
+      }
+
+      mp::CommContext ctx(ranks);
+      ctx.mailboxes[static_cast<std::size_t>(rank)].set_capacity(opts.proc.inbox_capacity);
+      ctx.transport = std::make_unique<BorrowedTransport>(&sock);
+      ctx.stage_observer = [&sock, &opts, frame](int r, int stage) {
+        sock.note_stage(stage);
+        for (const ProcCrash& crash : opts.crashes) {
+          if (crash.rank == r && crash.stage == stage &&
+              (crash.frame < 0 || crash.frame == frame)) {
+            trigger_crash(crash);
+          }
+        }
+      };
+
+      SnapshotStore store(ranks);
+      sock.begin_frame(&ctx);
+      bool aborted = false;
+      try {
+        const RetentionGuard retention(&store);
+        mp::Comm comm(&ctx, rank);
+        core::Counters counters;
+        const core::Compositor& frame_method =
+            geom.folded ? static_cast<const core::Compositor&>(folded_method) : method;
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::Ownership owned = frame_method.composite(comm, local, geom.order, counters);
+        img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+        ship_state(sock, rank, ctx, counters, wall_ms);
+        if (rank == 0) {
+          ByteWriter w;
+          write_image(w, gathered);
+          sock.send_report(kReportImage, w.data());
+        }
+      } catch (const mp::PeerFailedError& e) {
+        aborted = true;
+        ship_failure(sock, ctx.trace.stage(rank), /*primary=*/false, e.what(), store, rank);
+      } catch (const std::exception& e) {
+        aborted = true;
+        const int stage = ctx.trace.stage(rank);
+        sock.announce_failure(stage, e.what());
+        ship_failure(sock, stage, /*primary=*/true, e.what(), store, rank);
+      }
+      sock.end_frame(frame, aborted);
+    }
+
+    if (sock.link_lost()) return mp::kWorkerExitError;
+    sock.goodbye_and_wait(opts.proc.drain_deadline);
+    return mp::kWorkerExitClean;
+  } catch (...) {
+    return mp::kWorkerExitError;
+  }
+}
+
 }  // namespace
 
 FtMethodResult run_compositing_procs(const core::Compositor& method,
@@ -211,92 +508,30 @@ FtMethodResult run_compositing_procs(const core::Compositor& method,
       });
   if (sup.endpoint.kind == mp::Endpoint::Kind::kUnix) (void)::unlink(sup.endpoint.path.c_str());
 
-  // Decode the report stream. A report truncated by a dying worker is
-  // dropped (its death is already a recorded failure); the frame CRC has
-  // vouched for everything that parses.
-  std::vector<core::Counters> counters(static_cast<std::size_t>(ranks));
-  std::vector<bool> have_state(static_cast<std::size_t>(ranks), false);
-  std::vector<double> walls(static_cast<std::size_t>(ranks), 0.0);
-  std::optional<img::Image> final_image;
-  std::vector<WorkerFailureReport> worker_failures;
-  SnapshotStore store(ranks);
-  mp::TrafficTrace trace(ranks);
-
-  for (const mp::WorkerReport& rep : outcome.reports) {
-    if (rep.rank < 0 || rep.rank >= ranks) continue;
-    const std::size_t i = static_cast<std::size_t>(rep.rank);
-    ByteReader r(rep.payload);
-    try {
-      switch (rep.kind) {
-        case kReportState: {
-          counters[i] = read_counters(r);
-          std::vector<mp::MessageRecord> sent(r.u32());
-          for (mp::MessageRecord& rec : sent) rec = read_record(r);
-          std::vector<mp::MessageRecord> received(r.u32());
-          for (mp::MessageRecord& rec : received) rec = read_record(r);
-          std::vector<std::uint64_t> clock(r.u32());
-          for (std::uint64_t& c : clock) c = r.u64();
-          const std::uint64_t naks = r.u64();
-          const std::uint64_t retries = r.u64();
-          const std::uint64_t retry_bytes = r.u64();
-          const std::uint64_t abandoned = r.u64();
-          walls[i] = r.f64();
-          trace.import_rank(rep.rank, std::move(sent), std::move(received), std::move(clock),
-                            naks, retries, retry_bytes, abandoned);
-          have_state[i] = true;
-          break;
-        }
-        case kReportImage:
-          final_image = read_image(r);
-          break;
-        case kReportFailure: {
-          WorkerFailureReport wf;
-          wf.rank = rep.rank;
-          wf.stage = r.i32();
-          wf.primary = r.u8() != 0;
-          wf.what = r.str();
-          worker_failures.push_back(std::move(wf));
-          break;
-        }
-        case kReportSnapshots: {
-          const std::uint32_t n = r.u32();
-          for (std::uint32_t k = 0; k < n; ++k) {
-            const int stage = r.i32();
-            const img::Rect region = read_rect(r);
-            store.add(rep.rank, stage, read_image(r), region);
-          }
-          break;
-        }
-        default:
-          break;  // unknown report kind: forward compatibility, skip
-      }
-    } catch (const std::out_of_range&) {
-      continue;
-    }
-  }
+  DecodedReports dec = decode_reports(outcome.reports, ranks);
 
   FtMethodResult out;
-  out.report.retry_stats += trace.retry_stats();
+  out.report.retry_stats += dec.trace.retry_stats();
 
   if (outcome.clean()) {
-    if (!final_image ||
-        !std::all_of(have_state.begin(), have_state.end(), [](bool b) { return b; })) {
+    if (!dec.final_image ||
+        !std::all_of(dec.have_state.begin(), dec.have_state.end(), [](bool b) { return b; })) {
       throw mp::TransportError(
           "run_compositing_procs: clean supervisor outcome but incomplete worker reports");
     }
     MethodResult& result = out.result;
     result.method = std::string(method.name());
-    result.per_rank = std::move(counters);
-    result.times = model.critical_path(result.per_rank, trace);
-    result.timeline = core::simulate_timeline(result.per_rank, trace, model);
-    result.m_max = core::max_received_message_bytes(trace);
+    result.per_rank = std::move(dec.counters);
+    result.times = model.critical_path(result.per_rank, dec.trace);
+    result.timeline = core::simulate_timeline(result.per_rank, dec.trace, model);
+    result.m_max = core::max_received_message_bytes(dec.trace);
     result.received_bytes_per_rank.resize(static_cast<std::size_t>(ranks));
     for (int r = 0; r < ranks; ++r) {
       result.received_bytes_per_rank[static_cast<std::size_t>(r)] =
-          core::received_message_bytes(trace, r);
+          core::received_message_bytes(dec.trace, r);
     }
-    result.wall_ms = *std::max_element(walls.begin(), walls.end());
-    result.final_image = std::move(*final_image);
+    result.wall_ms = *std::max_element(dec.walls.begin(), dec.walls.end());
+    result.final_image = std::move(*dec.final_image);
     return out;
   }
 
@@ -311,11 +546,11 @@ FtMethodResult run_compositing_procs(const core::Compositor& method,
     failed[static_cast<std::size_t>(f.rank)] = true;
     out.report.events.push_back({f.rank, f.stage, /*primary=*/true, /*attempt=*/0, f.what});
   }
-  for (const WorkerFailureReport& wf : worker_failures) {
+  for (const WorkerFailureReport& wf : dec.worker_failures) {
     if (wf.primary) continue;
     out.report.events.push_back({wf.rank, wf.stage, /*primary=*/false, /*attempt=*/0, wf.what});
   }
-  return recover_frame(method, subimages, order, model, store, std::move(failed),
+  return recover_frame(method, subimages, order, model, dec.store, std::move(failed),
                        std::move(out.report));
 }
 
@@ -325,6 +560,165 @@ FtMethodResult Experiment::run_procs(const core::Compositor& method,
   const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
                                                : &method;
   return run_compositing_procs(*compositor, subimages_, order_, opts, config_.cost_model);
+}
+
+SequenceRunResult run_compositing_sequence(const core::Compositor& method,
+                                           const vol::Dataset& dataset,
+                                           const ExperimentConfig& base,
+                                           const SequenceProcOptions& opts) {
+  const int ranks = base.ranks;
+  if (ranks <= 0) {
+    throw std::invalid_argument("run_compositing_sequence: ranks must be positive");
+  }
+  if (opts.frames <= 0) {
+    throw std::invalid_argument("run_compositing_sequence: frames must be positive");
+  }
+
+  mp::SupervisorOptions sup;
+  sup.endpoint = make_endpoint(opts.proc);
+  sup.procs = ranks;
+  sup.heartbeat_timeout = opts.proc.heartbeat_timeout;
+  sup.accept_deadline = opts.proc.accept_deadline;
+  sup.drain_deadline = opts.proc.drain_deadline;
+
+  mp::SequenceOptions seq;
+  seq.frames = opts.frames;
+  seq.respawn = opts.respawn;
+
+  const mp::SequenceOutcome outcome = mp::Supervisor::run_sequence(
+      sup, seq, [&](int rank, std::uint32_t generation, const mp::Endpoint& at) {
+        return sequence_worker_main(rank, generation, at, method, dataset, base, opts);
+      });
+  if (sup.endpoint.kind == mp::Endpoint::Kind::kUnix) (void)::unlink(sup.endpoint.path.c_str());
+
+  SequenceRunResult out;
+  out.report.respawns = outcome.respawns;
+  out.report.generations = outcome.generations;
+  out.report.stale_rejects = outcome.stale_rejects;
+  std::vector<bool> ever_failed(static_cast<std::size_t>(ranks), false);
+  for (const int r : outcome.demoted) {
+    if (r >= 0 && r < ranks) ever_failed[static_cast<std::size_t>(r)] = true;
+  }
+
+  for (const mp::FrameOutcome& fo : outcome.frames) {
+    const ExperimentConfig cfg = sequence_frame_config(base, opts, fo.frame);
+    DecodedReports dec = decode_reports(fo.reports, ranks);
+
+    FtMethodResult ft;
+    ft.report.retry_stats += dec.trace.retry_stats();
+    // Failed resurrections between frames are provenance, not frame faults:
+    // the frame that follows ran at whatever strength the roster says.
+    for (const mp::WorkerFailure& f : fo.boundary_failures) {
+      ft.report.events.push_back(
+          {f.rank, f.stage, /*primary=*/true, /*attempt=*/0, "boundary: " + f.what});
+    }
+
+    if (!fo.demoted.empty()) {
+      // Bottom rung: the roster is demoted, survivors shipped raw subimages,
+      // and the parent folds the frame out here in depth order. A survivor
+      // that died mid-frame (or whose subimage never arrived) is folded out
+      // too — a blank subimage is the over-operator identity.
+      const FrameGeometry geom = derive_frame_geometry(dataset, cfg);
+      std::vector<bool> lost(static_cast<std::size_t>(ranks), false);
+      for (const int r : fo.demoted) {
+        if (r >= 0 && r < ranks) lost[static_cast<std::size_t>(r)] = true;
+      }
+      for (const mp::WorkerFailure& f : fo.failures) {
+        ft.report.events.push_back({f.rank, f.stage, /*primary=*/true, /*attempt=*/0, f.what});
+        if (f.rank >= 0 && f.rank < ranks) lost[static_cast<std::size_t>(f.rank)] = true;
+      }
+      std::vector<img::Image> subs;
+      subs.reserve(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        if (!lost[i] && dec.subimages[i]) {
+          subs.push_back(std::move(*dec.subimages[i]));
+        } else {
+          lost[i] = true;  // survivor whose subimage never arrived
+          subs.emplace_back(cfg.image_size, cfg.image_size);
+        }
+      }
+      ft.report.faulted = true;
+      ft.report.degraded = true;
+      const img::Rect full{0, 0, cfg.image_size, cfg.image_size};
+      for (int r = 0; r < ranks; ++r) {
+        if (!lost[static_cast<std::size_t>(r)]) continue;
+        ft.report.failed_ranks.push_back(r);
+        const img::Image sub =
+            render_one_brick(dataset, cfg, geom.bricks[static_cast<std::size_t>(r)]);
+        ft.report.pixels_lost += img::count_non_blank(sub, full);
+      }
+      ft.result.method = std::string(method.name());
+      ft.result.final_image = core::composite_reference(subs, geom.order.front_to_back);
+    } else if (fo.failures.empty()) {
+      // Clean full-strength frame: assemble the MethodResult exactly as
+      // run_compositing_procs does, so frame f is byte-identical to a
+      // single-frame run of the same view.
+      if (!dec.final_image ||
+          !std::all_of(dec.have_state.begin(), dec.have_state.end(),
+                       [](bool b) { return b; })) {
+        throw mp::TransportError("run_compositing_sequence: clean frame " +
+                                 std::to_string(fo.frame) + " but incomplete worker reports");
+      }
+      MethodResult& result = ft.result;
+      result.method = std::string(method.name());
+      result.per_rank = std::move(dec.counters);
+      result.times = base.cost_model.critical_path(result.per_rank, dec.trace);
+      result.timeline = core::simulate_timeline(result.per_rank, dec.trace, base.cost_model);
+      result.m_max = core::max_received_message_bytes(dec.trace);
+      result.received_bytes_per_rank.resize(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        result.received_bytes_per_rank[static_cast<std::size_t>(r)] =
+            core::received_message_bytes(dec.trace, r);
+      }
+      result.wall_ms = *std::max_element(dec.walls.begin(), dec.walls.end());
+      result.final_image = std::move(*dec.final_image);
+    } else {
+      // Mid-frame deaths at full strength: re-render the frame's subimages
+      // here and run the single-frame recovery ladder (mid-frame plan repair
+      // from shipped snapshots, else degraded recomposite).
+      const FrameGeometry geom = derive_frame_geometry(dataset, cfg);
+      std::vector<img::Image> subs;
+      subs.reserve(static_cast<std::size_t>(ranks));
+      for (const vol::Brick& brick : geom.bricks) {
+        subs.push_back(render_one_brick(dataset, cfg, brick));
+      }
+      ft.report.faulted = true;
+      std::vector<bool> failed(static_cast<std::size_t>(ranks), false);
+      for (const mp::WorkerFailure& f : fo.failures) {
+        ft.report.events.push_back({f.rank, f.stage, /*primary=*/true, /*attempt=*/0, f.what});
+        if (f.rank >= 0 && f.rank < ranks) failed[static_cast<std::size_t>(f.rank)] = true;
+      }
+      for (const WorkerFailureReport& wf : dec.worker_failures) {
+        if (wf.primary) continue;
+        ft.report.events.push_back(
+            {wf.rank, wf.stage, /*primary=*/false, /*attempt=*/0, wf.what});
+      }
+      const core::FoldCompositor folded(method);
+      const core::Compositor& m =
+          geom.folded ? static_cast<const core::Compositor&>(folded) : method;
+      ft = recover_frame(m, subs, geom.order, base.cost_model, dec.store, std::move(failed),
+                         std::move(ft.report));
+    }
+
+    out.report.faulted = out.report.faulted || ft.report.faulted;
+    out.report.degraded = out.report.degraded || ft.report.degraded;
+    out.report.resumed = out.report.resumed || ft.report.resumed;
+    out.report.retries += ft.report.retries;
+    out.report.pixels_lost += ft.report.pixels_lost;
+    out.report.retry_stats += ft.report.retry_stats;
+    for (const int r : ft.report.failed_ranks) {
+      if (r >= 0 && r < ranks) ever_failed[static_cast<std::size_t>(r)] = true;
+    }
+    out.report.events.insert(out.report.events.end(), ft.report.events.begin(),
+                             ft.report.events.end());
+    out.frames.push_back(std::move(ft));
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    if (ever_failed[static_cast<std::size_t>(r)]) out.report.failed_ranks.push_back(r);
+  }
+  return out;
 }
 
 }  // namespace slspvr::pvr

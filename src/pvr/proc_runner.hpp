@@ -25,21 +25,29 @@
 #include "core/compositor.hpp"
 #include "core/cost_model.hpp"
 #include "mp/envelope.hpp"
+#include "mp/supervisor.hpp"
 #include "pvr/experiment.hpp"
 
 namespace slspvr::pvr {
 
 /// A real crash planted in a worker process for deterministic chaos tests:
-/// when `rank` reaches compositing stage `stage` it raises the signal on
-/// itself — SIGKILL (instant death, link EOF) or SIGSTOP (silence, caught by
-/// the supervisor's heartbeat watchdog). This is a process-level raise(),
-/// not an injected exception.
+/// when `rank` reaches compositing stage `stage` it dies for real — SIGKILL
+/// (instant death, link EOF), SIGSTOP (silence, caught by the supervisor's
+/// heartbeat watchdog), SIGSEGV (a "crash" with core-dump semantics, so the
+/// provenance string reads "killed by signal 11 (SIGSEGV)"), or a plain
+/// nonzero exit() (a worker that bails without dying by signal). This is a
+/// process-level raise()/_Exit(), not an injected exception.
 struct ProcCrash {
-  enum class Kind { kSigkill, kSigstop };
+  enum class Kind { kSigkill, kSigstop, kSigsegv, kExit };
 
   int rank = -1;
   int stage = 0;
   Kind kind = Kind::kSigkill;
+  /// Sequence mode: fire only while rendering frame `frame` (-1 = any
+  /// frame, the single-frame behaviour). A respawned incarnation only sees
+  /// frames after the crash, so a planted crash never re-fires on it.
+  int frame = -1;
+  int exit_code = 7;  ///< kExit: the nonzero status to _Exit() with
 };
 
 struct ProcOptions {
@@ -81,5 +89,49 @@ struct ProcOptions {
     const core::Compositor& method, const std::vector<img::Image>& subimages,
     const core::SwapOrder& order, const ProcOptions& opts,
     const core::CostModel& model = core::CostModel::sp2());
+
+/// Multi-frame sequence mode (Supervisor::run_sequence): workers stay
+/// resident across frames, the camera steps per frame, and a rank that dies
+/// mid-frame is resurrected at the next frame boundary.
+struct SequenceProcOptions {
+  ProcOptions proc;  ///< transport/backoff/heartbeat knobs (proc.crash unused)
+  int frames = 1;
+  /// Per-frame camera step (degrees), as in examples/rotation_sweep: frame f
+  /// renders at (rot_x + f·rot_step_x, rot_y + f·rot_step_y). Every frame's
+  /// geometry is a pure function of (volume, partition, camera), which is
+  /// what lets a respawned worker re-derive its brick deterministically.
+  float rot_step_x = 7.0f;
+  float rot_step_y = 11.0f;
+  mp::RespawnPolicy respawn;
+  /// Frame-qualified planted crashes (each fires at most once; a respawned
+  /// incarnation never replays an already-crashed frame).
+  std::vector<ProcCrash> crashes;
+  /// How long a worker waits for the next kFrameStart before giving up.
+  std::chrono::milliseconds frame_deadline{60000};
+};
+
+/// Outcome of a sequence run: one FtMethodResult per frame (each clean
+/// frame's final_image byte-identical to the in-process render of that
+/// view), plus an aggregate FaultReport carrying the resurrection
+/// accounting (respawns, per-rank generations, permanently demoted ranks).
+struct SequenceRunResult {
+  std::vector<FtMethodResult> frames;
+  FaultReport report;  ///< aggregate across the whole sequence
+};
+
+/// Render + composite `opts.frames` camera-stepped frames of `dataset`
+/// (partitioned per `base`) with one resident worker process per rank. Each
+/// worker renders only its own brick per frame and composites SPMD exactly
+/// as run_compositing would, so fault-free frames are byte-identical to the
+/// in-process result for the same view. A frame struck by a real worker
+/// death is finished in the parent via the shared recover_frame machinery;
+/// the dead rank is respawned under `opts.respawn` and the next frame runs
+/// at full strength. Ranks past their respawn budget are demoted for good:
+/// later frames are folded out degraded from the survivors' shipped
+/// subimages.
+[[nodiscard]] SequenceRunResult run_compositing_sequence(const core::Compositor& method,
+                                                         const vol::Dataset& dataset,
+                                                         const ExperimentConfig& base,
+                                                         const SequenceProcOptions& opts);
 
 }  // namespace slspvr::pvr

@@ -34,17 +34,18 @@ TEST(Csv, WritesHeaderAndRows) {
   std::getline(in, header);
   EXPECT_EQ(header,
             "dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,"
-            "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes");
+            "wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes,respawns,"
+            "stale_rejects");
   int lines = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++lines;
-    // Each row has 14 comma-separated fields and names the method.
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 13);
+    // Each row has 16 comma-separated fields and names the method.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 15);
     EXPECT_NE(line.find("BSBRC"), std::string::npos);
-    // Plain-run rows carry zeroed RetryStats columns.
-    EXPECT_NE(line.rfind(",0,0,0"), std::string::npos);
+    // Plain-run rows carry zeroed RetryStats + respawn columns.
+    EXPECT_NE(line.rfind(",0,0,0,0,0"), std::string::npos);
   }
   EXPECT_EQ(lines, 2);
   std::remove(path.c_str());

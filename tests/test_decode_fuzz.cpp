@@ -237,6 +237,47 @@ TEST(DecodeFuzz, EnvelopeRejectsTruncationMagicLengthAndCrc) {
   EXPECT_THROW((void)mp::parse_envelope(seq_flip), mp::EnvelopeError);
 }
 
+// ---- incarnation (generation) field: stale-rejection at the decode layer ----
+
+// Rank identity on the wire is (rank, generation): the envelope carries the
+// sender incarnation inside the CRC-covered header, so a damaged generation
+// can never masquerade as a different incarnation — it is a typed framing
+// reject, not a delivery.
+TEST(DecodeFuzz, EnvelopeGenerationIsCrcProtected) {
+  const std::vector<std::byte> payload(21, std::byte{0x6B});
+  const std::vector<std::byte> framed = mp::pack_envelope(/*seq=*/9, payload,
+                                                          /*generation=*/7);
+  const mp::ParsedEnvelope parsed = mp::parse_envelope(framed);
+  EXPECT_EQ(parsed.generation, 7u);
+  EXPECT_EQ(parsed.seq, 9u);
+  // Envelope layout: generation occupies header bytes [16..20). Every
+  // single-bit change there must trip the checksum.
+  for (std::size_t at = 16; at < 20; ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto stale = framed;
+      stale[at] ^= std::byte{static_cast<unsigned char>(1 << bit)};
+      EXPECT_THROW((void)mp::parse_envelope(stale), mp::EnvelopeError)
+          << "byte " << at << " bit " << bit;
+    }
+  }
+}
+
+// The generation space is uint32 and the supervisor bumps it with ++, so an
+// extremely long-lived rank can wrap. Stale rejection is *equality*-based
+// (never ordered comparison), which stays sound across the wrap — but only
+// if the decode layer round-trips the extremes exactly. UINT32_MAX and the
+// post-wrap 0 must decode as themselves and as distinct incarnations.
+TEST(DecodeFuzz, GenerationWraparoundRoundTripsExactly) {
+  const std::vector<std::byte> payload(5, std::byte{0x11});
+  const mp::ParsedEnvelope last = mp::parse_envelope(
+      mp::pack_envelope(/*seq=*/0, payload, /*generation=*/0xFFFFFFFFu));
+  const mp::ParsedEnvelope wrapped =
+      mp::parse_envelope(mp::pack_envelope(/*seq=*/0, payload, /*generation=*/0u));
+  EXPECT_EQ(last.generation, 0xFFFFFFFFu);
+  EXPECT_EQ(wrapped.generation, 0u);
+  EXPECT_NE(last.generation, wrapped.generation);
+}
+
 TEST(DecodeFuzz, Crc32cMatchesKnownVector) {
   // RFC 3720 test vector: CRC32C of 32 zero bytes is 0x8A9136AA.
   const std::vector<std::byte> zeros(32, std::byte{0});
@@ -380,6 +421,49 @@ TEST(DecodeFuzz, FrameReaderRejectsGarbagePrefix) {
     mp::FrameReader reader;
     reader.feed(garbled);
     EXPECT_THROW((void)reader.next(), mp::TransportError) << "trial " << trial;
+  }
+}
+
+// Incarnation safety starts at the parser: mutate the generation field of
+// each frame in a framed stream in turn. The frames *before* the damaged one
+// must come out intact (with their true generation), the damaged one must be
+// a typed reject with zero deliveries — a stale or forged incarnation can
+// never slip a frame through — and buffered() must account for every byte
+// exactly at the boundary.
+TEST(DecodeFuzz, FrameReaderRejectsMutatedGenerationWithoutDelivery) {
+  std::vector<mp::Frame> frames = sample_frames();
+  for (mp::Frame& f : frames) f.generation = 3;  // a respawned incarnation
+  std::vector<std::size_t> starts;  // byte offset of each frame in the stream
+  std::vector<std::byte> stream;
+  for (const mp::Frame& f : frames) {
+    starts.push_back(stream.size());
+    const std::vector<std::byte> packed = mp::pack_frame(f);
+    stream.insert(stream.end(), packed.begin(), packed.end());
+  }
+  // Generation lives in the SLP1 envelope header at offset [16..20), behind
+  // the 8-byte SLPW frame header.
+  constexpr std::size_t kGenerationOffset = mp::kFrameHeaderBytes + 16;
+  for (std::size_t damaged = 0; damaged < frames.size(); ++damaged) {
+    auto bytes = stream;
+    bytes[starts[damaged] + kGenerationOffset] ^= std::byte{0x01};
+
+    mp::FrameReader reader;
+    // Everything up to the damaged frame drains whole, carrying the true
+    // incarnation, with nothing left buffered.
+    reader.feed(std::span<const std::byte>(bytes.data(), starts[damaged]));
+    std::size_t drained = 0;
+    while (std::optional<mp::Frame> f = reader.next()) {
+      EXPECT_EQ(f->generation, 3u) << "damaged " << damaged;
+      ++drained;
+    }
+    EXPECT_EQ(drained, damaged) << "damaged " << damaged;
+    EXPECT_EQ(reader.buffered(), 0u) << "damaged " << damaged;
+
+    // The damaged frame itself: typed reject on the very first next(), so
+    // the flipped-generation frame is never delivered.
+    reader.feed(std::span<const std::byte>(bytes.data() + starts[damaged],
+                                           bytes.size() - starts[damaged]));
+    EXPECT_THROW((void)reader.next(), mp::TransportError) << "damaged " << damaged;
   }
 }
 

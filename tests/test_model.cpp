@@ -146,7 +146,13 @@ TEST(ModelScenarios, PartialOrderReductionPreservesVerdictAndStateCount) {
     const CheckResult b = run_scenario(sc, without);
     EXPECT_EQ(a.ok(), b.ok()) << sc.name;
     EXPECT_EQ(a.states, b.states) << sc.name;
-    EXPECT_LE(a.transitions, b.transitions) << sc.name;
+    // Transition counts are only comparable where sleep-set bookkeeping does
+    // not re-apply actions on visited-state revisits: the resurrection
+    // scenarios' boundary actions revisit heavily, so POR can legitimately
+    // take *more* transitions there while still agreeing on every state.
+    if (sc.kind != Scenario::Kind::kResurrection) {
+      EXPECT_LE(a.transitions, b.transitions) << sc.name;
+    }
   }
 }
 
@@ -186,6 +192,28 @@ TEST(ModelReplay, RetransmitCounterexampleReplaysCleanly) {
   const ReplaySchedule schedule =
       derive_schedule(RetransmitModel(sc), *res.counterexample);
   EXPECT_GT(schedule.messages, 0);
+  const ReplayReport rep = replay_schedule(schedule);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+// The resurrection ladder: a counterexample from the no-backlog-replay
+// mutant (a respawned rank whose parked frames are discarded wedges the
+// sequence) projects onto a crash-then-respawn schedule; the real
+// Supervisor::run_sequence must detect the crash, resurrect the rank into
+// generation 1, and run every post-recovery frame whole.
+TEST(ModelReplay, ResurrectionCounterexampleReplaysCleanly) {
+  Scenario sc;
+  for (const Scenario& s : all_scenarios(2)) {
+    if (s.name == "respawn-w2") sc = s;
+  }
+  ASSERT_EQ(sc.name, "respawn-w2");
+  sc.mutant = Mutant::kRespawnNoBacklogReplay;
+  const CheckResult res = run_scenario(sc, test_limits());
+  ASSERT_TRUE(res.counterexample.has_value());
+  const ReplaySchedule schedule =
+      derive_schedule(ResurrectionModel(sc), *res.counterexample);
+  EXPECT_GT(schedule.frames, 0);
+  EXPECT_GE(schedule.crash_rank, 0);
   const ReplayReport rep = replay_schedule(schedule);
   EXPECT_TRUE(rep.ok) << rep.summary();
 }

@@ -6,10 +6,12 @@
 // FaultReport.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/bsbrc.hpp"
+#include "core/reference.hpp"
 #include "mp/errors.hpp"
 #include "mp/socket.hpp"
 #include "pvr/experiment.hpp"
@@ -60,6 +62,23 @@ bool any_event_contains(const pvr::FaultReport& report, const std::string& needl
     if (e.what.find(needle) != std::string::npos) return true;
   }
   return false;
+}
+
+pvr::SequenceProcOptions seq_opts(int frames, const std::string& transport = "unix") {
+  pvr::SequenceProcOptions opts;
+  opts.proc = fast_opts(transport);
+  opts.frames = frames;
+  return opts;
+}
+
+/// The camera config sequence frame `f` renders at — must mirror the
+/// sequence runner's per-frame stepping exactly for byte-compares to hold.
+pvr::ExperimentConfig stepped(const pvr::ExperimentConfig& base,
+                              const pvr::SequenceProcOptions& opts, int frame) {
+  pvr::ExperimentConfig cfg = base;
+  cfg.rot_x_deg += opts.rot_step_x * static_cast<float>(frame);
+  cfg.rot_y_deg += opts.rot_step_y * static_cast<float>(frame);
+  return cfg;
 }
 
 }  // namespace
@@ -245,4 +264,200 @@ TEST(ProcsChaos, SigstopIsCaughtByTheHeartbeatWatchdog) {
   // A stopped process sends nothing: only the heartbeat watchdog can see it.
   EXPECT_TRUE(any_event_contains(ft.report, "heartbeat timeout")) << ft.report.summary();
   EXPECT_GT(img::count_non_blank(ft.result.final_image, ft.result.final_image.bounds()), 0);
+}
+
+TEST(ProcsChaos, SigsegvProvenanceIsHumanReadable) {
+  const pvr::Experiment experiment(small_config(4));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::ProcOptions opts = fast_opts();
+  opts.crash = pvr::ProcCrash{/*rank=*/3, /*stage=*/1, pvr::ProcCrash::Kind::kSigsegv};
+
+  const pvr::FtMethodResult ft = experiment.run_procs(bsbrc, opts);
+  EXPECT_TRUE(ft.report.faulted);
+  ASSERT_EQ(ft.report.failed_ranks.size(), 1u);
+  EXPECT_EQ(ft.report.failed_ranks[0], 3);
+  EXPECT_TRUE(any_event_contains(ft.report, "killed by signal 11 (SIGSEGV)"))
+      << ft.report.summary();
+  EXPECT_GT(img::count_non_blank(ft.result.final_image, ft.result.final_image.bounds()), 0);
+}
+
+TEST(ProcsChaos, NonzeroExitProvenanceIsHumanReadable) {
+  const pvr::Experiment experiment(small_config(4));
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::ProcOptions opts = fast_opts();
+  pvr::ProcCrash crash;
+  crash.rank = 1;
+  crash.stage = 1;
+  crash.kind = pvr::ProcCrash::Kind::kExit;
+  crash.exit_code = 7;
+  opts.crash = crash;
+
+  const pvr::FtMethodResult ft = experiment.run_procs(bsbrc, opts);
+  EXPECT_TRUE(ft.report.faulted);
+  ASSERT_EQ(ft.report.failed_ranks.size(), 1u);
+  EXPECT_EQ(ft.report.failed_ranks[0], 1);
+  // A worker that bails with exit() dies without a signal; the wait status
+  // still yields a readable cause.
+  EXPECT_TRUE(any_event_contains(ft.report, "exited with code 7")) << ft.report.summary();
+  EXPECT_GT(img::count_non_blank(ft.result.final_image, ft.result.final_image.bounds()), 0);
+}
+
+// --- Jittered backoff (pure) -------------------------------------------------
+
+TEST(Connect, BackoffDelayIsBoundedDeterministicAndJittered) {
+  mp::RetryPolicy policy;
+  policy.base_delay = std::chrono::milliseconds{8};
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+      const auto delay = mp::backoff_delay(policy, attempt, rank);
+      const std::int64_t exponential =
+          std::min<std::int64_t>(std::int64_t{8} << (attempt - 1), 200);
+      // Bounds: capped exponential plus jitter in [0, base/2].
+      EXPECT_GE(delay.count(), exponential) << "rank " << rank << " attempt " << attempt;
+      EXPECT_LE(delay.count(), exponential + 4) << "rank " << rank << " attempt " << attempt;
+      // Deterministic: the same (rank, attempt) always sleeps the same.
+      EXPECT_EQ(delay, mp::backoff_delay(policy, attempt, rank));
+    }
+  }
+  // De-phased: at least one attempt where two ranks sleep differently, so a
+  // herd of reconnecting workers does not hammer the listener in lockstep.
+  bool differs = false;
+  for (int attempt = 1; attempt <= 8 && !differs; ++attempt) {
+    differs = mp::backoff_delay(policy, attempt, 0) != mp::backoff_delay(policy, attempt, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- Sequence mode: resurrection ---------------------------------------------
+
+TEST(Sequence, CleanFramesAreByteIdenticalToInProcess) {
+  const pvr::ExperimentConfig base = small_config(4);
+  const vol::Dataset dataset = vol::make_dataset(base.dataset, base.volume_scale);
+  const slspvr::core::BsbrcCompositor bsbrc;
+  const pvr::SequenceProcOptions opts = seq_opts(3);
+
+  const pvr::SequenceRunResult run = pvr::run_compositing_sequence(bsbrc, dataset, base, opts);
+  EXPECT_FALSE(run.report.faulted) << run.report.summary();
+  EXPECT_EQ(run.report.respawns, 0);
+  EXPECT_EQ(run.report.stale_rejects, 0u);
+  ASSERT_EQ(run.report.generations.size(), 4u);
+  for (const std::uint32_t g : run.report.generations) EXPECT_EQ(g, 0u);
+  ASSERT_EQ(run.frames.size(), 3u);
+  for (int f = 0; f < 3; ++f) {
+    SCOPED_TRACE("frame " + std::to_string(f));
+    EXPECT_FALSE(run.frames[static_cast<std::size_t>(f)].report.faulted);
+    const pvr::Experiment ex(dataset, stepped(base, opts, f));
+    expect_images_identical(run.frames[static_cast<std::size_t>(f)].result.final_image,
+                            ex.run(bsbrc).final_image);
+  }
+}
+
+namespace {
+
+/// The acceptance sweep: 10 frames, 4 ranks, every rank killed exactly once
+/// (a different exit flavour each time). Every fault-free frame — in
+/// particular every post-resurrection frame — must be byte-identical to the
+/// in-process render of that view at full strength.
+void run_kill_each_rank_once(const std::string& transport) {
+  const pvr::ExperimentConfig base = small_config(4);
+  const vol::Dataset dataset = vol::make_dataset(base.dataset, base.volume_scale);
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::SequenceProcOptions opts = seq_opts(10, transport);
+  opts.crashes = {
+      pvr::ProcCrash{/*rank=*/0, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill, /*frame=*/2},
+      pvr::ProcCrash{/*rank=*/1, /*stage=*/1, pvr::ProcCrash::Kind::kSigsegv, /*frame=*/4},
+      pvr::ProcCrash{/*rank=*/2, /*stage=*/1, pvr::ProcCrash::Kind::kExit, /*frame=*/6,
+                     /*exit_code=*/7},
+      pvr::ProcCrash{/*rank=*/3, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill, /*frame=*/8},
+  };
+
+  const pvr::SequenceRunResult run = pvr::run_compositing_sequence(bsbrc, dataset, base, opts);
+  EXPECT_EQ(run.report.respawns, 4) << run.report.summary();
+  EXPECT_FALSE(run.report.degraded) << run.report.summary();
+  ASSERT_EQ(run.report.generations.size(), 4u);
+  for (const std::uint32_t g : run.report.generations) EXPECT_EQ(g, 1u);
+  // Human-readable cause for every exit flavour (signal, segfault, exit()).
+  EXPECT_TRUE(any_event_contains(run.report, "SIGKILL")) << run.report.summary();
+  EXPECT_TRUE(any_event_contains(run.report, "killed by signal 11 (SIGSEGV)"))
+      << run.report.summary();
+  EXPECT_TRUE(any_event_contains(run.report, "exited with code 7")) << run.report.summary();
+
+  const std::set<int> crash_frames{2, 4, 6, 8};
+  ASSERT_EQ(run.frames.size(), 10u);
+  for (int f = 0; f < 10; ++f) {
+    SCOPED_TRACE("frame " + std::to_string(f));
+    const pvr::FtMethodResult& ft = run.frames[static_cast<std::size_t>(f)];
+    if (crash_frames.count(f) != 0) {
+      EXPECT_TRUE(ft.report.faulted);
+      continue;
+    }
+    EXPECT_FALSE(ft.report.faulted) << ft.report.summary();
+    const pvr::Experiment ex(dataset, stepped(base, opts, f));
+    expect_images_identical(ft.result.final_image, ex.run(bsbrc).final_image);
+  }
+}
+
+}  // namespace
+
+TEST(SequenceChaos, KillEachRankOnceUnix) { run_kill_each_rank_once("unix"); }
+
+TEST(SequenceChaos, KillEachRankOnceTcp) { run_kill_each_rank_once("tcp"); }
+
+TEST(SequenceChaos, SameRankDiesTwiceAndComesBackTwice) {
+  const pvr::ExperimentConfig base = small_config(4);
+  const vol::Dataset dataset = vol::make_dataset(base.dataset, base.volume_scale);
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::SequenceProcOptions opts = seq_opts(5);
+  opts.crashes = {
+      pvr::ProcCrash{/*rank=*/1, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill, /*frame=*/1},
+      pvr::ProcCrash{/*rank=*/1, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill, /*frame=*/3},
+  };
+
+  const pvr::SequenceRunResult run = pvr::run_compositing_sequence(bsbrc, dataset, base, opts);
+  EXPECT_EQ(run.report.respawns, 2) << run.report.summary();
+  EXPECT_FALSE(run.report.degraded);
+  ASSERT_EQ(run.report.generations.size(), 4u);
+  EXPECT_EQ(run.report.generations[1], 2u);  // two resurrections: incarnation 2
+  ASSERT_EQ(run.frames.size(), 5u);
+  for (const int f : {0, 2, 4}) {
+    SCOPED_TRACE("frame " + std::to_string(f));
+    const pvr::FtMethodResult& ft = run.frames[static_cast<std::size_t>(f)];
+    EXPECT_FALSE(ft.report.faulted) << ft.report.summary();
+    const pvr::Experiment ex(dataset, stepped(base, opts, f));
+    expect_images_identical(ft.result.final_image, ex.run(bsbrc).final_image);
+  }
+  EXPECT_TRUE(run.frames[1].report.faulted);
+  EXPECT_TRUE(run.frames[3].report.faulted);
+}
+
+TEST(SequenceChaos, RespawnBudgetExhaustionDemotesForGood) {
+  const pvr::ExperimentConfig base = small_config(4);
+  const vol::Dataset dataset = vol::make_dataset(base.dataset, base.volume_scale);
+  const slspvr::core::BsbrcCompositor bsbrc;
+  pvr::SequenceProcOptions opts = seq_opts(4);
+  opts.respawn.max_respawns_per_rank = 0;  // circuit breaker opens immediately
+  opts.crashes = {
+      pvr::ProcCrash{/*rank=*/1, /*stage=*/1, pvr::ProcCrash::Kind::kSigkill, /*frame=*/1}};
+
+  const pvr::SequenceRunResult run = pvr::run_compositing_sequence(bsbrc, dataset, base, opts);
+  EXPECT_EQ(run.report.respawns, 0);
+  EXPECT_TRUE(run.report.degraded) << run.report.summary();
+  ASSERT_EQ(run.report.failed_ranks.size(), 1u);
+  EXPECT_EQ(run.report.failed_ranks[0], 1);
+  ASSERT_EQ(run.frames.size(), 4u);
+  EXPECT_FALSE(run.frames[0].report.faulted);
+  EXPECT_TRUE(run.frames[1].report.faulted);
+  for (int f = 2; f < 4; ++f) {
+    SCOPED_TRACE("frame " + std::to_string(f));
+    const pvr::FtMethodResult& ft = run.frames[static_cast<std::size_t>(f)];
+    EXPECT_TRUE(ft.report.degraded) << ft.report.summary();
+    // The degraded fold-out equals the reference composite over the
+    // survivors, with the demoted rank's slot blank.
+    const pvr::Experiment ex(dataset, stepped(base, opts, f));
+    std::vector<img::Image> subs = ex.subimages();
+    subs[1] = img::Image(base.image_size, base.image_size);
+    const img::Image want =
+        slspvr::core::composite_reference(subs, ex.order().front_to_back);
+    expect_images_identical(ft.result.final_image, want);
+  }
 }

@@ -90,10 +90,11 @@ TEST(RenderCli, ProcFamilyFlagsParse) {
   EXPECT_EQ(cli.transport, "tcp");
   EXPECT_EQ(cli.heartbeat_ms, 10);
   EXPECT_EQ(cli.heartbeat_timeout_ms, 500);
-  ASSERT_TRUE(cli.crash.has_value());
-  EXPECT_EQ(cli.crash->rank, 2);
-  EXPECT_EQ(cli.crash->stage, 1);
-  EXPECT_EQ(cli.crash->kind, pvr::ProcCrash::Kind::kSigkill);
+  ASSERT_EQ(cli.crashes.size(), 1u);
+  EXPECT_EQ(cli.crashes.front().rank, 2);
+  EXPECT_EQ(cli.crashes.front().stage, 1);
+  EXPECT_EQ(cli.crashes.front().kind, pvr::ProcCrash::Kind::kSigkill);
+  EXPECT_EQ(cli.crashes.front().frame, -1);  // no @frame qualifier
   EXPECT_NO_THROW(tools::validate_proc_cli(cli, /*fault_flags_present=*/false));
 }
 
@@ -102,19 +103,57 @@ TEST(RenderCli, UnknownTransportRejected) {
                tools::ParseError);
 }
 
-TEST(RenderCli, OnlyOnePlantedCrashPerRun) {
-  EXPECT_THROW(
-      (void)parse_flags({"--procs", "4", "--proc-kill", "1,1", "--proc-stall", "2,1"}),
-      tools::ParseError);
-  EXPECT_THROW(
-      (void)parse_flags({"--procs", "4", "--proc-kill", "1,1", "--proc-kill", "2,1"}),
-      tools::ParseError);
+TEST(RenderCli, OnlyOnePlantedCrashPerSingleFrameRun) {
+  // The one-crash rule is a validation rule, not a parse rule: --frames may
+  // come later in argv, and sequence runs legitimately plant several.
+  for (const auto& argv : std::vector<std::vector<std::string>>{
+           {"--procs", "4", "--proc-kill", "1,1", "--proc-stall", "2,1"},
+           {"--procs", "4", "--proc-kill", "1,1", "--proc-kill", "2,1"}}) {
+    const tools::ProcCli cli = parse_flags(argv);
+    EXPECT_THROW(tools::validate_proc_cli(cli, false), tools::ParseError);
+  }
+  const tools::ProcCli seq = parse_flags({"--procs", "4", "--frames", "5",
+                                          "--proc-kill", "1,1@1",
+                                          "--proc-kill", "2,1@3"});
+  EXPECT_NO_THROW(tools::validate_proc_cli(seq, false));
+  EXPECT_EQ(seq.crashes.size(), 2u);
 }
 
 TEST(RenderCli, ProcStallParsesAsSigstop) {
   const tools::ProcCli cli = parse_flags({"--procs", "4", "--proc-stall", "3,2"});
-  ASSERT_TRUE(cli.crash.has_value());
-  EXPECT_EQ(cli.crash->kind, pvr::ProcCrash::Kind::kSigstop);
+  ASSERT_EQ(cli.crashes.size(), 1u);
+  EXPECT_EQ(cli.crashes.front().kind, pvr::ProcCrash::Kind::kSigstop);
+}
+
+TEST(RenderCli, ProcSegvAndExitParseAsTheirKinds) {
+  const tools::ProcCli cli = parse_flags(
+      {"--procs", "4", "--frames", "3", "--proc-segv", "0,1@0", "--proc-exit", "2,0@2"});
+  ASSERT_EQ(cli.crashes.size(), 2u);
+  EXPECT_EQ(cli.crashes[0].kind, pvr::ProcCrash::Kind::kSigsegv);
+  EXPECT_EQ(cli.crashes[0].frame, 0);
+  EXPECT_EQ(cli.crashes[1].kind, pvr::ProcCrash::Kind::kExit);
+  EXPECT_EQ(cli.crashes[1].rank, 2);
+  EXPECT_EQ(cli.crashes[1].frame, 2);
+  EXPECT_NO_THROW(tools::validate_proc_cli(cli, false));
+}
+
+TEST(RenderCli, CrashSpecGrammarIsStrict) {
+  using K = pvr::ProcCrash::Kind;
+  const pvr::ProcCrash plain = tools::parse_crash_spec("2,1", "--proc-kill", K::kSigkill);
+  EXPECT_EQ(plain.rank, 2);
+  EXPECT_EQ(plain.stage, 1);
+  EXPECT_EQ(plain.frame, -1);
+  const pvr::ProcCrash framed = tools::parse_crash_spec("0,3@7", "--proc-kill", K::kSigkill);
+  EXPECT_EQ(framed.frame, 7);
+  for (const char* bad : {"2,1@", "2,1@x", "2,1@-1", "2,1@2@3", "2@1", "@2", "2,1,3@1"}) {
+    SCOPED_TRACE(bad);
+    try {
+      (void)tools::parse_crash_spec(bad, "--proc-kill", K::kSigkill);
+      FAIL() << "must reject";
+    } catch (const tools::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("rank,stage[@frame]"), std::string::npos);
+    }
+  }
 }
 
 TEST(RenderCli, NonFamilyFlagsAreLeftAlone) {
@@ -146,7 +185,9 @@ TEST(RenderCli, FamilyFlagsWithoutProcsAreRejected) {
            {"--heartbeat-ms", "10"},
            {"--heartbeat-timeout-ms", "500"},
            {"--proc-kill", "1,1"},
-           {"--proc-stall", "1,1"}}) {
+           {"--proc-stall", "1,1"},
+           {"--frames", "4"},
+           {"--respawn-max", "1"}}) {
     SCOPED_TRACE(argv.front());
     const tools::ProcCli cli = parse_flags(argv);
     EXPECT_THROW(tools::validate_proc_cli(cli, false), tools::ParseError);
@@ -162,6 +203,36 @@ TEST(RenderCli, HeartbeatTimeoutMustExceedInterval) {
 TEST(RenderCli, PlantedCrashRankMustBeInRange) {
   const tools::ProcCli cli = parse_flags({"--procs", "4", "--proc-kill", "4,0"});
   EXPECT_THROW(tools::validate_proc_cli(cli, false), tools::ParseError);
+}
+
+TEST(RenderCli, SequenceOnlyFlagsRequireFrames) {
+  // --respawn-max and @frame qualifiers are meaningless in a single-frame run.
+  const tools::ProcCli respawn = parse_flags({"--procs", "4", "--respawn-max", "1"});
+  EXPECT_THROW(tools::validate_proc_cli(respawn, false), tools::ParseError);
+  const tools::ProcCli framed = parse_flags({"--procs", "4", "--proc-kill", "1,1@0"});
+  EXPECT_THROW(tools::validate_proc_cli(framed, false), tools::ParseError);
+}
+
+TEST(RenderCli, CrashFrameMustBeWithinSequence) {
+  const tools::ProcCli cli =
+      parse_flags({"--procs", "4", "--frames", "3", "--proc-kill", "1,1@3"});
+  EXPECT_THROW(tools::validate_proc_cli(cli, false), tools::ParseError);
+}
+
+TEST(RenderCli, SequenceFlagsLowerOntoSequenceOptions) {
+  const tools::ProcCli cli = parse_flags({"--procs", "4", "--transport", "tcp",
+                                          "--frames", "10", "--respawn-max", "0",
+                                          "--proc-segv", "1,1@2"});
+  tools::validate_proc_cli(cli, false);
+  EXPECT_TRUE(cli.sequence());
+  const pvr::SequenceProcOptions seq = tools::to_sequence_options(cli);
+  EXPECT_EQ(seq.frames, 10);
+  EXPECT_EQ(seq.proc.transport, "tcp");
+  EXPECT_FALSE(seq.proc.crash.has_value()) << "sequence crashes ride in seq.crashes";
+  EXPECT_EQ(seq.respawn.max_respawns_per_rank, 0);
+  ASSERT_EQ(seq.crashes.size(), 1u);
+  EXPECT_EQ(seq.crashes.front().kind, pvr::ProcCrash::Kind::kSigsegv);
+  EXPECT_EQ(seq.crashes.front().frame, 2);
 }
 
 TEST(RenderCli, ValidatedFlagsLowerOntoProcOptions) {

@@ -84,6 +84,8 @@ bool replay_counterexample(const model::Scenario& sc, const model::Counterexampl
   model::ReplaySchedule schedule;
   if (sc.kind == model::Scenario::Kind::kRetransmit) {
     schedule = model::derive_schedule(model::RetransmitModel(sc), cex);
+  } else if (sc.kind == model::Scenario::Kind::kResurrection) {
+    schedule = model::derive_schedule(model::ResurrectionModel(sc), cex);
   } else {
     schedule = model::derive_schedule(model::SupervisionModel(sc), cex);
   }
