@@ -6,6 +6,7 @@
 
 #include "core/bsbrc.hpp"
 #include "core/engine.hpp"
+#include "core/worker_pool.hpp"
 #include "core/order.hpp"
 #include "core/wire.hpp"
 #include "image/kernels.hpp"
@@ -138,9 +139,10 @@ void BM_PackRectPixels(benchmark::State& state) {
 }
 BENCHMARK(BM_PackRectPixels);
 
-// The engine's arena reuse (scratch_pack_buffer) versus a fresh PackBuffer
-// per message — the allocation/zeroing cost every stage of every frame pays
-// without the per-rank scratch arena. Compare against BM_PackReusedArena.
+// The engine's scratch reuse (EngineContext per-worker pack buffer) versus a
+// fresh PackBuffer per message — the allocation/zeroing cost every stage of
+// every frame pays without the per-rank scratch arena. Compare against
+// BM_PackReusedArena.
 void BM_PackFreshBuffer(benchmark::State& state) {
   const img::Image image = test_image(384, 0.5);
   const img::Rect rect{32, 32, 352, 352};
@@ -156,8 +158,9 @@ BENCHMARK(BM_PackFreshBuffer);
 void BM_PackReusedArena(benchmark::State& state) {
   const img::Image image = test_image(384, 0.5);
   const img::Rect rect{32, 32, 352, 352};
+  core::EngineContext engine;
   for (auto _ : state) {
-    img::PackBuffer& buf = core::scratch_pack_buffer();
+    img::PackBuffer& buf = engine.scratch(0).pack;
     buf.clear();  // keeps capacity: no allocation after the first iteration
     core::wire::pack_rect_pixels(image, rect, buf);
     benchmark::DoNotOptimize(buf.bytes().data());

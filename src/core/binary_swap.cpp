@@ -6,9 +6,10 @@ namespace slspvr::core {
 
 Ownership BinarySwapCompositor::composite(mp::Comm& comm, img::Image& image,
                                           const SwapOrder& order,
-                                          Counters& counters) const {
+                                          Counters& counters,
+                                    EngineContext& engine) const {
   return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kFullPixel),
-                        TrackerKind::kNone, comm, image, order, counters);
+                        TrackerKind::kNone, comm, image, order, counters, engine);
 }
 
 

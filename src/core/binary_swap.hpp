@@ -15,8 +15,9 @@ class BinarySwapCompositor final : public Compositor {
  public:
   [[nodiscard]] std::string_view name() const override { return "BS"; }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

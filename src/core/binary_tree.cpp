@@ -7,8 +7,8 @@
 namespace slspvr::core {
 
 Ownership BinaryTreeCompositor::composite(mp::Comm& comm, img::Image& image,
-                                          const SwapOrder& order,
-                                          Counters& counters) const {
+                                          const SwapOrder& order, Counters& counters,
+                                          EngineContext& /*engine*/) const {
   // Initial compression of the whole subimage (counted as encode work).
   std::vector<img::ValueRun> runs = img::value_rle_encode(image.pixels());
   counters.encoded_pixels += image.pixel_count();

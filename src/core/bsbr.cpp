@@ -5,9 +5,10 @@
 namespace slspvr::core {
 
 Ownership BsbrCompositor::composite(mp::Comm& comm, img::Image& image,
-                                    const SwapOrder& order, Counters& counters) const {
+                                    const SwapOrder& order, Counters& counters,
+                                    EngineContext& engine) const {
   return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kBoundingRect),
-                        TrackerKind::kUnion, comm, image, order, counters);
+                        TrackerKind::kUnion, comm, image, order, counters, engine);
 }
 
 

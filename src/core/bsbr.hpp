@@ -16,8 +16,9 @@ class BsbrCompositor final : public Compositor {
  public:
   [[nodiscard]] std::string_view name() const override { return "BSBR"; }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

@@ -5,12 +5,13 @@
 namespace slspvr::core {
 
 Ownership BsbrcCompositor::composite(mp::Comm& comm, img::Image& image,
-                                     const SwapOrder& order, Counters& counters) const {
+                                     const SwapOrder& order, Counters& counters,
+                                    EngineContext& engine) const {
   // Paper method: O(1) rectangle update (algorithm line 21); the tight
   // ablation rescans the kept region each stage for an exact rectangle.
   return plan_composite(binary_swap_plan(comm.size()), codec_for(CodecKind::kRleRect),
                         tight_rescan_ ? TrackerKind::kRescan : TrackerKind::kUnion, comm,
-                        image, order, counters);
+                        image, order, counters, engine);
 }
 
 

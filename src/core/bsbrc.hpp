@@ -25,8 +25,9 @@ class BsbrcCompositor final : public Compositor {
     return tight_rescan_ ? "BSBRC-tight" : "BSBRC";
   }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

@@ -5,14 +5,15 @@
 namespace slspvr::core {
 
 Ownership BslcCompositor::composite(mp::Comm& comm, img::Image& image,
-                                    const SwapOrder& order, Counters& counters) const {
+                                    const SwapOrder& order, Counters& counters,
+                                    EngineContext& engine) const {
   // Interleaved (Figure 6) splits balance non-blank pixels across PEs; the
   // ablation mode degrades to contiguous halves of the progression.
   return plan_composite(
       binary_swap_plan(comm.size(),
                        interleaved_ ? SplitRule::kBalanced : SplitRule::kContiguous),
       codec_for(CodecKind::kInterleavedRle), TrackerKind::kNone, comm, image, order,
-      counters);
+      counters, engine);
 }
 
 

@@ -24,8 +24,9 @@ class BslcCompositor final : public Compositor {
     return interleaved_ ? "BSLC" : "BSLC-noninterleaved";
   }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

@@ -49,29 +49,20 @@ namespace {
 
 // ---- streaming-decode plumbing -------------------------------------------
 
-/// Scratch for sinks that carry no pool (tests and tools calling
-/// decode_*_into directly): one arena per calling thread, like the legacy
-/// thread_local arenas these paths replaced.
-EngineScratch& loose_scratch() {
-  thread_local EngineScratch scratch;
-  return scratch;
-}
-
 EngineScratch& sink_scratch(const DecodeSink& sink, int worker) {
-  return sink.pool != nullptr ? sink.pool->scratch(worker) : loose_scratch();
+  return sink.engine.scratch(worker);
 }
 
-[[nodiscard]] int sink_workers(const DecodeSink& sink) {
-  return sink.pool != nullptr ? sink.pool->workers() : 1;
+[[nodiscard]] int sink_workers(const DecodeSink& sink) { return sink.engine.workers(); }
+
+[[nodiscard]] bool sink_fused(const DecodeSink& sink) {
+  return sink.engine.config().fused_decode;
 }
 
-/// Fan a banded task across the sink's pool, or run it inline without one.
+/// Fan a banded task across the sink's engine pool (a 1-wide pool runs the
+/// task inline on the caller).
 void run_banded(const DecodeSink& sink, const std::function<void(int)>& fn) {
-  if (sink.pool != nullptr) {
-    sink.pool->run(fn);
-  } else {
-    fn(0);
-  }
+  sink.engine.pool().run(fn);
 }
 
 /// Reinterpret a borrowed wire section as `T[count]`, bouncing through
@@ -168,7 +159,7 @@ class FullPixelCodec final : public PayloadCodec {
   }
   img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
                              img::UnpackBuffer& in) const override {
-    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    if (!sink_fused(sink)) return PayloadCodec::decode_rect_into(sink, part, in);
     composite_raw_rect_view(sink, part, in);
     return part;
   }
@@ -193,7 +184,7 @@ class BoundingRectCodec final : public PayloadCodec {
   }
   img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
                              img::UnpackBuffer& in) const override {
-    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    if (!sink_fused(sink)) return PayloadCodec::decode_rect_into(sink, part, in);
     const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
     if (!rect.empty()) composite_raw_rect_view(sink, rect, in);
     return rect;
@@ -220,7 +211,7 @@ class RleRectCodec final : public PayloadCodec {
   }
   img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
                              img::UnpackBuffer& in) const override {
-    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    if (!sink_fused(sink)) return PayloadCodec::decode_rect_into(sink, part, in);
     const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
     if (rect.empty()) return rect;
     EngineScratch& s0 = sink_scratch(sink, 0);
@@ -278,7 +269,7 @@ class SpanRectCodec final : public PayloadCodec {
   }
   img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
                              img::UnpackBuffer& in) const override {
-    if (!fused_decode()) return PayloadCodec::decode_rect_into(sink, part, in);
+    if (!sink_fused(sink)) return PayloadCodec::decode_rect_into(sink, part, in);
     const img::Rect rect = wire::parse_rect(in, sink.image.bounds());
     if (rect.empty()) return rect;
     const wire::SpanView view = wire::parse_spans_view(in, rect, sink_scratch(sink, 0).bounce);
@@ -350,7 +341,7 @@ class InterleavedRleCodec final : public PayloadCodec {
   }
   void decode_range_into(DecodeSink& sink, const img::InterleavedRange& part,
                          img::UnpackBuffer& in) const override {
-    if (!fused_decode()) return PayloadCodec::decode_range_into(sink, part, in);
+    if (!sink_fused(sink)) return PayloadCodec::decode_range_into(sink, part, in);
     EngineScratch& s0 = sink_scratch(sink, 0);
     const wire::RleView view = wire::parse_rle_view(in, part.count, s0.bounce, s0.code_bounce);
     const int nworkers = sink_workers(sink);

@@ -30,17 +30,18 @@ enum class CodecKind {
   kInterleavedRle,  ///< RLE of an interleaved progression, scalar (BSLC)
 };
 
-class WorkerPool;  // core/worker_pool.hpp
+class EngineContext;  // core/worker_pool.hpp
 
 /// Destination context for the streaming decode path (decode_*_into): the
-/// frame to blend into, the blend order, the counters to charge, and an
-/// optional per-rank worker pool for band-parallel blending (null — or a
-/// 1-wide pool — runs inline on the caller).
+/// frame to blend into, the blend order, the counters to charge, and the
+/// per-rank engine context supplying configuration (fused on/off) and the
+/// worker pool + scratch for band-parallel blending (a 1-wide pool runs
+/// inline on the caller).
 struct DecodeSink {
   img::Image& image;
-  bool incoming_in_front = false;
+  bool incoming_in_front;
   Counters& counters;
-  WorkerPool* pool = nullptr;
+  EngineContext& engine;
 };
 
 class PayloadCodec {
@@ -79,13 +80,13 @@ class PayloadCodec {
                             Counters& counters) const;
 
   /// Streaming decode: composite one message straight out of the receive
-  /// buffer (no unpacked intermediate), band-parallel across sink.pool when
-  /// one is provided — row bands for rect codecs, element chunks for scalar
+  /// buffer (no unpacked intermediate), band-parallel across the sink's
+  /// engine pool — row bands for rect codecs, element chunks for scalar
   /// ones. Byte-identical to decode_rect/decode_range by construction (same
   /// per-pixel arithmetic in the same order within every pixel; bands only
   /// repartition who blends which rows). The default delegates to the
-  /// materializing decoders; overrides also fall back to them while
-  /// set_fused_decode(false) is in effect, so the legacy path stays
+  /// materializing decoders; overrides also fall back to them when the
+  /// sink's engine config has fused_decode off, so the legacy path stays
   /// benchmarkable.
   virtual img::Rect decode_rect_into(DecodeSink& sink, const img::Rect& part,
                                      img::UnpackBuffer& in) const;

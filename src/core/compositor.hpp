@@ -14,6 +14,8 @@
 
 namespace slspvr::core {
 
+class EngineContext;  // core/worker_pool.hpp
+
 /// What a rank owns when its compositing phase finishes.
 struct Ownership {
   enum class Kind {
@@ -46,7 +48,11 @@ struct Ownership {
 ///    traffic trace attributes bytes to compositing stages (stage 0 is
 ///    reserved for out-of-phase traffic, e.g. the final gather);
 ///  * respect the front/back decisions in `order`;
-///  * account every over/encode/scan operation in `counters`.
+///  * account every over/encode/scan operation in `counters`;
+///  * take every engine knob (worker fan-out, fused decode, scratch) from
+///    `engine` — there is no process-global engine state, so concurrent
+///    frames in one process are correct as long as each passes its own
+///    context (EngineArena pools per-rank contexts across a session).
 class Compositor {
  public:
   virtual ~Compositor() = default;
@@ -54,7 +60,13 @@ class Compositor {
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   virtual Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                              Counters& counters) const = 0;
+                              Counters& counters, EngineContext& engine) const = 0;
+
+  /// Convenience overload: run with a one-shot default engine context
+  /// (single worker, fused decode) constructed for this call — the
+  /// historical single-thread behaviour, byte-identical by construction.
+  Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                      Counters& counters) const;
 
   /// The method's static communication schedule for `ranks` PEs: the exact
   /// per-rank send/recv/stage program `composite` will execute, with

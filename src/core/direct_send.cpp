@@ -13,13 +13,14 @@ img::Rect DirectSendCompositor::band_of(const img::Rect& bounds, int rank, int r
 
 Ownership DirectSendCompositor::composite(mp::Comm& comm, img::Image& image,
                                           const SwapOrder& order,
-                                          Counters& counters) const {
+                                          Counters& counters,
+                                    EngineContext& engine) const {
   // Sparse clips each outgoing band to the sender's bounding rectangle (one
   // O(A) scan, like BSBR's first stage); full ships whole bands raw.
   return plan_composite(
       direct_send_plan(comm.size()),
       codec_for(sparse_ ? CodecKind::kBoundingRect : CodecKind::kFullPixel),
-      sparse_ ? TrackerKind::kUnion : TrackerKind::kNone, comm, image, order, counters);
+      sparse_ ? TrackerKind::kUnion : TrackerKind::kNone, comm, image, order, counters, engine);
 }
 
 

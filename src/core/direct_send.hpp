@@ -22,8 +22,9 @@ class DirectSendCompositor final : public Compositor {
     return sparse_ ? "DirectSend-sparse" : "DirectSend-full";
   }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

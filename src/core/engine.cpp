@@ -147,25 +147,16 @@ std::int64_t soa_compact_blend(WorkerPool& pool, const img::Pixel* elems,
 
 }  // namespace
 
-img::PackBuffer& scratch_pack_buffer() { return WorkerPool::for_this_rank().scratch(0).pack; }
-
-img::Image& scratch_frame(int width, int height) {
-  img::Image& frame = WorkerPool::for_this_rank().scratch(0).frame;
-  if (frame.width() != width || frame.height() != height) {
-    frame = img::Image(width, height);  // freshly zeroed by construction
-  } else {
-    img::kern::fill_zero(frame.pixels().data(), frame.pixel_count());
-  }
-  return frame;
-}
-
 void set_stage_retention(StageSnapshotSink* sink) noexcept { g_stage_retention = sink; }
 
 StageSnapshotSink* stage_retention() noexcept { return g_stage_retention; }
 
 Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
                          TrackerKind tracker_kind, mp::Comm& comm, img::Image& image,
-                         const SwapOrder& order, Counters& counters) {
+                         const SwapOrder& order, Counters& counters, EngineContext& engine) {
+  // Exclusive hold for the whole stage loop: a second frame passing the
+  // same context fails deterministically instead of racing on scratch.
+  const EngineContext::UseGuard exclusive(engine);
   const int rank = comm.rank();
   if (plan.ranks != comm.size()) {
     throw std::invalid_argument("plan_composite: plan is for " + std::to_string(plan.ranks) +
@@ -184,7 +175,7 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
     throw std::invalid_argument("plan_composite: contiguous splits are scalar-only");
   }
 
-  WorkerPool& pool = WorkerPool::for_this_rank();
+  WorkerPool& pool = engine.pool();
 
   img::Rect region = image.bounds();
   img::InterleavedRange range = img::InterleavedRange::whole(image.pixel_count());
@@ -207,8 +198,8 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
   // ownership descriptor for the final scatter and the returned Ownership.
   // Byte-identical wire bytes, counters and owned pixels — only where
   // intermediates live changes.
-  const bool soa =
-      scalar && plan.front == FrontRule::kSwapBit && fused_decode() && pool.workers() > 1;
+  const bool soa = scalar && plan.front == FrontRule::kSwapBit &&
+                   engine.config().fused_decode && pool.workers() > 1;
   const img::Pixel* elems = image.pixels().data();
   std::int64_t ecount = image.pixel_count();
   std::vector<img::Pixel>* soa_buf = nullptr;  // null = `elems` is the frame
@@ -311,7 +302,7 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
         const bool in_front = order.incoming_in_front(rank, st);
         const auto received = comm.recv(peer, tag);
         img::UnpackBuffer in(received);
-        DecodeSink sink{image, in_front, counters, &pool};
+        DecodeSink sink{image, in_front, counters, engine};
         if (scalar) {
           codec.decode_range_into(sink, sparts[static_cast<std::size_t>(rs.keep)], in);
         } else {
@@ -326,7 +317,7 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
       inbox.reserve(rs.recv_peers.size());
       for (const int peer : rs.recv_peers) inbox.push_back(comm.recv(peer, tag));
 
-      img::Image& result = scratch_frame(image.width(), image.height());
+      img::Image& result = engine.scratch_frame(image.width(), image.height());
       std::size_t composited = 0;
       for (const int contributor : order.front_to_back) {
         if (contributor == rank) {
@@ -344,7 +335,7 @@ Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
         img::UnpackBuffer in(inbox[static_cast<std::size_t>(slot - rs.recv_peers.begin())]);
         // `result` holds everything nearer, so the incoming pixels are
         // behind: local over incoming.
-        DecodeSink sink{result, /*incoming_in_front=*/false, counters, &pool};
+        DecodeSink sink{result, /*incoming_in_front=*/false, counters, engine};
         if (scalar) {
           codec.decode_range_into(sink, sparts[static_cast<std::size_t>(rs.keep)], in);
         } else {

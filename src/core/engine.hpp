@@ -18,30 +18,17 @@
 namespace slspvr::core {
 
 /// Execute `plan` with `codec` payloads. Runs SPMD on every rank, exactly
-/// like Compositor::composite. Requirements:
+/// like Compositor::composite. All engine state — worker fan-out, fused
+/// decode, the send-buffer arena, the depth-order scratch frame — comes
+/// from `engine`, which the loop holds exclusively for the duration of the
+/// call (a second frame passing the same context throws). Requirements:
 ///  * plan.ranks == comm.size();
 ///  * kSwapBit plans pair on rank bit s at stage s (binary swap, tree);
 ///  * kDepthOrder plans need `order.front_to_back` to cover every rank;
 ///  * ring plans are schedule-only and rejected here.
 Ownership plan_composite(const ExchangePlan& plan, const PayloadCodec& codec,
                          TrackerKind tracker_kind, mp::Comm& comm, img::Image& image,
-                         const SwapOrder& order, Counters& counters);
-
-/// The engine's per-rank scratch send buffer: worker 0's arena in the
-/// calling rank's WorkerPool (core/worker_pool.hpp), reused across sends,
-/// stages and frames (clear() keeps the capacity) instead of a fresh
-/// allocation every stage. A rank is no longer necessarily one thread — its
-/// pool may fan bands across workers_per_rank() lanes — but only the rank's
-/// own PE thread walks the stage loop and touches this buffer.
-[[nodiscard]] img::PackBuffer& scratch_pack_buffer();
-
-/// The engine's per-rank scratch frame (worker 0's in the rank's pool): the
-/// depth-order compositing stages accumulate into it instead of allocating
-/// (and zero-initializing) a fresh full-frame buffer every stage. Reuses the
-/// buffer when the dimensions match, blanking it with the vectorized
-/// kern::fill_zero; the engine swaps it with the rank's frame at the end of
-/// the stage, so consecutive stages ping-pong two long-lived allocations.
-[[nodiscard]] img::Image& scratch_frame(int width, int height);
+                         const SwapOrder& order, Counters& counters, EngineContext& engine);
 
 /// Per-stage partial-result retention for mid-frame repair. When a sink is
 /// installed on a PE thread, plan_composite reports the rank's partial

@@ -31,7 +31,8 @@ SwapOrder make_fold_order(int ranks, int axis, const float view_dir[3]) {
 }
 
 Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
-                                    const SwapOrder& order, Counters& counters) const {
+                                    const SwapOrder& order, Counters& counters,
+                                    EngineContext& engine) const {
   const FoldPlan plan = make_fold_plan(comm.size());
   const int rank = comm.rank();
   const bool ascending_front =
@@ -75,7 +76,7 @@ Ownership FoldCompositor::composite(mp::Comm& comm, img::Image& image,
     inner_order.front_to_back[static_cast<std::size_t>(i)] =
         ascending_front ? i : plan.groups - 1 - i;
   }
-  return inner_.composite(sub, image, inner_order, counters);
+  return inner_.composite(sub, image, inner_order, counters, engine);
 }
 
 

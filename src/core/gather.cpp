@@ -3,10 +3,17 @@
 #include <cstdint>
 
 #include "core/wire.hpp"
+#include "core/worker_pool.hpp"
 #include "image/kernels.hpp"
 #include "image/pack.hpp"
 
 namespace slspvr::core {
+
+Ownership Compositor::composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
+                                Counters& counters) const {
+  EngineContext engine;  // single worker, fused decode — the defaults
+  return composite(comm, image, order, counters, engine);
+}
 
 namespace {
 

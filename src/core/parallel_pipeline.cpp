@@ -41,8 +41,8 @@ void place_records(img::Image& buffer, std::span<const PixelRecord> records) {
 }  // namespace
 
 Ownership ParallelPipelineCompositor::composite(mp::Comm& comm, img::Image& image,
-                                                const SwapOrder& order,
-                                                Counters& counters) const {
+                                                const SwapOrder& order, Counters& counters,
+                                                EngineContext& /*engine*/) const {
   const int ranks = comm.size();
   const int rank = comm.rank();
   if (ranks == 1) return Ownership::full_rect(image.bounds());

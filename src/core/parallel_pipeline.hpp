@@ -26,8 +26,9 @@ class ParallelPipelineCompositor final : public Compositor {
  public:
   [[nodiscard]] std::string_view name() const override { return "Pipeline-DPF"; }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 };

@@ -18,9 +18,10 @@ ExchangePlan PlanCompositor::plan_for(int ranks) const {
 }
 
 Ownership PlanCompositor::composite(mp::Comm& comm, img::Image& image,
-                                    const SwapOrder& order, Counters& counters) const {
+                                    const SwapOrder& order, Counters& counters,
+                                    EngineContext& engine) const {
   return plan_composite(plan_for(comm.size()), codec_for(codec_), tracker_, comm, image,
-                        order, counters);
+                        order, counters, engine);
 }
 
 check::CommSchedule PlanCompositor::schedule(int ranks) const {

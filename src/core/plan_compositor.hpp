@@ -32,8 +32,9 @@ class PlanCompositor final : public Compositor {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
 
+  using Compositor::composite;
   Ownership composite(mp::Comm& comm, img::Image& image, const SwapOrder& order,
-                      Counters& counters) const override;
+                      Counters& counters, EngineContext& engine) const override;
 
   [[nodiscard]] check::CommSchedule schedule(int ranks) const override;
 

@@ -1,29 +1,10 @@
 #include "core/worker_pool.hpp"
 
-#include <atomic>
+#include <stdexcept>
+
+#include "image/kernels.hpp"
 
 namespace slspvr::core {
-
-namespace {
-
-std::atomic<int> g_workers_per_rank{1};
-std::atomic<bool> g_fused_decode{true};
-
-}  // namespace
-
-int workers_per_rank() noexcept {
-  return g_workers_per_rank.load(std::memory_order_relaxed);
-}
-
-void set_workers_per_rank(int workers) noexcept {
-  g_workers_per_rank.store(workers < 1 ? 1 : workers, std::memory_order_relaxed);
-}
-
-bool fused_decode() noexcept { return g_fused_decode.load(std::memory_order_relaxed); }
-
-void set_fused_decode(bool on) noexcept {
-  g_fused_decode.store(on, std::memory_order_relaxed);
-}
 
 ChunkBounds chunk_bounds(std::int64_t n, int parts, int j) noexcept {
   const std::int64_t p = parts;
@@ -97,14 +78,88 @@ void WorkerPool::worker_loop(int index) {
   }
 }
 
-WorkerPool& WorkerPool::for_this_rank() {
-  thread_local std::unique_ptr<WorkerPool> pool;
-  const int want = workers_per_rank();
-  if (pool == nullptr || pool->workers() != want) {
-    pool.reset();  // join the old helpers before spawning the new set
-    pool = std::make_unique<WorkerPool>(want);
+img::Image& EngineContext::scratch_frame(int width, int height) {
+  img::Image& frame = pool_.scratch(0).frame;
+  if (frame.width() != width || frame.height() != height) {
+    frame = img::Image(width, height);  // freshly zeroed by construction
+  } else {
+    img::kern::fill_zero(frame.pixels().data(), frame.pixel_count());
   }
-  return *pool;
+  return frame;
 }
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+/// Release a vector outright when its capacity exceeds `budget` elements —
+/// the "reset" arm of the shrink-or-reset policy (it regrows on demand).
+template <typename T>
+void reset_if_over(std::vector<T>& v, std::int64_t budget) {
+  if (static_cast<std::int64_t>(v.capacity()) > budget) {
+    v = std::vector<T>();
+  }
+}
+
+}  // namespace
+
+std::size_t EngineContext::scratch_bytes() const noexcept {
+  std::size_t total = 0;
+  // scratch() is non-const only because callers mutate the buffers; the
+  // accounting walk is read-only.
+  auto& pool = const_cast<WorkerPool&>(pool_);
+  for (int w = 0; w < pool_.workers(); ++w) {
+    const EngineScratch& s = pool.scratch(w);
+    total += s.pack.capacity();
+    total += static_cast<std::size_t>(s.frame.pixel_count()) * sizeof(img::Pixel);
+    total += vec_bytes(s.staging) + vec_bytes(s.staging2) + vec_bytes(s.bounce);
+    total += vec_bytes(s.code_bounce);
+    total += vec_bytes(s.soa_a) + vec_bytes(s.soa_b);
+  }
+  return total;
+}
+
+void EngineContext::trim(std::int64_t max_pixels) {
+  if (max_pixels < 0) throw std::invalid_argument("EngineContext::trim: negative budget");
+  // The budgets are steady-state caps, not worst-case bounds: capacity is
+  // never a correctness matter (every buffer regrows on demand), so trim
+  // sizes the pool for the *typical* frame at `max_pixels` and lets a
+  // pathological frame (worst-case-dense RLE, a whole-frame message) pay one
+  // regrow. Worst-case budgets would defeat the audit — a frame 4x larger
+  // than the budget still fits inside the smaller frame's worst case, and
+  // the pool would keep reporting the big frame's buffers forever.
+  //
+  //  * pack: raw pixels are 16 B; RLE output above ~8 B/px of the whole
+  //    frame means the arena was sized by a larger (or pathological) frame.
+  //  * per-message buffers (staging, bounce, codes, SoA ping-pong): one
+  //    exchange carries at most a region, and regions are at most half the
+  //    frame whenever there are >= 2 ranks.
+  const std::int64_t pack_budget = max_pixels * 8 + 64;
+  const std::int64_t message_budget = max_pixels / 2 + 64;
+  for (int w = 0; w < pool_.workers(); ++w) {
+    EngineScratch& s = pool_.scratch(w);
+    if (static_cast<std::int64_t>(s.pack.capacity()) > pack_budget) s.pack.reset();
+    if (s.frame.pixel_count() > max_pixels) s.frame = img::Image();
+    reset_if_over(s.staging, message_budget);
+    reset_if_over(s.staging2, message_budget);
+    reset_if_over(s.bounce, message_budget);
+    reset_if_over(s.code_bounce, message_budget);
+    reset_if_over(s.soa_a, message_budget);
+    reset_if_over(s.soa_b, message_budget);
+  }
+}
+
+EngineContext::UseGuard::UseGuard(EngineContext& ctx) : ctx_(ctx) {
+  if (ctx_.in_use_.exchange(true, std::memory_order_acquire)) {
+    throw std::logic_error(
+        "EngineContext: already in use — two frames may not share one engine "
+        "context concurrently (give each frame its own, e.g. via EngineArena)");
+  }
+}
+
+EngineContext::UseGuard::~UseGuard() { ctx_.in_use_.store(false, std::memory_order_release); }
 
 }  // namespace slspvr::core

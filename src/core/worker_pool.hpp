@@ -1,18 +1,28 @@
-// Per-rank worker pool: intra-rank tile/row parallelism for the engine.
+// Per-rank engine context: explicit configuration + worker pool + scratch.
 //
 // A rank used to be exactly one thread, and the engine's scratch arenas were
-// thread_local on the strength of that invariant. The tile-parallel engine
-// replaces it: each rank owns a WorkerPool of `workers_per_rank()` workers
-// (the rank's own PE thread acts as worker 0; the pool spawns the rest) and
-// every band-parallel step — streaming decode, blending, compaction — fans
-// out across them. Scratch is therefore *explicit*: one EngineScratch per
-// worker, owned by the pool, handed out by index. workers_per_rank() == 1
-// (the default) spawns no threads and runs every task inline, byte- and
-// schedule-identical to the historical single-thread engine; larger counts
-// only change who executes which rows, never the arithmetic or its order
-// within a pixel, so frames stay byte-identical for any worker count.
+// thread_local on the strength of that invariant; the tile-parallel engine
+// then kept its knobs (workers-per-rank, fused decode) in process globals.
+// Both break down the moment two frames composite concurrently in one
+// process — the frames race on configuration and share scratch. This header
+// replaces them with explicit state:
+//
+//  * EngineConfig — the per-frame engine knobs, plain data, no globals;
+//  * EngineContext — one rank's engine instance: the config, a WorkerPool
+//    sized to it, and one EngineScratch per worker. plan_composite takes a
+//    context and guards it against concurrent use, so two frames sharing a
+//    context is a hard error instead of a data race;
+//  * EngineArena — a pool of per-rank contexts reused across the frames of
+//    one session (scratch capacity survives between frames; trim() bounds
+//    the carryover when frame sizes shrink).
+//
+// workers_per_rank == 1 (the default) spawns no threads and runs every task
+// inline, byte- and schedule-identical to the historical single-thread
+// engine; larger counts only change who executes which rows, never the
+// arithmetic or its order within a pixel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -67,12 +77,6 @@ class WorkerPool {
     return scratch_[static_cast<std::size_t>(worker)];
   }
 
-  /// The calling PE thread's pool, sized to the current workers_per_rank()
-  /// setting (recreated when the setting changes between frames). Each rank
-  /// thread of a run gets its own pool; the pool and its scratch die with
-  /// the thread.
-  [[nodiscard]] static WorkerPool& for_this_rank();
-
  private:
   void worker_loop(int index);
 
@@ -88,18 +92,110 @@ class WorkerPool {
   bool stop_ = false;
 };
 
-/// Process-global intra-rank worker count (default 1 = the historical
-/// one-thread-per-rank engine). Read by plan_composite at each frame; set
-/// before the run (the multi-process backend inherits it across fork, and
-/// ProcOptions::workers_per_rank pins it explicitly in each worker).
-[[nodiscard]] int workers_per_rank() noexcept;
-void set_workers_per_rank(int workers) noexcept;
+/// Per-frame engine knobs, threaded explicitly from the caller down through
+/// plan_composite and the codec DecodeSink — never read from process state.
+struct EngineConfig {
+  /// Intra-rank worker lanes (1 = the historical one-thread-per-rank
+  /// engine; values < 1 are clamped to 1 by EngineContext).
+  int workers_per_rank = 1;
+  /// Fused decode→composite streaming path (default on). Off restores the
+  /// historical unpack-then-blend decode — byte-identical output either
+  /// way; slspvr-perf benches both.
+  bool fused_decode = true;
+};
 
-/// Process-global toggle for the fused decode→composite streaming path
-/// (default on). Off restores the historical unpack-then-blend decode —
-/// byte-identical output either way; slspvr-perf benches both.
-[[nodiscard]] bool fused_decode() noexcept;
-void set_fused_decode(bool on) noexcept;
+/// One rank's engine instance: immutable config, a WorkerPool sized to it,
+/// and the per-worker scratch the pool owns. Exactly one frame may use a
+/// context at a time — plan_composite acquires the context for the duration
+/// of the stage loop and throws if it is already held, so the concurrency
+/// bug the old process globals allowed is a deterministic error now.
+class EngineContext {
+ public:
+  explicit EngineContext(const EngineConfig& config = {})
+      : config_{config.workers_per_rank < 1 ? 1 : config.workers_per_rank,
+                config.fused_decode},
+        pool_(config_.workers_per_rank) {}
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] WorkerPool& pool() noexcept { return pool_; }
+  [[nodiscard]] int workers() const noexcept { return config_.workers_per_rank; }
+  [[nodiscard]] EngineScratch& scratch(int worker) { return pool_.scratch(worker); }
+
+  /// The rank's depth-order scratch frame (worker 0's arena): reused when
+  /// the dimensions match (blanked with the vectorized fill), reallocated
+  /// otherwise. The engine swaps it with the rank's frame at stage end, so
+  /// consecutive stages ping-pong two long-lived allocations.
+  [[nodiscard]] img::Image& scratch_frame(int width, int height);
+
+  /// Bytes currently held across every worker's scratch buffers (capacity,
+  /// not size) — what a session's arena accounting reports.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept;
+
+  /// Shrink-or-reset: release any scratch buffer whose capacity exceeds
+  /// what a `max_pixels`-pixel frame can need; smaller buffers are kept.
+  /// Sessions call this when their frame size shrinks, so a 768² frame's
+  /// arenas are not carried (and reported) under a 384² workload.
+  void trim(std::int64_t max_pixels);
+
+  /// Scoped exclusive use. Throws std::logic_error if the context is
+  /// already held by another frame — the assert-no-concurrent-use guard.
+  class UseGuard {
+   public:
+    explicit UseGuard(EngineContext& ctx);
+    ~UseGuard();
+    UseGuard(const UseGuard&) = delete;
+    UseGuard& operator=(const UseGuard&) = delete;
+
+   private:
+    EngineContext& ctx_;
+  };
+
+ private:
+  EngineConfig config_;
+  WorkerPool pool_;
+  std::atomic<bool> in_use_{false};
+};
+
+/// A session's pool of per-rank engine contexts, reused frame to frame so
+/// scratch capacity amortizes across a frame sequence. Grow with require()
+/// on the submitting thread *before* rank threads spawn; rank r then draws
+/// context(r) with no synchronization.
+class EngineArena {
+ public:
+  explicit EngineArena(const EngineConfig& config = {}, int ranks = 0) : config_(config) {
+    require(ranks);
+  }
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(contexts_.size()); }
+
+  /// Ensure at least `ranks` contexts exist (existing ones are kept).
+  void require(int ranks) {
+    while (static_cast<int>(contexts_.size()) < ranks) {
+      contexts_.push_back(std::make_unique<EngineContext>(config_));
+    }
+  }
+
+  [[nodiscard]] EngineContext& context(int rank) {
+    return *contexts_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& ctx : contexts_) total += ctx->scratch_bytes();
+    return total;
+  }
+
+  void trim(std::int64_t max_pixels) {
+    for (const auto& ctx : contexts_) ctx->trim(max_pixels);
+  }
+
+ private:
+  EngineConfig config_;
+  std::vector<std::unique_ptr<EngineContext>> contexts_;
+};
 
 /// Ceil-partition [0, n) into `parts` blocks; block j is [first, last).
 struct ChunkBounds {

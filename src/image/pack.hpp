@@ -41,7 +41,12 @@ class PackBuffer {
 
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
   void clear() noexcept { data_.clear(); }
+  /// Release the backing storage entirely (clear() keeps the capacity) —
+  /// the arena shrink policy uses this when a frame-size drop makes the
+  /// held capacity dead weight.
+  void reset() noexcept { data_ = std::vector<std::byte>(); }
   void reserve(std::size_t n) { data_.reserve(n); }
 
  private:

@@ -12,7 +12,8 @@ std::string make_row(const std::string& dataset, int image_size, int ranks,
                      const MethodResult& result, const mp::RetryStats& retry, int respawns,
                      std::uint64_t stale_rejects) {
   std::ostringstream row;
-  row << dataset << ',' << image_size << ',' << ranks << ',' << result.method << ','
+  row << csv_field(dataset) << ',' << image_size << ',' << ranks << ','
+      << csv_field(result.method) << ','
       << result.times.comp_ms << ',' << result.times.comm_ms << ','
       << result.times.total_ms() << ',' << result.timeline.makespan_ms << ','
       << result.timeline.max_wait_ms << ',' << result.m_max << ',' << result.wall_ms << ','
@@ -22,6 +23,22 @@ std::string make_row(const std::string& dataset, int image_size, int ranks,
 }
 
 }  // namespace
+
+std::string csv_field(const std::string& value) {
+  // RFC 4180: quote only when the field contains a comma, a double quote, or
+  // a line break; embedded quotes double. Everything else passes through
+  // verbatim so existing plain rows stay byte-identical.
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted.push_back('"');
+  for (const char c : value) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
 
 void CsvWriter::add(const std::string& dataset, int image_size, int ranks,
                     const MethodResult& result) {

@@ -9,6 +9,11 @@
 
 namespace slspvr::pvr {
 
+/// RFC 4180 field escaping: fields containing a comma, double quote or line
+/// break are wrapped in double quotes with embedded quotes doubled; all
+/// other fields are returned verbatim.
+[[nodiscard]] std::string csv_field(const std::string& value);
+
 /// Accumulates MethodResult rows and writes one CSV file. Columns:
 /// dataset,image,ranks,method,comp_ms,comm_ms,total_ms,timeline_ms,
 /// wait_ms,m_max_bytes,wall_ms,naks,retransmits,healed_bytes,respawns,

@@ -90,8 +90,11 @@ img::Image Experiment::reference() const {
 
 MethodResult run_compositing(const core::Compositor& method,
                              const std::vector<img::Image>& subimages,
-                             const core::SwapOrder& order, const core::CostModel& model) {
-  Attempt attempt = run_attempt(method, subimages, order, model, {});
+                             const core::SwapOrder& order, const core::CostModel& model,
+                             const core::EngineConfig& engine, core::EngineArena* arena) {
+  core::EngineArena local_arena(engine);
+  if (arena == nullptr) arena = &local_arena;
+  Attempt attempt = run_attempt(method, subimages, order, model, {}, nullptr, arena);
   // Preserve the historical contract: a rank failure in the plain entry
   // point rethrows the original (primary) exception after the join.
   for (const mp::RankFailure& f : attempt.failures) {
@@ -139,8 +142,11 @@ std::string FaultReport::summary() const {
 FtMethodResult run_compositing_ft(const core::Compositor& method,
                                   const std::vector<img::Image>& subimages,
                                   const core::SwapOrder& order, const mp::FaultPlan& faults,
-                                  const core::CostModel& model) {
+                                  const core::CostModel& model,
+                                  const core::EngineConfig& engine, core::EngineArena* arena) {
   const int ranks = static_cast<int>(subimages.size());
+  core::EngineArena local_arena(engine);
+  if (arena == nullptr) arena = &local_arena;
   FtMethodResult out;
 
   mp::FaultInjector injector(faults);
@@ -154,7 +160,7 @@ FtMethodResult run_compositing_ft(const core::Compositor& method,
   // clean path keeps its zero-copy fast path.
   SnapshotStore store(ranks);
   SnapshotStore* retain = faults.empty() ? nullptr : &store;
-  Attempt first = run_attempt(method, subimages, order, model, opts, retain);
+  Attempt first = run_attempt(method, subimages, order, model, opts, retain, arena);
   out.report.retry_stats += first.retry_stats;
   if (first.failures.empty()) {
     out.result = std::move(first.result);
@@ -168,7 +174,7 @@ FtMethodResult run_compositing_ft(const core::Compositor& method,
     if (f.primary) failed[static_cast<std::size_t>(f.rank)] = true;
   }
   return recover_frame(method, subimages, order, model, store, std::move(failed),
-                       std::move(out.report));
+                       std::move(out.report), arena);
 }
 
 FtMethodResult Experiment::run_ft(const core::Compositor& method,
@@ -176,14 +182,15 @@ FtMethodResult Experiment::run_ft(const core::Compositor& method,
   const core::FoldCompositor folded(method);
   const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
                                                : &method;
-  return run_compositing_ft(*compositor, subimages_, order_, faults, config_.cost_model);
+  return run_compositing_ft(*compositor, subimages_, order_, faults, config_.cost_model,
+                            config_.engine);
 }
 
 MethodResult Experiment::run(const core::Compositor& method) const {
   const core::FoldCompositor folded(method);
   const core::Compositor* compositor = folded_ ? static_cast<const core::Compositor*>(&folded)
                                                : &method;
-  return run_compositing(*compositor, subimages_, order_, config_.cost_model);
+  return run_compositing(*compositor, subimages_, order_, config_.cost_model, config_.engine);
 }
 
 std::vector<std::unique_ptr<core::Compositor>> MethodSet::paper_methods() {

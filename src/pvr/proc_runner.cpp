@@ -140,9 +140,10 @@ int worker_main(int rank, const mp::Endpoint& endpoint, const core::Compositor& 
     };
     sock->start();
 
-    // Pin the intra-rank worker count before the engine builds its pool
-    // (0 = keep the fork-inherited process-global from --workers-per-rank).
-    if (opts.workers_per_rank > 0) core::set_workers_per_rank(opts.workers_per_rank);
+    // This process IS one rank: one explicit engine context for its frame.
+    core::EngineConfig econfig;
+    if (opts.workers_per_rank > 0) econfig.workers_per_rank = opts.workers_per_rank;
+    core::EngineContext engine(econfig);
 
     SnapshotStore store(ranks);
     mp::Comm comm(&ctx, rank);
@@ -152,7 +153,7 @@ int worker_main(int rank, const mp::Endpoint& endpoint, const core::Compositor& 
     try {
       const RetentionGuard retention(&store);
       const auto t0 = std::chrono::steady_clock::now();
-      const core::Ownership owned = method.composite(comm, local, order, counters);
+      const core::Ownership owned = method.composite(comm, local, order, counters, engine);
       img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
       const double wall_ms =
           std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
@@ -407,7 +408,11 @@ int sequence_worker_main(int rank, std::uint32_t generation, const mp::Endpoint&
     mp::SocketTransport sock(/*ctx=*/nullptr, rank, std::move(link), std::move(topts));
     sock.start();
 
-    if (opts.proc.workers_per_rank > 0) core::set_workers_per_rank(opts.proc.workers_per_rank);
+    // One explicit engine context for this rank, reused across the whole
+    // frame sequence — scratch warms up on frame 0 and stays hot.
+    core::EngineConfig econfig;
+    if (opts.proc.workers_per_rank > 0) econfig.workers_per_rank = opts.proc.workers_per_rank;
+    core::EngineContext engine(econfig);
 
     const int ranks = base.ranks;
     const core::FoldCompositor folded_method(method);
@@ -455,7 +460,8 @@ int sequence_worker_main(int rank, std::uint32_t generation, const mp::Endpoint&
         const core::Compositor& frame_method =
             geom.folded ? static_cast<const core::Compositor&>(folded_method) : method;
         const auto t0 = std::chrono::steady_clock::now();
-        const core::Ownership owned = frame_method.composite(comm, local, geom.order, counters);
+        const core::Ownership owned =
+            frame_method.composite(comm, local, geom.order, counters, engine);
         img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
         const double wall_ms =
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)

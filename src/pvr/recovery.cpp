@@ -38,12 +38,19 @@ const SnapshotStore::Snap* SnapshotStore::at_stage(int rank, int stage) const {
 
 Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image>& subimages,
                     const core::SwapOrder& order, const core::CostModel& model,
-                    const mp::RunOptions& opts, SnapshotStore* store) {
+                    const mp::RunOptions& opts, SnapshotStore* store,
+                    core::EngineArena* arena) {
   const int ranks = static_cast<int>(subimages.size());
   Attempt attempt;
   MethodResult& result = attempt.result;
   result.method = std::string(method.name());
   result.per_rank.assign(static_cast<std::size_t>(ranks), core::Counters{});
+
+  // Per-rank engine contexts, grown on this thread before the rank threads
+  // spawn so context(r) below needs no synchronization.
+  core::EngineArena local_arena;
+  core::EngineArena& engines = arena != nullptr ? *arena : local_arena;
+  engines.require(ranks);
 
   img::Image final_image;
   std::mutex final_mutex;
@@ -54,7 +61,8 @@ Attempt run_attempt(const core::Compositor& method, const std::vector<img::Image
     const int rank = comm.rank();
     img::Image local = subimages[static_cast<std::size_t>(rank)];  // methods mutate
     core::Counters& counters = result.per_rank[static_cast<std::size_t>(rank)];
-    const core::Ownership owned = method.composite(comm, local, order, counters);
+    const core::Ownership owned =
+        method.composite(comm, local, order, counters, engines.context(rank));
     img::Image gathered = core::gather_final(comm, local, owned, /*root=*/0);
     if (rank == 0) {
       const std::lock_guard lock(final_mutex);
@@ -125,10 +133,13 @@ class RepairCompositor final : public core::Compositor {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
 
+  using core::Compositor::composite;
   core::Ownership composite(mp::Comm& comm, img::Image& image, const core::SwapOrder& order,
-                            core::Counters& counters) const override {
+                            core::Counters& counters,
+                            core::EngineContext& engine) const override {
     return core::plan_composite(plan_, core::codec_for(core::CodecKind::kRleRect),
-                                core::TrackerKind::kUnion, comm, image, order, counters);
+                                core::TrackerKind::kUnion, comm, image, order, counters,
+                                engine);
   }
 
   [[nodiscard]] check::CommSchedule schedule(int /*ranks*/) const override {
@@ -179,7 +190,7 @@ FtMethodResult recover_frame(const core::Compositor& method,
                              const std::vector<img::Image>& subimages,
                              const core::SwapOrder& order, const core::CostModel& model,
                              const SnapshotStore& store, std::vector<bool> failed,
-                             FaultReport report) {
+                             FaultReport report, core::EngineArena* arena) {
   const int ranks = static_cast<int>(subimages.size());
   FtMethodResult out;
   out.report = std::move(report);
@@ -286,7 +297,8 @@ FtMethodResult recover_frame(const core::Compositor& method,
     const RepairCompositor repair(*base_plan, epoch, survivors,
                                   std::string(method.name()) + "-repair");
     ++out.report.retries;
-    Attempt resumed = run_attempt(repair, resume_subs, resume_order, model, {});
+    Attempt resumed =
+        run_attempt(repair, resume_subs, resume_order, model, {}, nullptr, arena);
     out.report.retry_stats += resumed.retry_stats;
     if (!resumed.failures.empty()) {
       absorb(resumed.failures, survivors_depth, out.report.retries);
@@ -345,7 +357,8 @@ FtMethodResult recover_frame(const core::Compositor& method,
     // re-applying rank-keyed rules to the renumbered survivors would be
     // meaningless. A retry can still fail (it reuses the full stack), in
     // which case its primary ranks are folded out too.
-    Attempt retry = run_attempt(folded, degraded_subs, degraded_order, model, {});
+    Attempt retry =
+        run_attempt(folded, degraded_subs, degraded_order, model, {}, nullptr, arena);
     if (retry.failures.empty()) {
       out.report.degraded = true;
       out.result = std::move(retry.result);

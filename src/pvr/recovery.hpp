@@ -26,6 +26,7 @@
 #include "core/compositor.hpp"
 #include "core/cost_model.hpp"
 #include "core/engine.hpp"
+#include "core/worker_pool.hpp"
 #include "mp/runtime.hpp"
 #include "pvr/experiment.hpp"
 
@@ -87,22 +88,29 @@ struct Attempt {
 /// MethodResult is partial (no final image, partial counters) — callers
 /// either rethrow or fold the failed ranks out and retry. With a non-null
 /// `store`, every rank retains per-stage partials for mid-frame repair.
+/// Rank r composites with `arena->context(r)`; a null arena gets a one-shot
+/// default arena (single worker, fused decode) for this attempt. The arena
+/// is grown on the calling thread before any rank thread spawns.
 [[nodiscard]] Attempt run_attempt(const core::Compositor& method,
                                   const std::vector<img::Image>& subimages,
                                   const core::SwapOrder& order, const core::CostModel& model,
-                                  const mp::RunOptions& opts, SnapshotStore* store = nullptr);
+                                  const mp::RunOptions& opts, SnapshotStore* store = nullptr,
+                                  core::EngineArena* arena = nullptr);
 
 /// Finish a faulted frame from the survivors: mid-frame plan repair when
 /// possible, degraded fold-out recomposition otherwise. `failed` marks the
 /// original ranks lost in the faulted attempt; `report` arrives seeded with
 /// that attempt's events/retry stats (faulted = true) and is completed with
 /// retries, failed_ranks, pixels_lost and the resume/degrade verdict.
-/// Always runs in-process (threads) over the caller's subimages.
+/// Always runs in-process (threads) over the caller's subimages. Recovery
+/// rounds draw per-rank engine contexts from `arena` when one is supplied
+/// (survivor rank i uses context i), else from per-round default arenas.
 [[nodiscard]] FtMethodResult recover_frame(const core::Compositor& method,
                                            const std::vector<img::Image>& subimages,
                                            const core::SwapOrder& order,
                                            const core::CostModel& model,
                                            const SnapshotStore& store,
-                                           std::vector<bool> failed, FaultReport report);
+                                           std::vector<bool> failed, FaultReport report,
+                                           core::EngineArena* arena = nullptr);
 
 }  // namespace slspvr::pvr

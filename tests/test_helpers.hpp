@@ -13,6 +13,7 @@
 #include "core/cost_model.hpp"
 #include "core/order.hpp"
 #include "core/reference.hpp"
+#include "core/worker_pool.hpp"
 #include "mp/runtime.hpp"
 #include "pvr/synthetic.hpp"
 
@@ -56,18 +57,23 @@ struct SpmdResult {
   mp::RunResult run;
 };
 
-/// Execute `method` SPMD over `subimages` and gather at rank 0.
+/// Execute `method` SPMD over `subimages` and gather at rank 0. `engine`
+/// carries the per-rank engine knobs (workers, fused decode); each rank
+/// composites with its own context from a run-local arena.
 inline SpmdResult run_method(const core::Compositor& method,
                              const std::vector<img::Image>& subimages,
-                             const core::SwapOrder& order) {
+                             const core::SwapOrder& order,
+                             const core::EngineConfig& engine = {}) {
   const int ranks = static_cast<int>(subimages.size());
   std::vector<core::Counters> per_rank(static_cast<std::size_t>(ranks));
   std::vector<core::Ownership> ownerships(static_cast<std::size_t>(ranks));
+  core::EngineArena arena(engine, ranks);
   img::Image final_image;
   auto run = mp::Runtime::run(ranks, [&](mp::Comm& comm) {
     img::Image local = subimages[static_cast<std::size_t>(comm.rank())];
-    const core::Ownership owned = method.composite(
-        comm, local, order, per_rank[static_cast<std::size_t>(comm.rank())]);
+    const core::Ownership owned =
+        method.composite(comm, local, order, per_rank[static_cast<std::size_t>(comm.rank())],
+                         arena.context(comm.rank()));
     ownerships[static_cast<std::size_t>(comm.rank())] = owned;
     img::Image gathered = core::gather_final(comm, local, owned, 0);
     if (comm.rank() == 0) final_image = std::move(gathered);

@@ -2,8 +2,10 @@
 // blend straight out of the receive buffer and promise *byte*-identical
 // frames and identical counters to the legacy unpack-then-blend decoders —
 // for every codec, every part width (including empty and the 0..33 sweep
-// that crosses every vector-kernel remainder case), any worker-pool fan-out,
-// and RLE runs that straddle both kMaxRun escape chains and band boundaries.
+// that crosses every vector-kernel remainder case), any worker fan-out, and
+// RLE runs that straddle both kMaxRun escape chains and band boundaries.
+// Engine knobs (workers-per-rank, fused decode) are explicit EngineContext
+// state here — there are no process globals to twiddle or restore.
 // The suite closes with whole-frame identity of the tile-parallel engine:
 // every paper method at P ∈ {2,4,8} must gather the same bytes for
 // workers-per-rank ∈ {1,2,3}, fused or legacy decode.
@@ -36,15 +38,12 @@ using slspvr::testing::run_method;
 
 namespace {
 
-/// RAII restore of the process-global engine knobs this suite twiddles.
-struct EngineKnobs {
-  int workers = core::workers_per_rank();
-  bool fused = core::fused_decode();
-  ~EngineKnobs() {
-    core::set_workers_per_rank(workers);
-    core::set_fused_decode(fused);
-  }
-};
+core::EngineConfig engine_config(int workers, bool fused) {
+  core::EngineConfig config;
+  config.workers_per_rank = workers;
+  config.fused_decode = fused;
+  return config;
+}
 
 /// Byte-exact frame comparison (the fused paths promise identity, not
 /// tolerance), with a first-differing-pixel report on failure.
@@ -68,9 +67,9 @@ void expect_bytes_identical(const img::Image& got, const img::Image& want) {
 
 /// Encode `part` of a random source, then decode it twice into copies of the
 /// same random destination — legacy decode_rect vs streaming
-/// decode_rect_into — and require identical bytes, covered rect, and
-/// counters.
-void check_rect_codec_identity(core::CodecKind kind, int width, core::WorkerPool* pool,
+/// decode_rect_into through `engine` — and require identical bytes, covered
+/// rect, and counters.
+void check_rect_codec_identity(core::CodecKind kind, int width, core::EngineContext& engine,
                                bool in_front) {
   constexpr int kHeight = 7;
   const auto seed = static_cast<std::uint32_t>(100 * static_cast<int>(kind) + width);
@@ -92,7 +91,7 @@ void check_rect_codec_identity(core::CodecKind kind, int width, core::WorkerPool
   img::Image fused = base;
   core::Counters fused_counters;
   img::UnpackBuffer fused_in(buf.bytes());
-  core::DecodeSink sink{fused, in_front, fused_counters, pool};
+  core::DecodeSink sink{fused, in_front, fused_counters, engine};
   const img::Rect fused_rect = codec.decode_rect_into(sink, part, fused_in);
 
   EXPECT_EQ(fused_rect, legacy_rect);
@@ -103,7 +102,7 @@ void check_rect_codec_identity(core::CodecKind kind, int width, core::WorkerPool
 /// The scalar-codec twin: an interleaved progression of `count` elements at
 /// `stride` through a shared source/destination pair.
 void check_scalar_codec_identity(std::int64_t count, std::int64_t stride,
-                                 core::WorkerPool* pool, bool in_front) {
+                                 core::EngineContext& engine, bool in_front) {
   const auto seed = static_cast<std::uint32_t>(17 * count + stride);
   const img::Image source = pvr::random_subimage(16, 12, 0.45, 31 + seed);
   const img::Image base = pvr::random_subimage(16, 12, 0.60, 500 + seed);
@@ -123,7 +122,7 @@ void check_scalar_codec_identity(std::int64_t count, std::int64_t stride,
   img::Image fused = base;
   core::Counters fused_counters;
   img::UnpackBuffer fused_in(buf.bytes());
-  core::DecodeSink sink{fused, in_front, fused_counters, pool};
+  core::DecodeSink sink{fused, in_front, fused_counters, engine};
   codec.decode_range_into(sink, part, fused_in);
 
   expect_bytes_identical(fused, legacy);
@@ -150,9 +149,8 @@ img::Image long_run_image(int width, int height, int blank_rows, int solid_rows)
 }  // namespace
 
 TEST(StreamingDecode, RectCodecsMatchLegacyAtEveryWidth) {
-  EngineKnobs knobs;
-  core::set_fused_decode(true);
-  core::WorkerPool pool(3);
+  core::EngineContext single(engine_config(1, true));
+  core::EngineContext banded(engine_config(3, true));
   for (const core::CodecKind kind :
        {core::CodecKind::kFullPixel, core::CodecKind::kBoundingRect,
         core::CodecKind::kRleRect, core::CodecKind::kSpanRect}) {
@@ -160,24 +158,23 @@ TEST(StreamingDecode, RectCodecsMatchLegacyAtEveryWidth) {
       for (const bool in_front : {false, true}) {
         SCOPED_TRACE(std::string(core::codec_name(kind)) + " width " +
                      std::to_string(width) + (in_front ? " front" : " back"));
-        check_rect_codec_identity(kind, width, nullptr, in_front);
-        check_rect_codec_identity(kind, width, &pool, in_front);
+        check_rect_codec_identity(kind, width, single, in_front);
+        check_rect_codec_identity(kind, width, banded, in_front);
       }
     }
   }
 }
 
 TEST(StreamingDecode, ScalarCodecMatchesLegacyAtEveryLength) {
-  EngineKnobs knobs;
-  core::set_fused_decode(true);
-  core::WorkerPool pool(3);
+  core::EngineContext single(engine_config(1, true));
+  core::EngineContext banded(engine_config(3, true));
   for (const std::int64_t stride : {1, 2, 5}) {
     for (std::int64_t count = 0; count <= 33; ++count) {
       for (const bool in_front : {false, true}) {
         SCOPED_TRACE("stride " + std::to_string(stride) + " count " + std::to_string(count) +
                      (in_front ? " front" : " back"));
-        check_scalar_codec_identity(count, stride, nullptr, in_front);
-        check_scalar_codec_identity(count, stride, &pool, in_front);
+        check_scalar_codec_identity(count, stride, single, in_front);
+        check_scalar_codec_identity(count, stride, banded, in_front);
       }
     }
   }
@@ -189,9 +186,7 @@ TEST(StreamingDecode, ScalarCodecMatchesLegacyAtEveryLength) {
 // 65535) and the non-blank chain (80000 pixels, escape at element 133535) —
 // rle_skip must resume mid-chain without desynchronizing code/pixel cursors.
 TEST(StreamingDecode, RunsStraddleKMaxRunAndBandBoundaries) {
-  EngineKnobs knobs;
-  core::set_fused_decode(true);
-  core::WorkerPool pool(3);
+  core::EngineContext engine(engine_config(3, true));
   const img::Image source = long_run_image(400, 400, /*blank_rows=*/170, /*solid_rows=*/200);
   const img::Image base = pvr::random_subimage(400, 400, 0.5, 4242);
   const img::Rect part{0, 0, 400, 400};
@@ -212,7 +207,7 @@ TEST(StreamingDecode, RunsStraddleKMaxRunAndBandBoundaries) {
       img::Image fused = base;
       core::Counters fused_counters;
       img::UnpackBuffer fused_in(buf.bytes());
-      core::DecodeSink sink{fused, in_front, fused_counters, &pool};
+      core::DecodeSink sink{fused, in_front, fused_counters, engine};
       codec.decode_rect_into(sink, part, fused_in);
 
       expect_bytes_identical(fused, legacy);
@@ -233,7 +228,7 @@ TEST(StreamingDecode, RunsStraddleKMaxRunAndBandBoundaries) {
       img::Image fused = base;
       core::Counters fused_counters;
       img::UnpackBuffer fused_in(buf.bytes());
-      core::DecodeSink sink{fused, in_front, fused_counters, &pool};
+      core::DecodeSink sink{fused, in_front, fused_counters, engine};
       codec.decode_range_into(sink, whole, fused_in);
 
       expect_bytes_identical(fused, legacy);
@@ -242,19 +237,18 @@ TEST(StreamingDecode, RunsStraddleKMaxRunAndBandBoundaries) {
   }
 }
 
-// set_fused_decode(false) must route every decode_*_into call through the
-// legacy decoders verbatim (that is what slspvr-perf benchmarks against).
+// An EngineConfig with fused_decode = false must route every decode_*_into
+// call through the legacy decoders verbatim (that is what slspvr-perf
+// benchmarks against).
 TEST(StreamingDecode, FusedOffFallsBackToLegacyByteIdentically) {
-  EngineKnobs knobs;
-  core::set_fused_decode(false);
-  core::WorkerPool pool(2);
+  core::EngineContext engine(engine_config(2, false));
   for (const core::CodecKind kind :
        {core::CodecKind::kFullPixel, core::CodecKind::kBoundingRect,
         core::CodecKind::kRleRect, core::CodecKind::kSpanRect}) {
     SCOPED_TRACE(core::codec_name(kind));
-    check_rect_codec_identity(kind, 21, &pool, true);
+    check_rect_codec_identity(kind, 21, engine, true);
   }
-  check_scalar_codec_identity(29, 3, &pool, true);
+  check_scalar_codec_identity(29, 3, engine, true);
 }
 
 // Whole-frame identity: for every paper method, the gathered frame and the
@@ -262,8 +256,6 @@ TEST(StreamingDecode, FusedOffFallsBackToLegacyByteIdentically) {
 // worker fan-out and of fused vs legacy decode. The reference is the
 // historical engine (1 worker, unfused); everything else must match it.
 TEST(StreamingDecode, WholeFrameIdenticalAcrossWorkersAndFusedDecode) {
-  EngineKnobs knobs;
-
   struct MethodCase {
     std::string name;
     std::unique_ptr<core::Compositor> method;
@@ -293,16 +285,13 @@ TEST(StreamingDecode, WholeFrameIdenticalAcrossWorkersAndFusedDecode) {
                                             static_cast<std::uint32_t>(7 * ranks + 1));
       const core::SwapOrder order = make_default_order(levels);
 
-      core::set_workers_per_rank(1);
-      core::set_fused_decode(false);
-      const auto reference = run_method(*mc.method, subimages, order);
+      const auto reference = run_method(*mc.method, subimages, order, engine_config(1, false));
 
       for (const Config& cfg : configs) {
         SCOPED_TRACE(mc.name + " P" + std::to_string(ranks) + " workers " +
                      std::to_string(cfg.workers) + (cfg.fused ? " fused" : " legacy"));
-        core::set_workers_per_rank(cfg.workers);
-        core::set_fused_decode(cfg.fused);
-        const auto got = run_method(*mc.method, subimages, order);
+        const auto got =
+            run_method(*mc.method, subimages, order, engine_config(cfg.workers, cfg.fused));
         expect_bytes_identical(got.final_image, reference.final_image);
         ASSERT_EQ(got.per_rank.size(), reference.per_rank.size());
         for (std::size_t r = 0; r < got.per_rank.size(); ++r) {
@@ -310,8 +299,6 @@ TEST(StreamingDecode, WholeFrameIdenticalAcrossWorkersAndFusedDecode) {
               << "rank " << r;
         }
       }
-      core::set_workers_per_rank(1);
-      core::set_fused_decode(true);
     }
   }
 }

@@ -36,6 +36,14 @@
 //                                its decode/composite bands across n threads
 //                                (default 1; frames are byte-identical for
 //                                any n, on both backends)
+//     --sessions <n>             frame-service mode: n concurrent client
+//                                sessions of the in-process FrameService,
+//                                each with its own camera offset and pooled
+//                                engine arena, interleaved over the shared
+//                                rank pool (writes out-s0.pgm..s<n-1>; any
+//                                --fault-* flags apply to session 0 only, to
+//                                demonstrate per-frame fault isolation;
+//                                excludes --procs/--volume)
 //     --procs <n>                multi-process backend: n real worker
 //                                processes over sockets (excludes the
 //                                in-process --fault-*/--retry-*/--recv-timeout
@@ -62,10 +70,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/binary_swap.hpp"
 #include "core/binary_tree.hpp"
@@ -80,6 +90,7 @@
 #include "image/image_io.hpp"
 #include "mp/fault.hpp"
 #include "pvr/experiment.hpp"
+#include "pvr/frame_service.hpp"
 #include "pvr/proc_runner.hpp"
 #include "pvr/report.hpp"
 #include "render_cli.hpp"
@@ -111,6 +122,7 @@ struct Args {
   bool fault_flags = false;  ///< any --fault-*/--retry-*/--recv-timeout seen
   bool ranks_given = false;
   int workers_per_rank = 1;
+  int sessions = 0;  ///< 0 = single-frame mode; >= 2 = FrameService mode
   slspvr::tools::ProcCli procs;
 };
 
@@ -159,6 +171,12 @@ Args parse(int argc, char** argv) {
       args.ranks_given = true;
     } else if (a == "--workers-per-rank") {
       args.workers_per_rank = slspvr::tools::parse_workers_per_rank(next());
+    } else if (a == "--sessions") {
+      args.sessions = std::atoi(next());
+      if (args.sessions < 2) {
+        std::cerr << "--sessions expects >= 2 concurrent sessions\n";
+        usage(2);
+      }
     } else if (slspvr::tools::try_parse_proc_flag(args.procs, a, next)) {
       // consumed by the multi-process flag family
     } else if (a == "--image") {
@@ -262,6 +280,13 @@ Args parse(int argc, char** argv) {
     }
     args.ranks = args.procs.procs;
   }
+  if (args.sessions > 0 && args.procs.active()) {
+    throw slspvr::tools::ParseError(
+        "--sessions drives the in-process FrameService and excludes --procs");
+  }
+  if (args.sessions > 0 && args.volume_path) {
+    throw slspvr::tools::ParseError("--sessions supports built-in datasets only");
+  }
   if (args.image < 1) {
     std::cerr << "--image must be >= 1 (got " << args.image << ")\n";
     usage(2);
@@ -303,7 +328,68 @@ std::unique_ptr<core::Compositor> make_method(const std::string& name) {
   usage(2);
 }
 
+// --sessions mode: N concurrent clients of the in-process FrameService,
+// each with its own camera offset and pooled per-session engine arena,
+// interleaved over the shared rank pool. Any --fault-* flags ride on
+// session 0's frame only — the other sessions' frames must come back clean,
+// which is the per-frame fault-isolation property in miniature.
+int run_sessions(const Args& args, const core::Compositor& method) {
+  const std::filesystem::path out(args.out);
+  if (const auto parent = out.parent_path(); !parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  const std::string ext = out.extension().empty() ? ".pgm" : out.extension().string();
+
+  pvr::FrameServiceConfig service_config;
+  service_config.max_in_flight = 2;
+  service_config.queue_depth = static_cast<std::size_t>(args.sessions);
+  pvr::FrameService service(service_config);
+
+  std::vector<std::future<pvr::FrameResult>> futures;
+  for (int s = 0; s < args.sessions; ++s) {
+    pvr::SessionConfig session;
+    session.name = "s" + std::to_string(s);
+    session.dataset = args.dataset;
+    session.volume_scale = args.scale;
+    session.image_size = args.image;
+    session.ranks = args.ranks;
+    session.engine.workers_per_rank = args.workers_per_rank;
+    const int id = service.add_session(session, method);
+
+    pvr::FrameRequest request;
+    request.rot_x_deg = args.rot_x + 9.0f * static_cast<float>(s);
+    request.rot_y_deg = args.rot_y + 6.0f * static_cast<float>(s);
+    if (s == 0) request.faults = args.faults;
+    auto future = service.submit(id, request);
+    if (!future) throw std::runtime_error("frame service rejected session " + session.name);
+    futures.push_back(std::move(*future));
+  }
+  service.drain();
+
+  int faulted = 0;
+  for (auto& future : futures) {
+    pvr::FrameResult frame = future.get();
+    std::filesystem::path frame_path = out.parent_path();
+    frame_path /= out.stem().string() + "-s" + std::to_string(frame.session) + ext;
+    img::write_pgm(frame.image, frame_path.string());
+    faulted += frame.report.faulted ? 1 : 0;
+    std::cout << "session " << frame.session << ": " << frame_path.string() << " ("
+              << (frame.report.degraded
+                      ? "degraded"
+                      : (frame.report.faulted ? "faulted, recovered" : "clean"))
+              << ", queue " << pvr::fmt_ms(frame.queue_ms) << " ms, run "
+              << pvr::fmt_ms(frame.run_ms) << " ms)\n";
+  }
+  const pvr::ServiceStats stats = service.stats();
+  std::cout << "method   : " << args.method << "\n"
+            << "service  : sessions=" << args.sessions << ", completed=" << stats.completed
+            << ", shed=" << stats.shed << ", faulted=" << faulted << ", p99="
+            << pvr::fmt_ms(pvr::latency_percentile(stats.latencies_ms, 99.0)) << " ms\n";
+  return 0;
+}
+
 int run_tool(const Args& args) {
+  if (args.sessions > 0) return run_sessions(args, *make_method(args.method));
   if (const auto parent = std::filesystem::path(args.out).parent_path(); !parent.empty()) {
     std::filesystem::create_directories(parent);
   }
@@ -331,10 +417,10 @@ int run_tool(const Args& args) {
 
   const auto method = make_method(args.method);
 
-  // Intra-rank fan-out: the thread backend reads the process-global when
-  // each rank builds its pool; the --procs backend both inherits it across
-  // fork and pins it explicitly per worker via ProcOptions.
-  core::set_workers_per_rank(args.workers_per_rank);
+  // Intra-rank fan-out is explicit engine configuration now: the thread
+  // backend threads it through ExperimentConfig into every rank's context;
+  // the --procs backend pins it per worker process via ProcOptions.
+  config.engine.workers_per_rank = args.workers_per_rank;
 
   // Multi-frame sequence mode: resident workers, camera stepped per frame,
   // boundary resurrection. Writes one PGM per frame and its own summary.
